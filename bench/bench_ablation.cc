@@ -1,0 +1,146 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//
+//  A1. Heavy hitters: Misra-Gries vs sampling as K varies. The paper (§B.2)
+//      reports the sampled method wins once K >= ~100.
+//  A2. Membership-set representation: sampling throughput on full vs dense
+//      (bitmap) vs sparse (row list) sets.
+//  A3. Progressive aggregation window: emissions and root bytes at 0 ms /
+//      100 ms / infinite batching (the 0.1 s trade-off of §5.3).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/dataset.h"
+#include "sketch/heavy_hitters.h"
+#include "sketch/histogram.h"
+#include "sketch/sample_size.h"
+#include "storage/membership.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace hillview {
+namespace {
+
+TablePtr SkewedStringsTable(uint32_t rows) {
+  Random rng(0xAB1);
+  ColumnBuilder b(DataKind::kCategory);
+  for (uint32_t i = 0; i < rows; ++i) {
+    // Zipf-ish: value v with probability ~ 1/(v+1).
+    uint64_t v = static_cast<uint64_t>(
+        std::exp(rng.NextDouble() * std::log(10000.0)));
+    b.AppendString("v" + std::to_string(v));
+  }
+  return Table::Create(Schema({{"s", DataKind::kCategory}}), {b.Finish()});
+}
+
+void HeavyHittersAblation() {
+  std::printf("=== A1: heavy hitters, Misra-Gries vs sampling (paper: "
+              "sampling wins for K >= ~100) ===\n");
+  std::printf("%-8s %14s %14s %12s\n", "K", "MG(ms)", "sampled(ms)",
+              "sample_n");
+  const uint32_t kRows = 2000000;
+  TablePtr t = SkewedStringsTable(kRows);
+  for (int k : {10, 50, 100, 200, 500}) {
+    Stopwatch mg_watch;
+    MisraGriesSketch mg("s", k);
+    auto mg_result = mg.Summarize(*t, 0);
+    double mg_ms = mg_watch.ElapsedMillis();
+
+    uint64_t n = HeavyHittersSampleSize(k);
+    double rate = SampleRateForSize(n, kRows);
+    Stopwatch s_watch;
+    SampledHeavyHittersSketch sampled("s", k, rate);
+    auto s_result = sampled.Summarize(*t, 1);
+    double s_ms = s_watch.ElapsedMillis();
+    std::printf("%-8d %14.2f %14.2f %12llu\n", k, mg_ms, s_ms,
+                static_cast<unsigned long long>(n));
+    (void)mg_result;
+    (void)s_result;
+  }
+  std::printf("\n");
+}
+
+void MembershipAblation() {
+  std::printf("=== A2: sampling throughput by membership representation ===\n");
+  const uint32_t kUniverse = 8000000;
+  const double kRate = 0.01;
+  FullMembership full(kUniverse);
+  auto dense = FilterMembership(full, [](uint32_t r) { return r % 2 == 0; });
+  auto sparse =
+      FilterMembership(full, [](uint32_t r) { return r % 100 == 0; });
+
+  auto measure = [&](const IMembershipSet& m, const char* name) {
+    std::vector<double> times;
+    uint64_t sampled = 0;
+    for (int r = 0; r < 5; ++r) {
+      Stopwatch watch;
+      uint64_t count = 0;
+      SampleRows(m, kRate, r + 1, [&](uint32_t) { ++count; });
+      times.push_back(watch.ElapsedMillis());
+      sampled = count;
+    }
+    std::sort(times.begin(), times.end());
+    std::printf("%-10s members=%9u sampled=%8llu  time=%8.3f ms  "
+                "(%.1f ns/sample)\n",
+                name, m.size(), static_cast<unsigned long long>(sampled),
+                times[2], times[2] * 1e6 / sampled);
+  };
+  measure(full, "full");
+  measure(*dense, "dense");
+  measure(*sparse, "sparse");
+  std::printf("Expected: cost scales with samples taken, not with universe\n"
+              "size; dense pays one membership test per universe skip.\n\n");
+}
+
+void AggregationWindowAblation() {
+  std::printf("=== A3: progressive aggregation window (§5.3's 0.1 s) ===\n");
+  const int kLeaves = 64;
+  const uint32_t kRowsPerLeaf = 100000;
+  ThreadPool pool(2);  // slow pool => many separate completions
+  std::vector<DataSetPtr> children;
+  for (int l = 0; l < kLeaves; ++l) {
+    Random rng(l);
+    ColumnBuilder b(DataKind::kDouble);
+    for (uint32_t i = 0; i < kRowsPerLeaf; ++i) {
+      b.AppendDouble(rng.NextDouble());
+    }
+    children.push_back(LocalDataSet::FromTable(
+        "leaf" + std::to_string(l),
+        Table::Create(Schema({{"x", DataKind::kDouble}}), {b.Finish()})));
+  }
+
+  std::printf("%-14s %12s %16s\n", "window(ms)", "emissions",
+              "first result(ms)");
+  for (double window : {0.0, 20.0, 100.0, 1e9}) {
+    ParallelDataSet::Options options;
+    options.aggregation_window_ms = window;
+    ParallelDataSet dataset("ablate", children, &pool, options);
+    auto sketch = std::make_shared<StreamingHistogramSketch>(
+        "x", Buckets(NumericBuckets(0, 1, 25)));
+    Stopwatch watch;
+    int emissions = 0;
+    double first_ms = 0;
+    auto stream = RunTypedSketch<HistogramResult>(dataset, sketch);
+    stream->Subscribe([&](const PartialResult<HistogramResult>&) {
+      if (emissions == 0) first_ms = watch.ElapsedMillis();
+      ++emissions;
+    });
+    stream->BlockingLast();
+    std::printf("%-14.0f %12d %16.2f\n", window, emissions, first_ms);
+  }
+  std::printf(
+      "Expected: window 0 emits once per completion (max freshness, most\n"
+      "messages); larger windows batch partials; infinite emits only the\n"
+      "first + final. First results arrive equally fast in all settings.\n");
+}
+
+}  // namespace
+}  // namespace hillview
+
+int main() {
+  hillview::HeavyHittersAblation();
+  hillview::MembershipAblation();
+  hillview::AggregationWindowAblation();
+  return 0;
+}

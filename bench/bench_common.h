@@ -1,0 +1,67 @@
+#ifndef HILLVIEW_BENCH_BENCH_COMMON_H_
+#define HILLVIEW_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/root.h"
+#include "spreadsheet/spreadsheet.h"
+#include "workload/flights.h"
+
+namespace hillview {
+namespace bench {
+
+/// Scale multiplier from the environment (HILLVIEW_BENCH_SCALE, default 1):
+/// multiply dataset sizes to stress larger configurations.
+inline double BenchScale() {
+  const char* env = std::getenv("HILLVIEW_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+/// A self-contained simulated deployment with a flights dataset loaded.
+struct BenchCluster {
+  std::vector<cluster::WorkerPtr> workers;
+  cluster::SimulatedNetwork network;
+  std::unique_ptr<cluster::RootSession> root;
+  std::unique_ptr<Spreadsheet> sheet;
+
+  static std::unique_ptr<BenchCluster> Create(
+      uint64_t rows, int num_workers, int threads_per_worker,
+      uint32_t rows_per_partition, ScreenResolution screen = {400, 200},
+      cluster::SimulatedNetwork::Model net_model = {}) {
+    auto bc = std::make_unique<BenchCluster>();
+    bc->network.set_model(net_model);
+    for (int w = 0; w < num_workers; ++w) {
+      bc->workers.push_back(std::make_shared<cluster::Worker>(
+          "worker" + std::to_string(w), threads_per_worker));
+    }
+    bc->root =
+        std::make_unique<cluster::RootSession>(bc->workers, &bc->network);
+    auto loaders =
+        workload::FlightsLoaders(rows, rows_per_partition, /*seed=*/17);
+    if (!bc->root->LoadDataSet("flights", loaders).ok()) return nullptr;
+    bc->sheet = std::make_unique<Spreadsheet>(bc->root.get(), "flights",
+                                              screen);
+    return bc;
+  }
+
+  /// Forces every partition to materialize (the warm-data setup of Fig 5).
+  void Warm() {
+    (void)sheet->RowCount();
+    (void)sheet->Histogram("DepDelay", /*exact=*/true);
+  }
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace hillview
+
+#endif  // HILLVIEW_BENCH_BENCH_COMMON_H_

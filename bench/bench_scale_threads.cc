@@ -1,0 +1,93 @@
+// Reproduces Figure 7: vizketch scalability as leaves (threads) and shards
+// grow together — one leaf per shard with a constant number of rows per
+// leaf, so ideal scaling is *constant latency*. The sampled vizketch scales
+// super-linearly (latency drops) because its global sample size is fixed by
+// the display, so each extra leaf does less work (§7.2.2).
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/dataset.h"
+#include "sketch/histogram.h"
+#include "sketch/sample_size.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace hillview {
+namespace {
+
+constexpr uint32_t kRowsPerLeaf = 2'000'000;
+
+TablePtr MakeShard(uint64_t seed) {
+  Random rng(seed);
+  ColumnBuilder b(DataKind::kDouble);
+  for (uint32_t i = 0; i < kRowsPerLeaf; ++i) {
+    b.AppendDouble(rng.NextDouble() * 1000.0);
+  }
+  return Table::Create(Schema({{"x", DataKind::kDouble}}), {b.Finish()});
+}
+
+double MedianOfRuns(IDataSet& dataset, const AnySketch& sketch, int runs) {
+  std::vector<double> times;
+  for (int r = 0; r < runs; ++r) {
+    SketchOptions options;
+    options.seed = r + 1;
+    Stopwatch watch;
+    auto stream = dataset.RunSketch(sketch, options);
+    stream->BlockingLast();
+    times.push_back(watch.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void Run() {
+  const int hw_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("hardware threads: %d (scaling flattens beyond this point,\n"
+              "like the paper's hyper-threading knee at 16 shards)\n\n",
+              hw_threads);
+  std::printf("%-12s %16s %16s %14s\n", "leaves", "sampled(ms)",
+              "streaming(ms)", "sample_rate");
+
+  Buckets buckets(NumericBuckets(0, 1000, 25));
+  for (int leaves : {1, 2, 4, 8, 16, 32}) {
+    ThreadPool pool(leaves);
+    std::vector<DataSetPtr> children;
+    for (int l = 0; l < leaves; ++l) {
+      children.push_back(LocalDataSet::FromTable(
+          "leaf" + std::to_string(l), MakeShard(MixSeed(5, l))));
+    }
+    ParallelDataSet::Options options;
+    options.progressive = false;
+    ParallelDataSet dataset("bench", std::move(children), &pool, options);
+
+    uint64_t total_rows = static_cast<uint64_t>(leaves) * kRowsPerLeaf;
+    double rate =
+        SampleRateForSize(HistogramSampleSize(100, 25, 0.1), total_rows);
+    AnySketch sampled =
+        AnySketch::Wrap<HistogramResult>(std::make_shared<SampledHistogramSketch>(
+            "x", buckets, rate));
+    AnySketch streaming = AnySketch::Wrap<HistogramResult>(
+        std::make_shared<StreamingHistogramSketch>("x", buckets));
+
+    double sampled_ms = MedianOfRuns(dataset, sampled, 3);
+    double streaming_ms = MedianOfRuns(dataset, streaming, 3);
+    std::printf("%-12d %16.1f %16.1f %14.4f\n", leaves, sampled_ms,
+                streaming_ms, rate);
+  }
+  std::printf(
+      "\nExpected shape (Fig 7): streaming latency ~constant while leaves <=\n"
+      "physical cores; sampled latency *decreases* as leaves grow\n"
+      "(super-linear scaling: fixed global sample spread over more data).\n");
+}
+
+}  // namespace
+}  // namespace hillview
+
+int main() {
+  hillview::Run();
+  return 0;
+}

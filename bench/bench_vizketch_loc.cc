@@ -1,0 +1,99 @@
+// Reproduces Figure 9: lines of back-end code required to implement each
+// vizketch. The paper's point is that vizketches are small (the largest is
+// 191 LoC in Java) because the engine absorbs all distributed-systems
+// concerns; this harness counts the real non-blank, non-comment lines of
+// this repository's vizketch implementations at run time.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef HILLVIEW_SOURCE_DIR
+#define HILLVIEW_SOURCE_DIR "."
+#endif
+
+namespace {
+
+// Counts non-blank, non-comment lines in a file; -1 when unreadable.
+int CountLoc(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  int loc = 0;
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    std::string_view body(line.data() + start, line.size() - start);
+    if (in_block_comment) {
+      if (body.find("*/") != std::string_view::npos) in_block_comment = false;
+      continue;
+    }
+    if (body.starts_with("//") || body.starts_with("///")) continue;
+    if (body.starts_with("/*")) {
+      if (body.find("*/") == std::string_view::npos) in_block_comment = true;
+      continue;
+    }
+    ++loc;
+  }
+  return loc;
+}
+
+struct Entry {
+  const char* name;
+  std::vector<const char*> files;
+};
+
+}  // namespace
+
+int main() {
+  const std::string src = std::string(HILLVIEW_SOURCE_DIR) + "/src/sketch/";
+  // Shared infrastructure (buckets, result serialization helpers) is listed
+  // separately, like the paper counts only the sketch logic per vizketch.
+  const Entry kEntries[] = {
+      {"Histogram + CDF (sampled & streaming)",
+       {"histogram.h", "histogram.cc"}},
+      {"Stacked histogram / heat map / trellis",
+       {"histogram2d.h", "histogram2d.cc"}},
+      {"Next items", {"next_items.h", "next_items.cc"}},
+      {"Quantile (scroll bar)", {"quantile.h", "quantile.cc"}},
+      {"Find text", {"find_text.h", "find_text.cc"}},
+      {"Heavy hitters (MG + sampling)",
+       {"heavy_hitters.h", "heavy_hitters.cc"}},
+      {"Range / moments / count", {"range_moments.h", "range_moments.cc"}},
+      {"Number distinct (HyperLogLog)", {"hyperloglog.h", "hyperloglog.cc"}},
+      {"String quantiles (bottom-k)",
+       {"string_quantiles.h", "string_quantiles.cc"}},
+      {"PCA (correlation sketch)", {"pca.h", "pca.cc"}},
+      {"Save-as", {"save_as.h", "save_as.cc"}},
+      {"(shared) bucket geometry", {"buckets.h", "bucket_mapper.h"}},
+      {"(shared) sketch interface", {"sketch.h", "sample_size.h"}},
+  };
+
+  std::printf("=== Figure 9: effort to implement vizketches (C++ LoC) ===\n");
+  std::printf("%-45s %8s\n", "vizketch", "LoC");
+  bool all_found = true;
+  for (const auto& entry : kEntries) {
+    int total = 0;
+    for (const char* file : entry.files) {
+      int loc = CountLoc(src + file);
+      if (loc < 0) {
+        all_found = false;
+        total = -1;
+        break;
+      }
+      total += loc;
+    }
+    std::printf("%-45s %8d\n", entry.name, total);
+  }
+  if (!all_found) {
+    std::printf("(some sources not found under %s)\n", src.c_str());
+  }
+  std::printf(
+      "\nExpected shape (Fig 9): every vizketch is a few hundred lines at\n"
+      "most — implementable in hours — and none of them mention threads,\n"
+      "sockets, serial queues, or failure handling (grep them: the words\n"
+      "'thread', 'mutex' and 'socket' do not appear).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Log explorer: the motivating scenario of §3.1 — a datacenter's server logs
+// ("50 servers logging 100 columns..."), browsed with text search, filtering
+// and trellis-style grouping. Demonstrates the string-oriented vizketches:
+// find-text, string histograms, heavy hitters, and progressive results with
+// cancellation.
+//
+//   ./examples/log_explorer [rows]
+
+#include <cstdio>
+
+#include "cluster/root.h"
+#include "render/chart.h"
+#include "spreadsheet/spreadsheet.h"
+#include "workload/logs.h"
+
+using namespace hillview;
+
+int main(int argc, char** argv) {
+  uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400000;
+
+  std::vector<cluster::WorkerPtr> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.push_back(
+        std::make_shared<cluster::Worker>("w" + std::to_string(w), 2));
+  }
+  cluster::SimulatedNetwork network;
+  cluster::RootSession root(workers, &network);
+  workload::LogsOptions log_options;
+  if (!root.LoadDataSet("logs",
+                        workload::LogsLoaders(rows, 50000, 7, log_options))
+           .ok()) {
+    return 1;
+  }
+  ScreenResolution screen{72, 14};
+  Spreadsheet sheet(&root, "logs", screen);
+
+  std::printf("browsing %llu log rows from %d servers\n\n",
+              (unsigned long long)rows, log_options.num_servers);
+
+  // 1. Which severity levels occur? (string histogram, one bar per level)
+  auto levels = sheet.Histogram("Level", /*exact=*/true);
+  if (levels.ok()) {
+    auto labels = sheet.DistinctStrings("Level");
+    std::printf("events by level:\n");
+    std::vector<std::string> names;
+    for (const auto& [h, v] : labels.value().items) names.push_back(v);
+    std::sort(names.begin(), names.end());
+    for (size_t b = 0; b < levels.value().counts.size(); ++b) {
+      std::printf("  %-6s %10lld\n",
+                  b < names.size() ? names[b].c_str() : "?",
+                  (long long)levels.value().counts[b]);
+    }
+  }
+
+  // 2. Free-form text search (§3.3: "Search free-form text (e.g., server
+  //    Gandalf)").
+  StringFilter gandalf;
+  gandalf.text = "gandalf";
+  RecordOrder by_time({{"Timestamp", true}});
+  auto found = sheet.FindText(by_time, {"Server"}, gandalf, std::nullopt);
+  if (found.ok()) {
+    std::printf("\nsearch 'gandalf' in Server: %lld matching rows\n",
+                (long long)found.value().match_count);
+  }
+
+  // 3. Drill into errors on one component: filter + filter + heavy hitters.
+  auto errors = sheet.FilterEquals("Level", "ERROR");
+  if (errors.ok()) {
+    auto count = errors.value().RowCount();
+    std::printf("\nERROR rows: %lld; busiest servers:\n",
+                (long long)count.value_or(0));
+    auto hh = errors.value().HeavyHitters("Server", 60);
+    if (hh.ok()) {
+      for (size_t i = 0; i < hh.value().size() && i < 8; ++i) {
+        const auto& item = hh.value()[i];
+        std::printf("  %-14s %8lld\n", ValueToString(item.value).c_str(),
+                    (long long)item.count);
+      }
+    }
+  }
+
+  // 4. Latency distribution, rendered progressively: subscribe to partial
+  //    results like the browser does, then show the final chart.
+  auto stream = sheet.HistogramStream("LatencyMs");
+  if (stream.ok()) {
+    int partials = 0;
+    stream.value()->Subscribe(
+        [&partials](const PartialResult<HistogramResult>& p) {
+          ++partials;
+          std::printf("  partial #%d at progress %.0f%%\n", partials,
+                      p.progress * 100);
+        });
+    auto last = stream.value()->BlockingLast();
+    if (last.has_value()) {
+      std::printf("latency histogram (converged after %d updates):\n%s",
+                  partials,
+                  AsciiHistogram(RenderHistogram(last->value, screen), 7)
+                      .c_str());
+    }
+  }
+
+  // 5. Cancellation: start a scan and cancel it immediately (§5.3).
+  auto token = std::make_shared<CancellationToken>();
+  auto cancelled = sheet.HistogramStream("MemoryMb", token);
+  if (cancelled.ok()) {
+    token->Cancel();
+    cancelled.value()->BlockingLast();
+    std::printf("\nsecond scan cancelled: final status = %s\n",
+                cancelled.value()->final_status().ToString().c_str());
+  }
+
+  std::printf("\nroot received %.1f KB total\n",
+              network.bytes_received_by_root() / 1024.0);
+  return 0;
+}

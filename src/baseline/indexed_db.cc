@@ -1,0 +1,73 @@
+#include "baseline/indexed_db.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace hillview {
+namespace baseline {
+
+IndexedDb::IndexedDb(const Table& table, const std::string& column) {
+  ColumnPtr col = table.GetColumnOrNull(column);
+  if (col == nullptr) return;
+  heap_.reserve(table.num_rows());
+  Random rng(0xDB);
+  uint64_t xid = 1;
+  ForEachRow(*table.members(), [&](uint32_t row) {
+    Tuple t;
+    // Interleaved transaction ids, as produced by concurrent loads; a small
+    // fraction of tuples are dead versions (updated rows), which real scans
+    // must skip.
+    t.xmin = xid++;
+    t.xmax = rng.NextBernoulli(0.02) ? xid : 0;
+    t.flags = col->IsMissing(row) ? 1u : 0u;
+    t.value = col->IsMissing(row) ? 0.0 : col->GetDouble(row);
+    heap_.push_back(t);
+  });
+  snapshot_xid_ = xid;
+
+  index_.reserve(heap_.size());
+  for (uint32_t i = 0; i < heap_.size(); ++i) {
+    index_.emplace_back(heap_[i].value, i);
+  }
+  std::sort(index_.begin(), index_.end());
+}
+
+std::vector<int64_t> IndexedDb::HistogramQuery(double min, double max,
+                                               int buckets) const {
+  std::vector<int64_t> counts(buckets, 0);
+  double scale = buckets / (max - min);
+  // Index range scan over [min, max]: each entry dereferences its heap
+  // tuple (random access), checks visibility and the null constraint, then
+  // buckets the key.
+  auto lo = std::lower_bound(index_.begin(), index_.end(),
+                             std::make_pair(min, uint32_t{0}));
+  for (auto it = lo; it != index_.end() && it->first <= max; ++it) {
+    const Tuple& t = heap_[it->second];
+    if (!Visible(t)) continue;
+    if (t.flags & 1u) continue;  // NULL fails the histogram predicate
+    int idx = static_cast<int>((t.value - min) * scale);
+    if (idx >= buckets) idx = buckets - 1;
+    if (idx < 0) idx = 0;
+    ++counts[idx];
+  }
+  return counts;
+}
+
+std::vector<int64_t> IndexedDb::HistogramQuerySeqScan(double min, double max,
+                                                      int buckets) const {
+  std::vector<int64_t> counts(buckets, 0);
+  double scale = buckets / (max - min);
+  for (const Tuple& t : heap_) {
+    if (!Visible(t)) continue;
+    if (t.flags & 1u) continue;
+    if (t.value < min || t.value > max) continue;
+    int idx = static_cast<int>((t.value - min) * scale);
+    if (idx >= buckets) idx = buckets - 1;
+    ++counts[idx];
+  }
+  return counts;
+}
+
+}  // namespace baseline
+}  // namespace hillview

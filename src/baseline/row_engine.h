@@ -1,0 +1,106 @@
+#ifndef HILLVIEW_BASELINE_ROW_ENGINE_H_
+#define HILLVIEW_BASELINE_ROW_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/row_order.h"
+#include "storage/table.h"
+#include "util/thread_pool.h"
+
+namespace hillview {
+namespace baseline {
+
+/// General-purpose analytics engine baseline: the stand-in for the paper's
+/// Spark back-end (§7.1). It reproduces the two properties the paper
+/// attributes to the "visualization front-end + general-purpose engine"
+/// architecture:
+///
+///  1. Row-at-a-time processing over boxed values (no columnar scan
+///     specialization, no sampling driven by display accuracy).
+///  2. No visualization-driven result truncation: queries return *exact,
+///     full-cardinality* results to the master — a group-by for a histogram
+///     ships every distinct value, not B buckets — so the bytes received by
+///     the master are data-dependent, not display-dependent (Fig 5 bottom).
+///
+/// Like the paper's baseline it is given every fairness advantage we can:
+/// data pre-loaded in memory and all cores used via a thread pool.
+class RowEngine {
+ public:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return CompareValues(a, b) < 0;
+    }
+  };
+  using GroupCounts = std::map<Value, int64_t, ValueLess>;
+  using GroupCounts2D = std::map<std::pair<Value, Value>, int64_t>;
+
+  /// Ingests columnar partitions into the engine's row-major format (the
+  /// equivalent of Spark's pre-loading into RDDs; excluded from query
+  /// timing, like the paper excludes load time).
+  RowEngine(std::vector<TablePtr> partitions, int num_threads);
+
+  ~RowEngine();
+
+  uint64_t num_rows() const { return num_rows_; }
+  size_t MemoryBytes() const;
+
+  /// Full sort of all rows by `order`, returning the first k rows. Unlike
+  /// the vizketch, every partition fully sorts its rows (O(n log n)), and
+  /// shipped results carry whole rows.
+  std::vector<std::vector<Value>> SortTopK(const RecordOrder& order, int k,
+                                           uint64_t* master_bytes);
+
+  /// Exact group-by count on one column; ships all distinct groups.
+  /// `granularity` > 0 rounds numeric values down to multiples of it (the
+  /// generic binning a SQL user writes as GROUP BY floor(x/g)*g).
+  GroupCounts GroupByCount(const std::string& column, uint64_t* master_bytes,
+                           double granularity = 0);
+
+  /// Exact group-by count on a pair of columns (heat map / stacked
+  /// histogram query shape).
+  GroupCounts2D GroupByCount2D(const std::string& x_column,
+                               const std::string& y_column,
+                               uint64_t* master_bytes,
+                               double x_granularity = 0,
+                               double y_granularity = 0);
+
+  /// Exact quantile by full sort.
+  std::vector<Value> Quantile(const RecordOrder& order, double q,
+                              uint64_t* master_bytes);
+
+  /// Exact distinct count; partitions ship their distinct sets.
+  int64_t DistinctCount(const std::string& column, uint64_t* master_bytes);
+
+  /// Exact min/max of a numeric column.
+  std::pair<double, double> MinMax(const std::string& column,
+                                   uint64_t* master_bytes);
+
+  /// New engine over rows satisfying `pred` (generic filter; materializes
+  /// the filtered rows like a general-purpose engine would).
+  std::unique_ptr<RowEngine> Filter(
+      const std::function<bool(const std::vector<Value>&)>& pred);
+
+  int ColumnIndex(const std::string& name) const;
+
+ private:
+  struct Partition {
+    std::vector<std::vector<Value>> rows;
+  };
+
+  Schema schema_;
+  std::vector<Partition> partitions_;
+  uint64_t num_rows_ = 0;
+  ThreadPool pool_;
+};
+
+/// Serialized size of a value in a shipped result (wire-size model shared
+/// with the Hillview side's ByteWriter format).
+uint64_t WireSize(const Value& v);
+
+}  // namespace baseline
+}  // namespace hillview
+
+#endif  // HILLVIEW_BASELINE_ROW_ENGINE_H_

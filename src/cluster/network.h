@@ -1,0 +1,81 @@
+#ifndef HILLVIEW_CLUSTER_NETWORK_H_
+#define HILLVIEW_CLUSTER_NETWORK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace hillview {
+namespace cluster {
+
+/// Byte-level model of the cluster interconnect. Every message crossing a
+/// simulated machine boundary is serialized and counted here; the
+/// root-received byte counter reproduces the paper's bandwidth measurement
+/// (Fig 5 bottom: "how many bytes the root node received").
+///
+/// Optionally applies a latency + bandwidth delay per message so end-to-end
+/// benchmarks can model a 10 Gbps / sub-millisecond datacenter network.
+class SimulatedNetwork {
+ public:
+  struct Model {
+    double latency_ms = 0.0;            // per message
+    double bandwidth_bytes_per_sec = 0; // 0 = infinite
+  };
+
+  SimulatedNetwork() = default;
+  explicit SimulatedNetwork(Model model) : model_(model) {}
+
+  /// Replaces the delay model (counters are preserved). The class is
+  /// neither copyable nor movable (atomic counters), so deployments that
+  /// construct the network before choosing a model configure it here.
+  void set_model(Model model) { model_ = model; }
+
+  /// Records a request flowing root -> worker.
+  void SendDown(uint64_t bytes) {
+    messages_down_.fetch_add(1, std::memory_order_relaxed);
+    bytes_down_.fetch_add(bytes, std::memory_order_relaxed);
+    Delay(bytes);
+  }
+
+  /// Records a (partial) summary flowing worker -> root.
+  void SendUp(uint64_t bytes) {
+    messages_up_.fetch_add(1, std::memory_order_relaxed);
+    bytes_up_.fetch_add(bytes, std::memory_order_relaxed);
+    Delay(bytes);
+  }
+
+  uint64_t bytes_received_by_root() const { return bytes_up_.load(); }
+  uint64_t bytes_sent_by_root() const { return bytes_down_.load(); }
+  uint64_t messages_up() const { return messages_up_.load(); }
+  uint64_t messages_down() const { return messages_down_.load(); }
+
+  void Reset() {
+    bytes_up_ = 0;
+    bytes_down_ = 0;
+    messages_up_ = 0;
+    messages_down_ = 0;
+  }
+
+ private:
+  void Delay(uint64_t bytes) {
+    double seconds = model_.latency_ms / 1e3;
+    if (model_.bandwidth_bytes_per_sec > 0) {
+      seconds += static_cast<double>(bytes) / model_.bandwidth_bytes_per_sec;
+    }
+    if (seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  }
+
+  Model model_;
+  std::atomic<uint64_t> bytes_up_{0};
+  std::atomic<uint64_t> bytes_down_{0};
+  std::atomic<uint64_t> messages_up_{0};
+  std::atomic<uint64_t> messages_down_{0};
+};
+
+}  // namespace cluster
+}  // namespace hillview
+
+#endif  // HILLVIEW_CLUSTER_NETWORK_H_

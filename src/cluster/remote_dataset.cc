@@ -1,0 +1,58 @@
+#include "cluster/remote_dataset.h"
+
+namespace hillview {
+namespace cluster {
+
+namespace {
+
+/// Nominal wire size of a request descriptor (operation id, dataset id,
+/// seed, framing). Requests are tiny compared to summaries; this constant
+/// only keeps the downstream counters non-zero and honest.
+constexpr uint64_t kRequestOverheadBytes = 64;
+
+}  // namespace
+
+StreamPtr<PartialResult<AnySummary>> RemoteDataSet::RunSketch(
+    const AnySketch& sketch, const SketchOptions& options) {
+  auto out = std::make_shared<Stream<PartialResult<AnySummary>>>();
+  network_->SendDown(kRequestOverheadBytes + sketch.name().size());
+
+  auto dataset = worker_->GetDataSet(dataset_id_);
+  if (!dataset.ok()) {
+    out->OnComplete(dataset.status());
+    return out;
+  }
+  auto worker_stream = dataset.value()->RunSketch(sketch, options);
+  SimulatedNetwork* network = network_;
+  AnySketch sketch_copy = sketch;
+  worker_stream->Subscribe(
+      [out, network, sketch_copy](const PartialResult<AnySummary>& p) {
+        // Cross the machine boundary: serialize, charge, deserialize.
+        std::vector<uint8_t> bytes = sketch_copy.Serialize(p.value);
+        network->SendUp(bytes.size() + sizeof(double));  // + progress field
+        auto decoded = sketch_copy.Deserialize(bytes);
+        if (!decoded.ok()) return;  // Corrupt message: dropped (tested path).
+        out->OnNext(PartialResult<AnySummary>{p.progress, decoded.Take()});
+      },
+      [out](const Status& s) { out->OnComplete(s); });
+  return out;
+}
+
+DataSetPtr RemoteDataSet::Map(TableMap map, const std::string& op_name) {
+  network_->SendDown(kRequestOverheadBytes + op_name.size());
+  std::string new_id = dataset_id_ + "/" + op_name;
+  Status s = worker_->ApplyMap(dataset_id_, new_id, std::move(map), op_name);
+  // A failed remote map still returns a proxy; the error surfaces as
+  // Unavailable on first use and is healed by redo-log replay.
+  (void)s;
+  return std::make_shared<RemoteDataSet>(worker_, new_id, network_);
+}
+
+int RemoteDataSet::NumPartitions() const {
+  auto dataset = worker_->GetDataSet(dataset_id_);
+  if (!dataset.ok()) return 1;
+  return dataset.value()->NumPartitions();
+}
+
+}  // namespace cluster
+}  // namespace hillview

@@ -1,0 +1,60 @@
+#ifndef HILLVIEW_CLUSTER_REMOTE_DATASET_H_
+#define HILLVIEW_CLUSTER_REMOTE_DATASET_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/network.h"
+#include "cluster/worker.h"
+#include "core/dataset.h"
+
+namespace hillview {
+namespace cluster {
+
+/// Root-side proxy for a dataset hosted on one worker: the machine-boundary
+/// edge of the execution tree (Fig 1). Every partial summary crossing this
+/// edge is serialized with the sketch's wire format, charged to the
+/// SimulatedNetwork, and deserialized on the other side — so byte accounting
+/// and wire-format round-trips are faithful even though both "machines"
+/// share a process.
+///
+/// The reference is soft (§5.7): if the worker restarted and no longer has
+/// the dataset, RunSketch completes with Unavailable and the root session
+/// replays the redo log.
+class RemoteDataSet final : public IDataSet {
+ public:
+  RemoteDataSet(WorkerPtr worker, std::string dataset_id,
+                SimulatedNetwork* network)
+      : worker_(std::move(worker)),
+        dataset_id_(std::move(dataset_id)),
+        id_("remote:" + worker_->name() + "/" + dataset_id_),
+        network_(network) {}
+
+  const std::string& id() const override { return id_; }
+
+  StreamPtr<PartialResult<AnySummary>> RunSketch(
+      const AnySketch& sketch, const SketchOptions& options) override;
+
+  /// Remote map: instructs the worker to derive a new dataset; returns a
+  /// proxy to it. The map closure crossing the boundary is charged a nominal
+  /// request size (closures are code, not data).
+  DataSetPtr Map(TableMap map, const std::string& op_name) override;
+
+  int NumPartitions() const override;
+
+  void Evict() override { worker_->EvictCaches(); }
+
+  const std::string& dataset_id() const { return dataset_id_; }
+  const WorkerPtr& worker() const { return worker_; }
+
+ private:
+  WorkerPtr worker_;
+  std::string dataset_id_;
+  std::string id_;
+  SimulatedNetwork* network_;
+};
+
+}  // namespace cluster
+}  // namespace hillview
+
+#endif  // HILLVIEW_CLUSTER_REMOTE_DATASET_H_

@@ -1,0 +1,103 @@
+#include "cluster/root.h"
+
+namespace hillview {
+namespace cluster {
+
+RootSession::RootSession(std::vector<WorkerPtr> workers,
+                         SimulatedNetwork* network, Options options)
+    : workers_(std::move(workers)), network_(network), options_(options) {}
+
+Status RootSession::LoadDataSet(
+    const std::string& dataset_id,
+    std::vector<LocalDataSet::Loader> partition_loaders) {
+  auto do_register = [this, dataset_id, partition_loaders]() -> Status {
+    // Round-robin partition assignment: the paper allows arbitrary
+    // horizontal partitioning (§2), so placement needs no keying.
+    std::vector<std::vector<std::shared_ptr<LocalDataSet>>> per_worker(
+        workers_.size());
+    for (size_t p = 0; p < partition_loaders.size(); ++p) {
+      size_t w = p % workers_.size();
+      per_worker[w].push_back(LocalDataSet::FromLoader(
+          dataset_id + "[" + std::to_string(p) + "]", partition_loaders[p]));
+    }
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      HV_RETURN_IF_ERROR(
+          workers_[w]->RegisterBase(dataset_id, std::move(per_worker[w])));
+    }
+    return Status::OK();
+  };
+  HV_RETURN_IF_ERROR(do_register());
+  redo_log_.Append("load",
+                   dataset_id + " (" +
+                       std::to_string(partition_loaders.size()) +
+                       " partitions)",
+                   0, do_register);
+  return Status::OK();
+}
+
+Result<std::string> RootSession::MapDataSet(const std::string& parent_id,
+                                            TableMap map,
+                                            const std::string& op_name) {
+  std::string new_id = parent_id + "/" + op_name;
+  auto do_map = [this, parent_id, new_id, map, op_name]() -> Status {
+    for (auto& worker : workers_) {
+      HV_RETURN_IF_ERROR(worker->ApplyMap(parent_id, new_id, map, op_name));
+    }
+    return Status::OK();
+  };
+  HV_RETURN_IF_ERROR(do_map());
+  redo_log_.Append("map", parent_id + " -> " + new_id, 0, do_map);
+  return new_id;
+}
+
+DataSetPtr RootSession::GetRootDataSet(const std::string& dataset_id) {
+  std::vector<DataSetPtr> children;
+  children.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    children.push_back(
+        std::make_shared<RemoteDataSet>(worker, dataset_id, network_));
+  }
+  // The root aggregation node; children recurse into the workers' own
+  // parallel trees (nullptr pool: remote children schedule on worker pools).
+  return std::make_shared<ParallelDataSet>("root/" + dataset_id,
+                                           std::move(children), nullptr,
+                                           options_.aggregation);
+}
+
+Result<AnySummary> RootSession::RunErased(const std::string& dataset_id,
+                                          const AnySketch& sketch,
+                                          uint64_t seed, bool cacheable) {
+  std::string cache_key = ComputationCache::Key(dataset_id, sketch.name());
+  if (cacheable) {
+    if (auto hit = cache_.Get(cache_key)) return *hit;
+  }
+  redo_log_.Append("sketch", dataset_id + "#" + sketch.name(), seed);
+
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_replay_retries; ++attempt) {
+    if (attempt > 0) {
+      // Lazy replay (§5.7): re-execute the logged operations to rebuild the
+      // missing soft state, then retry the query.
+      HV_RETURN_IF_ERROR(redo_log_.ReplayAll());
+    }
+    DataSetPtr root = GetRootDataSet(dataset_id);
+    SketchOptions options;
+    options.seed = seed;
+    auto stream = root->RunSketch(sketch, options);
+    auto last = stream->BlockingLast();
+    Status status = stream->final_status();
+    if (status.ok()) {
+      if (!last.has_value()) {
+        return Status::Internal("sketch completed without a result");
+      }
+      if (cacheable) cache_.Put(cache_key, last->value);
+      return last->value;
+    }
+    if (status.code() != StatusCode::kUnavailable) return status;
+    last_error = status;
+  }
+  return last_error;
+}
+
+}  // namespace cluster
+}  // namespace hillview

@@ -1,0 +1,101 @@
+#ifndef HILLVIEW_CLUSTER_ROOT_H_
+#define HILLVIEW_CLUSTER_ROOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/remote_dataset.h"
+#include "cluster/worker.h"
+#include "core/computation_cache.h"
+#include "core/dataset.h"
+#include "core/redo_log.h"
+
+namespace hillview {
+namespace cluster {
+
+/// The root node (web-server side of Fig 1): tracks workers, builds
+/// execution trees over remote datasets, owns the redo log and the
+/// computation cache, and heals soft-state loss by lazy replay (§5.7–5.8).
+class RootSession {
+ public:
+  struct Options {
+    ParallelDataSet::Options aggregation;
+    /// Attempts after an Unavailable failure (each preceded by a full
+    /// redo-log replay).
+    int max_replay_retries = 2;
+  };
+
+  RootSession(std::vector<WorkerPtr> workers, SimulatedNetwork* network)
+      : RootSession(std::move(workers), network, Options{}) {}
+  RootSession(std::vector<WorkerPtr> workers, SimulatedNetwork* network,
+              Options options);
+
+  /// Registers a base dataset: `partition_loaders[i]` produces micropartition
+  /// i, assigned to worker i % num_workers. Logged: replay re-registers the
+  /// same loaders ("the recursion ends when data is read from disk").
+  Status LoadDataSet(const std::string& dataset_id,
+                     std::vector<LocalDataSet::Loader> partition_loaders);
+
+  /// Derives `<parent>/<op_name>` on every worker by a deterministic
+  /// per-partition map (filtering / new columns, §5.6). Returns the derived
+  /// dataset id. Logged for replay.
+  Result<std::string> MapDataSet(const std::string& parent_id, TableMap map,
+                                 const std::string& op_name);
+
+  /// The root execution tree for a dataset: a ParallelDataSet over one
+  /// RemoteDataSet per worker.
+  DataSetPtr GetRootDataSet(const std::string& dataset_id);
+
+  /// Runs a sketch to completion with computation-cache lookup (when
+  /// `cacheable`) and Unavailable-healing replay. The seed is logged.
+  template <typename R>
+  Result<R> RunSketch(const std::string& dataset_id, SketchPtr<R> sketch,
+                      uint64_t seed = 0, bool cacheable = false) {
+    AnySketch erased = AnySketch::Wrap<R>(std::move(sketch));
+    HV_ASSIGN_OR_RETURN(AnySummary summary,
+                        RunErased(dataset_id, erased, seed, cacheable));
+    return summary.As<R>();
+  }
+
+  /// Streaming variant (no replay healing — callers wanting progressive
+  /// updates resubscribe on failure).
+  template <typename R>
+  StreamPtr<PartialResult<R>> RunSketchStream(const std::string& dataset_id,
+                                              SketchPtr<R> sketch,
+                                              uint64_t seed = 0,
+                                              CancellationTokenPtr token = {}) {
+    DataSetPtr root = GetRootDataSet(dataset_id);
+    SketchOptions options;
+    options.seed = seed;
+    options.cancellation = std::move(token);
+    redo_log_.Append("sketch", dataset_id + "#" + sketch->name(), seed);
+    return RunTypedSketch<R>(*root, std::move(sketch), options);
+  }
+
+  /// Simulates a crash of worker `index` (drops all its soft state).
+  void RestartWorker(int index) { workers_[index]->Restart(); }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const std::vector<WorkerPtr>& workers() const { return workers_; }
+  RedoLog& redo_log() { return redo_log_; }
+  ComputationCache& cache() { return cache_; }
+  SimulatedNetwork* network() { return network_; }
+
+ private:
+  Result<AnySummary> RunErased(const std::string& dataset_id,
+                               const AnySketch& sketch, uint64_t seed,
+                               bool cacheable);
+
+  std::vector<WorkerPtr> workers_;
+  SimulatedNetwork* network_;
+  Options options_;
+  RedoLog redo_log_;
+  ComputationCache cache_;
+};
+
+}  // namespace cluster
+}  // namespace hillview
+
+#endif  // HILLVIEW_CLUSTER_ROOT_H_

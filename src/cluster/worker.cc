@@ -1,0 +1,63 @@
+#include "cluster/worker.h"
+
+namespace hillview {
+namespace cluster {
+
+Status Worker::RegisterBase(
+    const std::string& dataset_id,
+    std::vector<std::shared_ptr<LocalDataSet>> partitions) {
+  std::vector<DataSetPtr> children(partitions.begin(), partitions.end());
+  auto dataset = std::make_shared<ParallelDataSet>(
+      name_ + "/" + dataset_id, std::move(children), &pool_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_[dataset_id] = std::move(dataset);
+  return Status::OK();
+}
+
+Status Worker::ApplyMap(const std::string& parent_id,
+                        const std::string& new_id, TableMap map,
+                        const std::string& op_name) {
+  DataSetPtr parent;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = datasets_.find(parent_id);
+    if (it == datasets_.end()) {
+      return Status::Unavailable("worker " + name_ + ": no dataset '" +
+                                 parent_id + "'");
+    }
+    parent = it->second;
+  }
+  DataSetPtr derived = parent->Map(std::move(map), op_name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_[new_id] = std::move(derived);
+  return Status::OK();
+}
+
+Result<DataSetPtr> Worker::GetDataSet(const std::string& dataset_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(dataset_id);
+  if (it == datasets_.end()) {
+    return Status::Unavailable("worker " + name_ + ": no dataset '" +
+                               dataset_id + "'");
+  }
+  return it->second;
+}
+
+void Worker::Restart() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_.clear();
+  ++restart_count_;
+}
+
+void Worker::EvictCaches() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, dataset] : datasets_) dataset->Evict();
+}
+
+int64_t Worker::restart_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return restart_count_;
+}
+
+}  // namespace cluster
+}  // namespace hillview

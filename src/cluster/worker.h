@@ -1,0 +1,69 @@
+#ifndef HILLVIEW_CLUSTER_WORKER_H_
+#define HILLVIEW_CLUSTER_WORKER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/thread_pool.h"
+
+namespace hillview {
+namespace cluster {
+
+/// One simulated worker server: hosts micropartition leaf datasets behind a
+/// private thread pool (its "cores"). Workers are stateless in the paper's
+/// sense (§5.8): everything they hold is soft state reconstructible from the
+/// root's redo log, and Restart() models a crash-restart by dropping all of
+/// it.
+class Worker {
+ public:
+  Worker(std::string name, int num_threads)
+      : name_(std::move(name)), pool_(num_threads) {}
+
+  const std::string& name() const { return name_; }
+  ThreadPool* pool() { return &pool_; }
+
+  /// Registers the worker's share of a base (repository-backed) dataset.
+  /// Partitions are micropartitions (§5.3); each becomes a leaf on this
+  /// worker's pool. Re-registering after a restart recreates the entry; the
+  /// underlying data reloads lazily from its loaders.
+  Status RegisterBase(const std::string& dataset_id,
+                      std::vector<std::shared_ptr<LocalDataSet>> partitions);
+
+  /// Derives `new_id` from `parent_id` by a per-partition map (§5.6). The
+  /// result is lazy soft state. Fails with Unavailable if the parent is gone
+  /// (e.g. after a restart) — the caller replays the redo log.
+  Status ApplyMap(const std::string& parent_id, const std::string& new_id,
+                  TableMap map, const std::string& op_name);
+
+  /// The worker-local dataset tree for `dataset_id`, or Unavailable.
+  Result<DataSetPtr> GetDataSet(const std::string& dataset_id);
+
+  /// Crash-restart: drops every dataset (base and derived) and all cached
+  /// tables. "Restarting the node after a failure is equivalent to deleting
+  /// all cached datasets" (§5.8).
+  void Restart();
+
+  /// Drops only materialized tables, keeping the dataset structure: the
+  /// memory-manager eviction path (§5.7), distinct from a crash.
+  void EvictCaches();
+
+  int64_t restart_count() const;
+
+ private:
+  std::string name_;
+  ThreadPool pool_;
+  mutable std::mutex mutex_;
+  std::map<std::string, DataSetPtr> datasets_;
+  int64_t restart_count_ = 0;
+};
+
+using WorkerPtr = std::shared_ptr<Worker>;
+
+}  // namespace cluster
+}  // namespace hillview
+
+#endif  // HILLVIEW_CLUSTER_WORKER_H_

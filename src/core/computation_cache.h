@@ -1,0 +1,93 @@
+#ifndef HILLVIEW_CORE_COMPUTATION_CACHE_H_
+#define HILLVIEW_CORE_COMPUTATION_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/any_sketch.h"
+
+namespace hillview {
+
+/// Cache of sketch results, "indexed by what mergeable summary was used and
+/// what dataset was operated on" (§5.4). Summaries are tiny by construction,
+/// so a large number can be cached; eviction is LRU. Only deterministic
+/// sketches should be cached (randomized ones are keyed with their seed via
+/// the sketch name, so caching them is safe but rarely useful).
+class ComputationCache {
+ public:
+  explicit ComputationCache(size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  static std::string Key(const std::string& dataset_id,
+                         const std::string& sketch_name) {
+    return dataset_id + "#" + sketch_name;
+  }
+
+  std::optional<AnySummary> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    // Move to front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    ++hits_;
+    return it->second.summary;
+  }
+
+  void Put(const std::string& key, AnySummary summary) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.summary = std::move(summary);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      return;
+    }
+    lru_.push_front(key);
+    entries_[key] = Entry{std::move(summary), lru_.begin()};
+    if (entries_.size() > max_entries_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    AnySummary summary;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  mutable std::mutex mutex_;
+  size_t max_entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_CORE_COMPUTATION_CACHE_H_

@@ -1,0 +1,240 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace hillview {
+
+std::shared_ptr<LocalDataSet> LocalDataSet::FromLoader(std::string id,
+                                                       Loader loader) {
+  return std::shared_ptr<LocalDataSet>(
+      new LocalDataSet(std::move(id), std::move(loader)));
+}
+
+std::shared_ptr<LocalDataSet> LocalDataSet::FromTable(std::string id,
+                                                      TablePtr table) {
+  return FromLoader(std::move(id),
+                    [table]() -> Result<TablePtr> { return table; });
+}
+
+Result<TablePtr> LocalDataSet::GetTable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cached_ != nullptr) return cached_;
+  ++load_count_;
+  auto result = loader_();
+  if (result.ok()) cached_ = result.value();
+  return result;
+}
+
+bool LocalDataSet::IsMaterialized() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cached_ != nullptr;
+}
+
+int LocalDataSet::load_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return load_count_;
+}
+
+void LocalDataSet::Evict() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cached_ = nullptr;
+}
+
+StreamPtr<PartialResult<AnySummary>> LocalDataSet::RunSketch(
+    const AnySketch& sketch, const SketchOptions& options) {
+  auto stream = std::make_shared<Stream<PartialResult<AnySummary>>>();
+  if (options.cancellation != nullptr && options.cancellation->IsCancelled()) {
+    stream->OnComplete(Status::Cancelled("cancelled before start"));
+    return stream;
+  }
+  auto table = GetTable();
+  if (!table.ok()) {
+    stream->OnComplete(table.status());
+    return stream;
+  }
+  AnySummary summary = sketch.Summarize(*table.value(), options.seed);
+  stream->OnNext(PartialResult<AnySummary>{1.0, std::move(summary)});
+  stream->OnComplete(Status::OK());
+  return stream;
+}
+
+DataSetPtr LocalDataSet::Map(TableMap map, const std::string& op_name) {
+  auto parent = shared_from_this();
+  return FromLoader(id_ + "/" + op_name, [parent, map]() -> Result<TablePtr> {
+    HV_ASSIGN_OR_RETURN(TablePtr table, parent->GetTable());
+    return map(table);
+  });
+}
+
+ParallelDataSet::ParallelDataSet(std::string id,
+                                 std::vector<DataSetPtr> children,
+                                 ThreadPool* pool, Options options)
+    : id_(std::move(id)),
+      children_(std::move(children)),
+      pool_(pool),
+      options_(options) {}
+
+int ParallelDataSet::NumPartitions() const {
+  int n = 0;
+  for (const auto& child : children_) n += child->NumPartitions();
+  return n;
+}
+
+void ParallelDataSet::Evict() {
+  for (auto& child : children_) child->Evict();
+}
+
+DataSetPtr ParallelDataSet::Map(TableMap map, const std::string& op_name) {
+  std::vector<DataSetPtr> mapped;
+  mapped.reserve(children_.size());
+  for (auto& child : children_) mapped.push_back(child->Map(map, op_name));
+  return std::make_shared<ParallelDataSet>(id_ + "/" + op_name,
+                                           std::move(mapped), pool_, options_);
+}
+
+namespace {
+
+/// Shared state of one in-flight tree aggregation: latest summary and
+/// progress per child, merged and emitted under the aggregation window.
+struct Merger {
+  Merger(AnySketch sketch, int num_children, std::vector<double> weights,
+         ParallelDataSet::Options options,
+         StreamPtr<PartialResult<AnySummary>> out)
+      : sketch(std::move(sketch)),
+        latest(num_children),
+        progress(num_children, 0.0),
+        weights(std::move(weights)),
+        options(options),
+        out(std::move(out)) {
+    total_weight = 0;
+    for (double w : this->weights) total_weight += w;
+    if (total_weight <= 0) total_weight = 1;
+  }
+
+  AnySummary MergeAllLocked() {
+    AnySummary merged;
+    for (const auto& s : latest) {
+      if (s.empty()) continue;
+      merged = merged.empty() ? s : sketch.Merge(merged, s);
+    }
+    return merged.empty() ? sketch.Zero() : merged;
+  }
+
+  double ProgressLocked() const {
+    double p = 0;
+    for (size_t i = 0; i < progress.size(); ++i) p += progress[i] * weights[i];
+    return p / total_weight;
+  }
+
+  // Emissions happen under the merger lock: partial results must reach the
+  // stream in monotone progress order, and OnNext itself is cheap (the
+  // stream buffers or invokes the subscriber synchronously).
+  void Update(int child, const PartialResult<AnySummary>& partial) {
+    std::lock_guard<std::mutex> lock(mutex);
+    latest[child] = partial.value;
+    progress[child] = partial.progress;
+    if (options.progressive &&
+        (!emitted_any ||
+         since_emit.ElapsedMillis() >= options.aggregation_window_ms)) {
+      PartialResult<AnySummary> emit;
+      emit.progress = ProgressLocked();
+      emit.value = MergeAllLocked();
+      emitted_any = true;
+      since_emit.Restart();
+      out->OnNext(std::move(emit));
+    }
+  }
+
+  void Complete(int child, const Status& status) {
+    std::lock_guard<std::mutex> lock(mutex);
+    (void)child;
+    ++completed;
+    if (!status.ok() && first_error.ok()) first_error = status;
+    if (completed != static_cast<int>(latest.size())) return;
+    if (first_error.ok()) {
+      PartialResult<AnySummary> final_emit;
+      final_emit.progress = 1.0;
+      final_emit.value = MergeAllLocked();
+      out->OnNext(std::move(final_emit));
+    }
+    out->OnComplete(first_error);
+  }
+
+  AnySketch sketch;
+  std::mutex mutex;
+  std::vector<AnySummary> latest;
+  std::vector<double> progress;
+  std::vector<double> weights;
+  double total_weight;
+  ParallelDataSet::Options options;
+  StreamPtr<PartialResult<AnySummary>> out;
+  Stopwatch since_emit;
+  bool emitted_any = false;
+  int completed = 0;
+  Status first_error;
+};
+
+}  // namespace
+
+StreamPtr<PartialResult<AnySummary>> ParallelDataSet::RunSketch(
+    const AnySketch& sketch, const SketchOptions& options) {
+  auto stream = std::make_shared<Stream<PartialResult<AnySummary>>>();
+  if (children_.empty()) {
+    stream->OnNext(PartialResult<AnySummary>{1.0, sketch.Zero()});
+    stream->OnComplete(Status::OK());
+    return stream;
+  }
+  std::vector<double> weights;
+  weights.reserve(children_.size());
+  for (const auto& child : children_) {
+    weights.push_back(std::max(1, child->NumPartitions()));
+  }
+  auto merger = std::make_shared<Merger>(sketch, children_.size(),
+                                         std::move(weights), options_, stream);
+
+  for (size_t i = 0; i < children_.size(); ++i) {
+    SketchOptions child_options = options;
+    child_options.seed = MixSeed(options.seed, i);
+    auto leaf = std::dynamic_pointer_cast<LocalDataSet>(children_[i]);
+    if (leaf != nullptr && pool_ != nullptr) {
+      // Leaf partitions run on the worker's thread pool (§5.3). The token is
+      // checked when the task is dequeued: cancellation "removes" work that
+      // has not started, while started work runs to completion.
+      int child_index = static_cast<int>(i);
+      pool_->Submit([merger, leaf, sketch, child_options, child_index] {
+        if (child_options.cancellation != nullptr &&
+            child_options.cancellation->IsCancelled()) {
+          merger->Complete(child_index,
+                           Status::Cancelled("cancelled in queue"));
+          return;
+        }
+        auto table = leaf->GetTable();
+        if (!table.ok()) {
+          merger->Complete(child_index, table.status());
+          return;
+        }
+        AnySummary summary =
+            sketch.Summarize(*table.value(), child_options.seed);
+        merger->Update(child_index,
+                       PartialResult<AnySummary>{1.0, std::move(summary)});
+        merger->Complete(child_index, Status::OK());
+      });
+      continue;
+    }
+    // Inner node (or no pool): recurse; the child stream is asynchronous.
+    auto child_stream = children_[i]->RunSketch(sketch, child_options);
+    int child_index = static_cast<int>(i);
+    child_stream->Subscribe(
+        [merger, child_index](const PartialResult<AnySummary>& p) {
+          merger->Update(child_index, p);
+        },
+        [merger, child_index](const Status& s) {
+          merger->Complete(child_index, s);
+        });
+  }
+  return stream;
+}
+
+}  // namespace hillview

@@ -1,0 +1,192 @@
+#ifndef HILLVIEW_CORE_DATASET_H_
+#define HILLVIEW_CORE_DATASET_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/any_sketch.h"
+#include "reactive/observable.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace hillview {
+
+class IDataSet;
+using DataSetPtr = std::shared_ptr<IDataSet>;
+
+/// A partition-to-partition transformation (filtering, derived columns —
+/// §5.6). Must be deterministic: derived partitions are soft state and are
+/// recomputed by re-running the map after eviction or worker restarts.
+using TableMap = std::function<Result<TablePtr>(const TablePtr&)>;
+
+/// Options controlling one sketch execution.
+struct SketchOptions {
+  /// Root seed; each partition gets MixSeed(seed, partition position). The
+  /// seed is recorded in the redo log so replays are deterministic (§5.8).
+  uint64_t seed = 0;
+  /// Cooperative cancellation (§5.3). May be null.
+  CancellationTokenPtr cancellation;
+};
+
+/// A distributed dataset: the Partitioned Data Set abstraction from Sketch
+/// [14] that Hillview builds on (§5.7). Concrete shapes: a single partition
+/// (LocalDataSet), a fan-out over children (ParallelDataSet), or a proxy to
+/// another machine (cluster::RemoteDataSet).
+///
+/// All data reachable from a dataset is soft state: partitions may be
+/// evicted at any time and are reconstructed on demand from their loaders
+/// (reload from a repository) or by re-running maps (§5.7).
+class IDataSet {
+ public:
+  virtual ~IDataSet() = default;
+
+  /// Stable identity used in computation-cache keys and the redo log.
+  virtual const std::string& id() const = 0;
+
+  /// Runs a sketch over every partition, merging summaries toward this node
+  /// and streaming monotone partial results (§5.3). The returned stream
+  /// completes with the final summary at progress 1.0, or with an error /
+  /// cancelled status.
+  virtual StreamPtr<PartialResult<AnySummary>> RunSketch(
+      const AnySketch& sketch, const SketchOptions& options) = 0;
+
+  /// Derives a new dataset by applying `map` to every partition, lazily:
+  /// partitions materialize on first access and may be evicted (§5.6).
+  virtual DataSetPtr Map(TableMap map, const std::string& op_name) = 0;
+
+  /// Number of leaf partitions below this node.
+  virtual int NumPartitions() const = 0;
+
+  /// Drops all cached/materialized soft state below this node (memory
+  /// manager + fault injection). Data reloads on next access.
+  virtual void Evict() = 0;
+};
+
+/// Runs a typed sketch and exposes a typed partial-result stream.
+/// Convenience wrapper used by the spreadsheet layer, examples and tests.
+template <typename R>
+StreamPtr<PartialResult<R>> RunTypedSketch(IDataSet& dataset,
+                                           SketchPtr<R> sketch,
+                                           const SketchOptions& options = {}) {
+  auto typed = std::make_shared<Stream<PartialResult<R>>>();
+  auto erased = dataset.RunSketch(AnySketch::Wrap<R>(std::move(sketch)),
+                                  options);
+  erased->Subscribe(
+      [typed](const PartialResult<AnySummary>& p) {
+        if (p.value.empty()) return;
+        typed->OnNext(PartialResult<R>{p.progress, p.value.As<R>()});
+      },
+      [typed](const Status& s) { typed->OnComplete(s); });
+  return typed;
+}
+
+/// Blocks for a sketch's final result; the common path for tests, examples
+/// and benchmarks that do not care about progressive updates.
+template <typename R>
+Result<R> SketchAndWait(IDataSet& dataset, SketchPtr<R> sketch,
+                        const SketchOptions& options = {}) {
+  auto stream = RunTypedSketch<R>(dataset, std::move(sketch), options);
+  auto last = stream->BlockingLast();
+  Status status = stream->final_status();
+  if (!status.ok()) return status;
+  if (!last.has_value()) return Status::Internal("sketch produced no result");
+  return last->value;
+}
+
+/// A single partition with reconstructible contents. The loader runs on
+/// first access (or after eviction) and its result is cached; this is the
+/// leaf of every execution tree and the data cache of §5.4.
+class LocalDataSet final : public IDataSet,
+                           public std::enable_shared_from_this<LocalDataSet> {
+ public:
+  using Loader = std::function<Result<TablePtr>()>;
+
+  /// Dataset backed by a loader (e.g. read a file); contents are soft.
+  static std::shared_ptr<LocalDataSet> FromLoader(std::string id,
+                                                  Loader loader);
+
+  /// Dataset pinned to an in-memory table (tests, generators). Eviction is a
+  /// no-op since the loader just returns the same table.
+  static std::shared_ptr<LocalDataSet> FromTable(std::string id,
+                                                 TablePtr table);
+
+  const std::string& id() const override { return id_; }
+
+  StreamPtr<PartialResult<AnySummary>> RunSketch(
+      const AnySketch& sketch, const SketchOptions& options) override;
+
+  DataSetPtr Map(TableMap map, const std::string& op_name) override;
+
+  int NumPartitions() const override { return 1; }
+
+  void Evict() override;
+
+  /// Materializes (or returns the cached) partition table.
+  Result<TablePtr> GetTable();
+
+  /// True if the partition is currently materialized in memory.
+  bool IsMaterialized() const;
+
+  /// Number of times the loader ran (observability for cache tests).
+  int load_count() const;
+
+ private:
+  LocalDataSet(std::string id, Loader loader)
+      : id_(std::move(id)), loader_(std::move(loader)) {}
+
+  std::string id_;
+  Loader loader_;
+  mutable std::mutex mutex_;
+  TablePtr cached_;
+  int load_count_ = 0;
+};
+
+/// Aggregation over children (§5.3's execution tree): distributes sketches
+/// to children, merges their summaries, and emits partial results batched in
+/// an aggregation window. Leaf children execute on the shared thread pool —
+/// one leaf per micropartition, "a thread pool that serves leafs with work
+/// to do".
+class ParallelDataSet final : public IDataSet {
+ public:
+  struct Options {
+    /// Partial results arriving within this window are merged before being
+    /// propagated (§5.3: "aggregation nodes wait for 0.1 seconds").
+    double aggregation_window_ms = 100.0;
+    /// Emit a partial result after every child completion when true; the
+    /// window still rate-limits. False emits only the final result.
+    bool progressive = true;
+  };
+
+  ParallelDataSet(std::string id, std::vector<DataSetPtr> children,
+                  ThreadPool* pool)
+      : ParallelDataSet(std::move(id), std::move(children), pool, Options{}) {}
+
+  ParallelDataSet(std::string id, std::vector<DataSetPtr> children,
+                  ThreadPool* pool, Options options);
+
+  const std::string& id() const override { return id_; }
+
+  StreamPtr<PartialResult<AnySummary>> RunSketch(
+      const AnySketch& sketch, const SketchOptions& options) override;
+
+  DataSetPtr Map(TableMap map, const std::string& op_name) override;
+
+  int NumPartitions() const override;
+
+  void Evict() override;
+
+  const std::vector<DataSetPtr>& children() const { return children_; }
+
+ private:
+  std::string id_;
+  std::vector<DataSetPtr> children_;
+  ThreadPool* pool_;
+  Options options_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_CORE_DATASET_H_

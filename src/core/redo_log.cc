@@ -1,0 +1,17 @@
+#include "core/redo_log.h"
+
+#include <sstream>
+
+namespace hillview {
+
+std::string RedoLog::ToText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& e : entries_) {
+    out << e.index << " " << e.kind << " seed=" << e.seed << " "
+        << e.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hillview

@@ -1,0 +1,90 @@
+#ifndef HILLVIEW_CORE_REDO_LOG_H_
+#define HILLVIEW_CORE_REDO_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hillview {
+
+/// One logged root operation: enough to re-execute the query that produced a
+/// dataset or summary after a failure (§5.7–5.8). The seed makes randomized
+/// vizketches replay deterministically.
+struct RedoLogEntry {
+  int64_t index = 0;
+  std::string kind;         // "load", "map", "filter", "sketch", ...
+  std::string description;  // operation parameters, human readable
+  uint64_t seed = 0;
+};
+
+/// The root node's redo log — "the only persistent data structure maintained
+/// by Hillview" (§5.7). Entries carry a replay closure used for lazy replay:
+/// when a soft-state object turns out to be gone, the root re-executes the
+/// operations that produced it, recursing until data is re-read from the
+/// repository.
+class RedoLog {
+ public:
+  using Replayer = std::function<Status()>;
+
+  /// Appends an entry; returns its index.
+  int64_t Append(std::string kind, std::string description, uint64_t seed,
+                 Replayer replayer = nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RedoLogEntry entry;
+    entry.index = static_cast<int64_t>(entries_.size());
+    entry.kind = std::move(kind);
+    entry.description = std::move(description);
+    entry.seed = seed;
+    entries_.push_back(entry);
+    replayers_.push_back(std::move(replayer));
+    return entry.index;
+  }
+
+  /// Lazily replays entries [first, last] in order, skipping entries without
+  /// replayers. Stops at the first failure.
+  Status Replay(int64_t first, int64_t last) {
+    std::vector<Replayer> to_run;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int64_t i = first; i <= last &&
+                              i < static_cast<int64_t>(replayers_.size());
+           ++i) {
+        if (i < 0) continue;
+        if (replayers_[i]) to_run.push_back(replayers_[i]);
+      }
+    }
+    for (auto& r : to_run) {
+      HV_RETURN_IF_ERROR(r());
+    }
+    return Status::OK();
+  }
+
+  Status ReplayAll() { return Replay(0, Size() - 1); }
+
+  int64_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(entries_.size());
+  }
+
+  std::vector<RedoLogEntry> Entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+  }
+
+  /// Renders the log as text ("<index> <kind> seed=<seed> <description>"),
+  /// the persisted form.
+  std::string ToText() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RedoLogEntry> entries_;
+  std::vector<Replayer> replayers_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_CORE_REDO_LOG_H_

@@ -1,0 +1,149 @@
+#ifndef HILLVIEW_REACTIVE_OBSERVABLE_H_
+#define HILLVIEW_REACTIVE_OBSERVABLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hillview {
+
+/// Cooperative cancellation token shared between a client and an execution
+/// tree. The original system uses RxJava unsubscription (§6); here a token is
+/// polled by leaf nodes between micropartitions — matching the paper's
+/// semantics that already-started micropartition work is not interrupted
+/// (§5.3: "We currently do not stop ongoing computations on a micropartition").
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
+
+/// A partial result flowing up the execution tree: a summary over the
+/// fraction `progress` of leaves completed so far. The stream of partial
+/// results is monotone in `progress` and converges to the final summary.
+template <typename T>
+struct PartialResult {
+  double progress = 0.0;  // in [0, 1]; 1.0 accompanies the final value
+  T value{};
+};
+
+/// Single-producer push stream with buffering: events pushed before a
+/// subscriber attaches are replayed in order. This is the minimal slice of
+/// Rx used by Hillview: OnNext* (partial results), then exactly one
+/// OnComplete carrying a Status.
+///
+/// Thread-safe; exactly one subscriber is supported (the web-server root in
+/// the real system). Blocking helpers are provided for tests and benchmarks.
+template <typename T>
+class Stream {
+ public:
+  using NextFn = std::function<void(const T&)>;
+  using DoneFn = std::function<void(const Status&)>;
+
+  /// Producer side: push one event. The subscriber callback (if attached)
+  /// runs synchronously under the stream lock, which guarantees events are
+  /// observed in exactly the order they were produced. Callbacks must not
+  /// re-enter the same stream (downstream streams are fine — lock order
+  /// follows the dataflow and is acyclic).
+  void OnNext(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) return;  // Events after completion are dropped.
+    last_ = value;
+    if (next_) {
+      next_(value);
+      ++delivered_;
+    } else {
+      buffer_.push_back(std::move(value));
+    }
+    cv_.notify_all();
+  }
+
+  /// Producer side: complete the stream (exactly once).
+  void OnComplete(Status status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) return;
+    done_ = true;
+    final_status_ = status;
+    if (done_fn_) done_fn_(status);
+    cv_.notify_all();
+  }
+
+  /// Consumer side. Replays buffered events in order, then receives live
+  /// events from producer threads; the shared lock makes the hand-off from
+  /// replay to live delivery seamless.
+  void Subscribe(NextFn next, DoneFn done = nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    next_ = std::move(next);
+    done_fn_ = std::move(done);
+    while (!buffer_.empty()) {
+      if (next_) {
+        next_(buffer_.front());
+        ++delivered_;
+      }
+      buffer_.pop_front();
+    }
+    if (done_ && done_fn_) done_fn_(final_status_);
+  }
+
+  /// Blocks until the producer completes; returns the last event seen (or
+  /// nullopt if the stream completed empty).
+  std::optional<T> BlockingLast() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return done_; });
+    return last_;
+  }
+
+  /// Blocks until completion and returns every buffered event (only valid if
+  /// no Subscribe callback consumed them first).
+  std::vector<T> BlockingCollect() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return done_; });
+    std::vector<T> out(buffer_.begin(), buffer_.end());
+    buffer_.clear();
+    return out;
+  }
+
+  /// Final status; valid after completion.
+  Status final_status() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return final_status_;
+  }
+
+  bool IsDone() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> buffer_;
+  std::optional<T> last_;
+  NextFn next_;
+  DoneFn done_fn_;
+  Status final_status_;
+  int delivered_ = 0;
+  bool done_ = false;
+};
+
+template <typename T>
+using StreamPtr = std::shared_ptr<Stream<T>>;
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_REACTIVE_OBSERVABLE_H_

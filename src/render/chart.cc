@@ -1,0 +1,174 @@
+#include "render/chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hillview {
+
+HistogramPlot RenderHistogram(const HistogramResult& result,
+                              const ScreenResolution& screen) {
+  HistogramPlot plot;
+  plot.height = screen.height;
+  plot.bar_heights.assign(result.counts.size(), 0);
+  double max_count = 0;
+  for (size_t b = 0; b < result.counts.size(); ++b) {
+    max_count = std::max(max_count,
+                         result.EstimatedCount(static_cast<int>(b)));
+  }
+  plot.max_estimated_count = max_count;
+  if (max_count <= 0) return plot;
+  for (size_t b = 0; b < result.counts.size(); ++b) {
+    double scaled = result.EstimatedCount(static_cast<int>(b)) / max_count *
+                    screen.height;
+    // Snap to the nearest pixel — the quantization the accuracy guarantee is
+    // stated against (Fig 3a).
+    plot.bar_heights[b] = static_cast<int>(std::lround(scaled));
+  }
+  return plot;
+}
+
+CdfPlot RenderCdf(const HistogramResult& result,
+                  const ScreenResolution& screen) {
+  CdfPlot plot;
+  plot.height = screen.height;
+  plot.pixel_y.assign(result.counts.size(), 0);
+  double total = 0;
+  for (int64_t c : result.counts) total += static_cast<double>(c);
+  if (total <= 0) return plot;
+  double cumulative = 0;
+  for (size_t h = 0; h < result.counts.size(); ++h) {
+    cumulative += static_cast<double>(result.counts[h]);
+    double fraction = cumulative / total;
+    plot.pixel_y[h] = static_cast<int>(std::lround(fraction * screen.height));
+  }
+  return plot;
+}
+
+StackedHistogramPlot RenderStackedHistogram(const Histogram2DResult& result,
+                                            const ScreenResolution& screen,
+                                            bool normalized) {
+  StackedHistogramPlot plot;
+  plot.height = screen.height;
+  plot.normalized = normalized;
+  plot.segment_heights.assign(result.x_buckets,
+                              std::vector<int>(result.y_buckets, 0));
+  plot.bar_heights.assign(result.x_buckets, 0);
+
+  double max_count = 0;
+  for (int x = 0; x < result.x_buckets; ++x) {
+    max_count = std::max(
+        max_count, static_cast<double>(result.x_counts[x]) /
+                       result.sample_rate);
+  }
+  plot.max_estimated_count = max_count;
+  if (max_count <= 0) return plot;
+
+  for (int x = 0; x < result.x_buckets; ++x) {
+    double bar_total = static_cast<double>(result.x_counts[x]);
+    if (bar_total <= 0) continue;
+    double bar_scale;
+    if (normalized) {
+      bar_scale = screen.height / bar_total;  // every bar fills the height
+    } else {
+      bar_scale = screen.height / (max_count * result.sample_rate);
+    }
+    plot.bar_heights[x] = static_cast<int>(std::lround(bar_total * bar_scale));
+    for (int y = 0; y < result.y_buckets; ++y) {
+      double segment = static_cast<double>(result.Count(x, y));
+      plot.segment_heights[x][y] =
+          static_cast<int>(std::lround(segment * bar_scale));
+    }
+  }
+  return plot;
+}
+
+HeatMapPlot RenderHeatMap(const Histogram2DResult& result, int colors,
+                          bool log_scale) {
+  HeatMapPlot plot;
+  plot.x_bins = result.x_buckets;
+  plot.y_bins = result.y_buckets;
+  plot.colors = colors;
+  plot.log_scale = log_scale;
+  plot.color.assign(result.xy.size(), 0);
+
+  double max_density = 0;
+  for (int64_t c : result.xy) {
+    max_density = std::max(max_density,
+                           static_cast<double>(c) / result.sample_rate);
+  }
+  plot.max_density = max_density;
+  if (max_density <= 0) return plot;
+
+  for (size_t i = 0; i < result.xy.size(); ++i) {
+    double density = static_cast<double>(result.xy[i]) / result.sample_rate;
+    if (density <= 0) continue;  // color 0 = background
+    double fraction;
+    if (log_scale) {
+      fraction = std::log1p(density) / std::log1p(max_density);
+    } else {
+      fraction = density / max_density;
+    }
+    // Colors 1..colors-1 encode density; nearest-shade quantization is the
+    // "one color shade" guarantee's rounding step.
+    int shade = 1 + static_cast<int>(std::lround(fraction * (colors - 2)));
+    plot.color[i] = std::min(shade, colors - 1);
+  }
+  return plot;
+}
+
+TrellisPlot RenderTrellis(const TrellisResult& result, int colors) {
+  TrellisPlot plot;
+  plot.plots.reserve(result.groups.size());
+  for (const auto& group : result.groups) {
+    plot.plots.push_back(RenderHeatMap(group, colors));
+  }
+  return plot;
+}
+
+std::string AsciiHistogram(const HistogramPlot& plot, int rows) {
+  std::string out;
+  if (plot.bar_heights.empty() || rows <= 0) return out;
+  for (int r = rows; r >= 1; --r) {
+    double cutoff = static_cast<double>(r) / rows * plot.height;
+    for (int h : plot.bar_heights) {
+      out += (h >= cutoff) ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  out += std::string(plot.bar_heights.size(), '-');
+  out += '\n';
+  return out;
+}
+
+std::string AsciiCdf(const CdfPlot& plot, int rows) {
+  std::string out;
+  if (plot.pixel_y.empty() || rows <= 0) return out;
+  for (int r = rows; r >= 1; --r) {
+    double cutoff = static_cast<double>(r) / rows * plot.height;
+    double prev_cutoff = static_cast<double>(r - 1) / rows * plot.height;
+    for (int y : plot.pixel_y) {
+      out += (y >= prev_cutoff && y < cutoff) ? '*'
+             : (y >= cutoff)                  ? ' '
+                                              : ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AsciiHeatMap(const HeatMapPlot& plot) {
+  static const char kShades[] = " .:-=+*#%@";
+  std::string out;
+  for (int y = plot.y_bins - 1; y >= 0; --y) {
+    for (int x = 0; x < plot.x_bins; ++x) {
+      int shade = plot.ColorAt(x, y);
+      int idx = shade * (static_cast<int>(sizeof(kShades)) - 2) /
+                std::max(1, plot.colors - 1);
+      out += kShades[std::min<int>(idx, sizeof(kShades) - 2)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hillview

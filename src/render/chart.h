@@ -1,0 +1,93 @@
+#ifndef HILLVIEW_RENDER_CHART_H_
+#define HILLVIEW_RENDER_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "render/screen.h"
+#include "sketch/histogram.h"
+#include "sketch/histogram2d.h"
+
+namespace hillview {
+
+/// A rendered histogram: per-bar pixel heights. The tallest bar is scaled to
+/// the full height V (§4.3: "we should scale the bars so that the largest
+/// one has V pixels"); each bar is within 1 pixel of the ideal rendering
+/// with high probability (Fig 3a).
+struct HistogramPlot {
+  std::vector<int> bar_heights;  // pixels, one per bucket
+  double max_estimated_count = 0;  // count the full height V represents
+  int height = 0;                  // V
+  /// Count represented by one pixel (max_estimated_count / V).
+  double CountPerPixel() const {
+    return height > 0 ? max_estimated_count / height : 0;
+  }
+};
+
+HistogramPlot RenderHistogram(const HistogramResult& result,
+                              const ScreenResolution& screen);
+
+/// A rendered CDF: for each horizontal pixel, the cumulative fraction
+/// quantized to a pixel row in [0, V] (Fig 13a).
+struct CdfPlot {
+  std::vector<int> pixel_y;  // one entry per horizontal pixel
+  int height = 0;
+};
+
+/// Renders a CDF from a histogram summary whose buckets are one per
+/// horizontal pixel (§B.1: the cdf vizketch "has H bins").
+CdfPlot RenderCdf(const HistogramResult& result,
+                  const ScreenResolution& screen);
+
+/// A rendered stacked histogram: each bar is subdivided into colored
+/// segments, in pixels (Fig 13c). When `normalized`, every bar is scaled to
+/// the full height (the paper's normalized stacked histogram, which requires
+/// an exact — unsampled — summary).
+struct StackedHistogramPlot {
+  /// segment_heights[x][y] = pixel height of color segment y in bar x.
+  std::vector<std::vector<int>> segment_heights;
+  std::vector<int> bar_heights;  // total bar pixels per x
+  double max_estimated_count = 0;
+  int height = 0;
+  bool normalized = false;
+};
+
+StackedHistogramPlot RenderStackedHistogram(const Histogram2DResult& result,
+                                            const ScreenResolution& screen,
+                                            bool normalized);
+
+/// A rendered heat map: a color index in [0, colors) per bin, 0 = empty
+/// (Fig 13d). The color of a bin is within one shade of the ideal rendering
+/// with high probability. Log-scale color maps require an exact summary.
+struct HeatMapPlot {
+  int x_bins = 0;
+  int y_bins = 0;
+  std::vector<int> color;  // x_bins * y_bins, row-major
+  int colors = ChartDefaults::kDistinctColors;
+  double max_density = 0;  // estimated count of the densest bin
+  bool log_scale = false;
+
+  int ColorAt(int x, int y) const { return color[x * y_bins + y]; }
+};
+
+HeatMapPlot RenderHeatMap(const Histogram2DResult& result,
+                          int colors = ChartDefaults::kDistinctColors,
+                          bool log_scale = false);
+
+/// A trellis of heat maps (Fig 2): one plot per group, each rendered at the
+/// proportionally smaller per-plot resolution.
+struct TrellisPlot {
+  std::vector<HeatMapPlot> plots;
+};
+
+TrellisPlot RenderTrellis(const TrellisResult& result,
+                          int colors = ChartDefaults::kDistinctColors);
+
+/// ASCII renderings for terminal demos and examples.
+std::string AsciiHistogram(const HistogramPlot& plot, int rows = 12);
+std::string AsciiCdf(const CdfPlot& plot, int rows = 12);
+std::string AsciiHeatMap(const HeatMapPlot& plot);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_RENDER_CHART_H_

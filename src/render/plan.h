@@ -1,0 +1,116 @@
+#ifndef HILLVIEW_RENDER_PLAN_H_
+#define HILLVIEW_RENDER_PLAN_H_
+
+#include <algorithm>
+#include <string>
+
+#include "render/screen.h"
+#include "sketch/buckets.h"
+#include "sketch/range_moments.h"
+#include "sketch/sample_size.h"
+#include "sketch/string_quantiles.h"
+
+namespace hillview {
+
+/// Planning helpers for the two-phase execution model (§5.3): phase 1 runs
+/// Range/BottomK sketches ("data-wide parameters"); these functions turn
+/// those results plus the display geometry into phase-2 vizketch parameters.
+
+/// Numeric buckets covering a column's observed range. Degenerate ranges
+/// (all values equal) widen by one unit so a single bucket still renders.
+inline NumericBuckets PlanNumericBuckets(const RangeResult& range,
+                                         int bucket_count) {
+  double lo = range.min;
+  double hi = range.max;
+  if (range.present_count == 0) {
+    lo = 0;
+    hi = 1;
+  } else if (lo == hi) {
+    hi = lo + 1;
+  }
+  if (range.is_integral) {
+    // One bucket per integer at most: a 1..7 day-of-week column gets 7
+    // buckets, not one per 4 pixels.
+    double span = hi - lo + 1;
+    if (span < bucket_count) bucket_count = static_cast<int>(span);
+  }
+  return NumericBuckets(lo, hi, bucket_count);
+}
+
+/// String buckets from a bottom-k distinct sample, capped at the paper's 50
+/// string buckets.
+inline StringBuckets PlanStringBuckets(const BottomKResult& bottomk,
+                                       const RangeResult& range,
+                                       int bucket_count) {
+  int count = std::min(bucket_count, ChartDefaults::kMaxStringBuckets);
+  return StringBucketsFromBottomK(bottomk, count, range.max_string);
+}
+
+/// Parameters for a phase-2 histogram: bucket geometry plus sampling rate.
+struct HistogramPlan {
+  Buckets buckets;
+  double sample_rate = 1.0;
+  uint64_t sample_size = 0;
+};
+
+/// Plans a numeric histogram for a screen: bucket count from pixels, sample
+/// size from the accuracy theorem, rate from the global row count. `exact`
+/// forces a streaming (rate 1) computation.
+inline HistogramPlan PlanHistogram(const RangeResult& range,
+                                   const ScreenResolution& screen,
+                                   bool exact = false,
+                                   double delta = kDefaultDelta) {
+  HistogramPlan plan{Buckets(NumericBuckets(0, 1, 1)), 1.0, 0};
+  int buckets = HistogramBucketCount(screen);
+  plan.buckets = Buckets(PlanNumericBuckets(range, buckets));
+  if (!exact) {
+    plan.sample_size = HistogramSampleSize(screen.height, buckets, delta);
+    plan.sample_rate = SampleRateForSize(
+        plan.sample_size, static_cast<uint64_t>(range.TotalRows()));
+  }
+  return plan;
+}
+
+/// Plans a CDF: one bucket per horizontal pixel, sample size O(V² log 1/δ).
+inline HistogramPlan PlanCdf(const RangeResult& range,
+                             const ScreenResolution& screen,
+                             bool exact = false,
+                             double delta = kDefaultDelta) {
+  HistogramPlan plan{Buckets(NumericBuckets(0, 1, 1)), 1.0, 0};
+  plan.buckets = Buckets(PlanNumericBuckets(range, std::max(1, screen.width)));
+  if (!exact) {
+    plan.sample_size = CdfSampleSize(screen.height, delta);
+    plan.sample_rate = SampleRateForSize(
+        plan.sample_size, static_cast<uint64_t>(range.TotalRows()));
+  }
+  return plan;
+}
+
+/// Plans a heat map: Bx×By bins at 3 px each, c colors; the sampled variant
+/// is valid only for linear color maps (§B.1).
+struct HeatMapPlan {
+  int x_bins = 0;
+  int y_bins = 0;
+  double sample_rate = 1.0;
+  uint64_t sample_size = 0;
+};
+
+inline HeatMapPlan PlanHeatMap(uint64_t total_rows,
+                               const ScreenResolution& screen,
+                               bool exact = false,
+                               double delta = kDefaultDelta) {
+  HeatMapPlan plan;
+  plan.x_bins = HeatMapBucketsX(screen);
+  plan.y_bins = HeatMapBucketsY(screen);
+  if (!exact) {
+    plan.sample_size = HeatMapSampleSize(plan.x_bins, plan.y_bins,
+                                         ChartDefaults::kDistinctColors,
+                                         delta);
+    plan.sample_rate = SampleRateForSize(plan.sample_size, total_rows);
+  }
+  return plan;
+}
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_RENDER_PLAN_H_

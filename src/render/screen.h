@@ -1,0 +1,57 @@
+#ifndef HILLVIEW_RENDER_SCREEN_H_
+#define HILLVIEW_RENDER_SCREEN_H_
+
+#include <algorithm>
+
+namespace hillview {
+
+/// Target display geometry for one chart. Every vizketch parameter — bucket
+/// counts, sample sizes, color resolution — derives from this (§4.2: "A
+/// vizketch method targets a specific visualization with a given display
+/// dimension").
+struct ScreenResolution {
+  int width = 600;   // H: horizontal pixels
+  int height = 400;  // V: vertical pixels
+};
+
+/// Chart-geometry constants mirroring the paper's choices.
+struct ChartDefaults {
+  /// Maximum histogram bars: "there are at most 50 buckets ... when the
+  /// screen width is 200 pixels" — 4 px/bar; the UI caps at ~100 (§1).
+  static constexpr int kMaxHistogramBuckets = 100;
+  static constexpr int kPixelsPerBar = 4;
+
+  /// Heat map bins consume b×b pixels, b = 3 (§B.1).
+  static constexpr int kHeatMapPixelsPerBin = 3;
+
+  /// Discernible colors in the density scale, c ≈ 20 (§4.3).
+  static constexpr int kDistinctColors = 20;
+
+  /// Stacked-histogram color limit: "By is limited to ≈20" (§B.1).
+  static constexpr int kMaxStackColors = 20;
+
+  /// String charts use at most 50 buckets (§B.1).
+  static constexpr int kMaxStringBuckets = 50;
+
+  /// Default rows per tabular-view page.
+  static constexpr int kTableRows = 20;
+};
+
+/// Histogram bucket count for a screen: one bar per kPixelsPerBar pixels,
+/// capped (§4.2: "compute only what you can display").
+inline int HistogramBucketCount(const ScreenResolution& screen) {
+  return std::max(1, std::min(ChartDefaults::kMaxHistogramBuckets,
+                              screen.width / ChartDefaults::kPixelsPerBar));
+}
+
+/// Heat map bin counts: Bx = H/b, By = V/b (§4.3).
+inline int HeatMapBucketsX(const ScreenResolution& screen) {
+  return std::max(1, screen.width / ChartDefaults::kHeatMapPixelsPerBin);
+}
+inline int HeatMapBucketsY(const ScreenResolution& screen) {
+  return std::max(1, screen.height / ChartDefaults::kHeatMapPixelsPerBin);
+}
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_RENDER_SCREEN_H_

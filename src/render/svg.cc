@@ -1,0 +1,119 @@
+#include "render/svg.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hillview {
+
+namespace {
+
+std::string SvgHeader(int width, int height) {
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " "
+      << height << "\">\n";
+  return out.str();
+}
+
+void Rect(std::ostringstream& out, double x, double y, double w, double h,
+          const std::string& fill) {
+  if (h <= 0 || w <= 0) return;
+  out << "  <rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+      << "\" height=\"" << h << "\" fill=\"" << fill << "\"/>\n";
+}
+
+/// Color for stacked-histogram segment `i` of `n` (a simple qualitative
+/// wheel; the paper limits colors to ~20, §B.1).
+std::string SegmentColor(int i) {
+  static const char* kPalette[] = {
+      "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+      "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+      "#86bcb6", "#d37295", "#fabfd2", "#b6992d", "#499894",
+      "#e15759", "#79706e", "#d7b5a6", "#a0cbe8", "#ffbe7d"};
+  return kPalette[i % 20];
+}
+
+/// Sequential shade for heat map density d in [0, colors): light to dark.
+std::string DensityColor(int shade, int colors) {
+  if (shade <= 0) return "#ffffff";
+  int level = 255 - (shade * 220) / std::max(1, colors - 1);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02xB0%02x", level, level);
+  return buf;
+}
+
+}  // namespace
+
+std::string HistogramToSvg(const HistogramPlot& plot, int bar_width_px) {
+  int width = static_cast<int>(plot.bar_heights.size()) * bar_width_px;
+  std::ostringstream out;
+  out << SvgHeader(width, plot.height);
+  for (size_t b = 0; b < plot.bar_heights.size(); ++b) {
+    int h = plot.bar_heights[b];
+    Rect(out, static_cast<double>(b) * bar_width_px, plot.height - h,
+         bar_width_px - 0.5, h, "#4e79a7");
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string CdfToSvg(const CdfPlot& plot) {
+  int width = static_cast<int>(plot.pixel_y.size());
+  std::ostringstream out;
+  out << SvgHeader(width, plot.height);
+  out << "  <polyline fill=\"none\" stroke=\"#e15759\" stroke-width=\"1\" "
+         "points=\"";
+  for (int x = 0; x < width; ++x) {
+    out << x << "," << (plot.height - plot.pixel_y[x]) << " ";
+  }
+  out << "\"/>\n</svg>\n";
+  return out.str();
+}
+
+std::string StackedHistogramToSvg(const StackedHistogramPlot& plot,
+                                  int bar_width_px) {
+  int width = static_cast<int>(plot.segment_heights.size()) * bar_width_px;
+  std::ostringstream out;
+  out << SvgHeader(width, plot.height);
+  for (size_t x = 0; x < plot.segment_heights.size(); ++x) {
+    double y = plot.height;
+    for (size_t seg = 0; seg < plot.segment_heights[x].size(); ++seg) {
+      int h = plot.segment_heights[x][seg];
+      y -= h;
+      Rect(out, static_cast<double>(x) * bar_width_px, y, bar_width_px - 0.5,
+           h, SegmentColor(static_cast<int>(seg)));
+    }
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string HeatMapToSvg(const HeatMapPlot& plot, int bin_size_px) {
+  int width = plot.x_bins * bin_size_px;
+  int height = plot.y_bins * bin_size_px;
+  std::ostringstream out;
+  out << SvgHeader(width, height);
+  for (int x = 0; x < plot.x_bins; ++x) {
+    for (int y = 0; y < plot.y_bins; ++y) {
+      int shade = plot.ColorAt(x, y);
+      if (shade == 0) continue;  // background stays white
+      Rect(out, static_cast<double>(x) * bin_size_px,
+           static_cast<double>(plot.y_bins - 1 - y) * bin_size_px,
+           bin_size_px, bin_size_px, DensityColor(shade, plot.colors));
+    }
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+Status WriteSvgFile(const std::string& svg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create '" + path + "'");
+  out << svg;
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace hillview

@@ -1,0 +1,29 @@
+#ifndef HILLVIEW_RENDER_SVG_H_
+#define HILLVIEW_RENDER_SVG_H_
+
+#include <string>
+
+#include "render/chart.h"
+
+namespace hillview {
+
+/// SVG export of rendered charts (the original system renders with SVG in
+/// the browser, §6; §2 suggests outputting "Hillview visualizations as data
+/// files or images that are processed by subsequent tools in the pipeline").
+/// The geometry in the SVG matches the pixel-level rendering exactly, so the
+/// accuracy guarantees stated in pixels apply to the exported image.
+std::string HistogramToSvg(const HistogramPlot& plot, int bar_width_px = 4);
+
+std::string CdfToSvg(const CdfPlot& plot);
+
+std::string StackedHistogramToSvg(const StackedHistogramPlot& plot,
+                                  int bar_width_px = 4);
+
+std::string HeatMapToSvg(const HeatMapPlot& plot, int bin_size_px = 3);
+
+/// Writes any SVG string to a file.
+Status WriteSvgFile(const std::string& svg, const std::string& path);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_RENDER_SVG_H_

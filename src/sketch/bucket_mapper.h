@@ -1,0 +1,58 @@
+#ifndef HILLVIEW_SKETCH_BUCKET_MAPPER_H_
+#define HILLVIEW_SKETCH_BUCKET_MAPPER_H_
+
+#include <vector>
+
+#include "sketch/buckets.h"
+#include "storage/column.h"
+
+namespace hillview {
+
+/// Binds a column to a bucket set and maps rows to bucket indexes. For
+/// string columns the partition-local dictionary is translated once so the
+/// per-row work is a single array load.
+class BucketMapper {
+ public:
+  static constexpr int kMissing = -2;
+  static constexpr int kOutOfRange = -1;
+
+  BucketMapper(const IColumn* col, const Buckets& buckets)
+      : col_(col), buckets_(&buckets) {
+    if (col_ == nullptr) return;
+    if (!buckets.is_numeric()) {
+      codes_ = col_->RawCodes();
+      if (codes_ != nullptr) {
+        code_to_bucket_ = buckets.string().MapDictionary(*col_);
+      }
+    }
+  }
+
+  bool valid() const {
+    if (col_ == nullptr) return false;
+    if (!buckets_->is_numeric() && codes_ == nullptr) return false;
+    return true;
+  }
+
+  /// Bucket index of `row`, kMissing (-2) or kOutOfRange (-1).
+  int BucketOf(uint32_t row) const {
+    if (buckets_->is_numeric()) {
+      if (col_->IsMissing(row)) return kMissing;
+      int idx = buckets_->numeric().IndexOf(col_->GetDouble(row));
+      return idx < 0 ? kOutOfRange : idx;
+    }
+    uint32_t code = codes_[row];
+    if (code == StringColumn::kMissingCode) return kMissing;
+    int idx = code_to_bucket_[code];
+    return idx < 0 ? kOutOfRange : idx;
+  }
+
+ private:
+  const IColumn* col_;
+  const Buckets* buckets_;
+  const uint32_t* codes_ = nullptr;
+  std::vector<int> code_to_bucket_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_BUCKET_MAPPER_H_

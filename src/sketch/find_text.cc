@@ -1,0 +1,175 @@
+#include "sketch/find_text.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace hillview {
+
+std::string StringFilter::ToString() const {
+  std::string mode_name;
+  switch (mode) {
+    case Mode::kSubstring:
+      mode_name = "substring";
+      break;
+    case Mode::kExact:
+      mode_name = "exact";
+      break;
+    case Mode::kRegex:
+      mode_name = "regex";
+      break;
+  }
+  return mode_name + (case_sensitive ? "/cs" : "/ci") + ":" + text;
+}
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+StringMatcher::StringMatcher(const StringFilter& filter) : filter_(filter) {
+  if (!filter_.case_sensitive) lowered_text_ = Lower(filter_.text);
+  if (filter_.mode == StringFilter::Mode::kRegex) {
+    auto flags = std::regex::ECMAScript | std::regex::optimize;
+    if (!filter_.case_sensitive) flags |= std::regex::icase;
+    regex_ = std::make_shared<std::regex>(filter_.text, flags);
+  }
+}
+
+bool StringMatcher::Matches(const std::string& s) const {
+  switch (filter_.mode) {
+    case StringFilter::Mode::kExact:
+      if (filter_.case_sensitive) return s == filter_.text;
+      return Lower(s) == lowered_text_;
+    case StringFilter::Mode::kSubstring:
+      if (filter_.case_sensitive) {
+        return s.find(filter_.text) != std::string::npos;
+      }
+      return Lower(s).find(lowered_text_) != std::string::npos;
+    case StringFilter::Mode::kRegex:
+      return std::regex_search(
+          s, *static_cast<const std::regex*>(regex_.get()));
+  }
+  return false;
+}
+
+void FindResult::Serialize(ByteWriter* w) const {
+  w->WriteI64(match_count);
+  w->WriteI64(matches_before);
+  w->WriteBool(first_match.has_value());
+  if (first_match.has_value()) {
+    w->WriteU32(static_cast<uint32_t>(first_match->size()));
+    for (const auto& v : *first_match) SerializeValue(v, w);
+  }
+}
+
+Status FindResult::Deserialize(ByteReader* r, FindResult* out) {
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->match_count));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->matches_before));
+  bool has = false;
+  HV_RETURN_IF_ERROR(r->ReadBool(&has));
+  if (has) {
+    uint32_t n = 0;
+    HV_RETURN_IF_ERROR(r->ReadU32(&n));
+    std::vector<Value> key(n);
+    for (auto& v : key) HV_RETURN_IF_ERROR(DeserializeValue(r, &v));
+    out->first_match = std::move(key);
+  }
+  return Status::OK();
+}
+
+std::string FindTextSketch::name() const {
+  return "find-text(" + filter_.ToString() + ")";
+}
+
+int FindTextSketch::CompareKeys(const std::vector<Value>& a,
+                                const std::vector<Value>& b) const {
+  const auto& orientations = order_.orientations();
+  for (size_t i = 0; i < orientations.size() && i < a.size() && i < b.size();
+       ++i) {
+    int c = CompareValues(a[i], b[i]);
+    if (c != 0) return orientations[i].ascending ? c : -c;
+  }
+  return 0;
+}
+
+FindResult FindTextSketch::Summarize(const Table& table,
+                                     uint64_t seed) const {
+  (void)seed;
+  FindResult result;
+  StringMatcher matcher(filter_);
+
+  // Bind the searched string columns once.
+  std::vector<const IColumn*> cols;
+  for (const auto& name : columns_) {
+    ColumnPtr c = table.GetColumnOrNull(name);
+    if (c != nullptr && IsStringKind(c->kind())) cols.push_back(c.get());
+  }
+  if (cols.empty()) return result;
+
+  // Precompute dictionary match bits per column: each distinct string is
+  // tested once, then rows reduce to a code lookup.
+  std::vector<std::vector<uint8_t>> dict_match(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const auto& dict = cols[i]->Dictionary();
+    dict_match[i].resize(dict.size());
+    for (size_t d = 0; d < dict.size(); ++d) {
+      dict_match[i][d] = matcher.Matches(dict[d]) ? 1 : 0;
+    }
+  }
+
+  std::vector<std::string> names = order_.ColumnNames();
+  std::optional<uint32_t> best_row;
+  RowComparator comparator(table, order_);
+
+  ForEachRow(*table.members(), [&](uint32_t row) {
+    bool matches = false;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      uint32_t code = cols[i]->RawCodes()[row];
+      if (code != StringColumn::kMissingCode && dict_match[i][code]) {
+        matches = true;
+        break;
+      }
+    }
+    if (!matches) return;
+    ++result.match_count;
+    if (start_key_.has_value() &&
+        CompareRowToKey(table, order_, row, *start_key_) <= 0) {
+      ++result.matches_before;
+      return;
+    }
+    if (!best_row.has_value() || comparator.Less(row, *best_row)) {
+      best_row = row;
+    }
+  });
+
+  if (best_row.has_value()) {
+    result.first_match = table.GetRow(*best_row, names);
+  }
+  return result;
+}
+
+FindResult FindTextSketch::Merge(const FindResult& left,
+                                 const FindResult& right) const {
+  FindResult out;
+  out.match_count = left.match_count + right.match_count;
+  out.matches_before = left.matches_before + right.matches_before;
+  if (!left.first_match.has_value()) {
+    out.first_match = right.first_match;
+  } else if (!right.first_match.has_value()) {
+    out.first_match = left.first_match;
+  } else {
+    out.first_match = CompareKeys(*left.first_match, *right.first_match) <= 0
+                          ? left.first_match
+                          : right.first_match;
+  }
+  return out;
+}
+
+}  // namespace hillview

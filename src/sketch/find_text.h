@@ -1,0 +1,88 @@
+#ifndef HILLVIEW_SKETCH_FIND_TEXT_H_
+#define HILLVIEW_SKETCH_FIND_TEXT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sketch/next_items.h"
+#include "sketch/sketch.h"
+#include "storage/row_order.h"
+#include "util/serialize.h"
+
+namespace hillview {
+
+/// Free-form text search criteria (§3.3: "exact match, substring, regular
+/// expressions, case sensitivity").
+struct StringFilter {
+  enum class Mode : uint8_t { kSubstring = 0, kExact = 1, kRegex = 2 };
+
+  std::string text;
+  Mode mode = Mode::kSubstring;
+  bool case_sensitive = false;
+
+  std::string ToString() const;
+};
+
+/// Compiled matcher for a StringFilter (regexes compile once per partition
+/// scan, not per row).
+class StringMatcher {
+ public:
+  explicit StringMatcher(const StringFilter& filter);
+  bool Matches(const std::string& s) const;
+
+ private:
+  StringFilter filter_;
+  std::string lowered_text_;
+  std::shared_ptr<const void> regex_;  // std::regex behind a type-erased ptr
+};
+
+/// The "Find text" vizketch (§B.2): the first row matching the criteria
+/// strictly after the start key in the sort order, plus match counts.
+struct FindResult {
+  /// Total matching rows in the searched data.
+  int64_t match_count = 0;
+  /// Matching rows at or before the start key (wrap-around support).
+  int64_t matches_before = 0;
+  /// Key (order-column cells) of the first match after the start key.
+  std::optional<std::vector<Value>> first_match;
+
+  bool IsZero() const {
+    return match_count == 0 && matches_before == 0 && !first_match;
+  }
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, FindResult* out);
+};
+
+class FindTextSketch final : public Sketch<FindResult> {
+ public:
+  /// Searches `columns` (string columns; a row matches if any searched cell
+  /// matches), ordered by `order` for "next" semantics.
+  FindTextSketch(RecordOrder order, std::vector<std::string> columns,
+                 StringFilter filter,
+                 std::optional<std::vector<Value>> start_key)
+      : order_(std::move(order)),
+        columns_(std::move(columns)),
+        filter_(std::move(filter)),
+        start_key_(std::move(start_key)) {}
+
+  std::string name() const override;
+  FindResult Zero() const override { return {}; }
+  FindResult Summarize(const Table& table, uint64_t seed) const override;
+  FindResult Merge(const FindResult& left,
+                   const FindResult& right) const override;
+
+ private:
+  int CompareKeys(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const;
+
+  RecordOrder order_;
+  std::vector<std::string> columns_;
+  StringFilter filter_;
+  std::optional<std::vector<Value>> start_key_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_FIND_TEXT_H_

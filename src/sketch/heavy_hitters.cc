@@ -1,0 +1,213 @@
+#include "sketch/heavy_hitters.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hillview {
+
+namespace {
+
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return CompareValues(a, b) < 0;
+  }
+};
+
+using CountMap = std::map<Value, int64_t, ValueLess>;
+
+// Reduces a count map to at most k items while preserving the Misra-Gries
+// undercount guarantee: subtract the (k+1)-st largest count from every item
+// and drop non-positive items (Agarwal et al.'s mergeable-summary rule).
+std::vector<HeavyHittersResult::Item> ReduceToK(const CountMap& counts,
+                                                int k) {
+  std::vector<HeavyHittersResult::Item> items;
+  items.reserve(counts.size());
+  for (const auto& [value, count] : counts) items.push_back({value, count});
+  if (static_cast<int>(items.size()) <= k) return items;
+  std::nth_element(items.begin(), items.begin() + k, items.end(),
+                   [](const auto& a, const auto& b) { return a.count > b.count; });
+  int64_t pivot = items[k].count;
+  std::vector<HeavyHittersResult::Item> kept;
+  kept.reserve(k);
+  for (auto& item : items) {
+    int64_t adjusted = item.count - pivot;
+    if (adjusted > 0 && static_cast<int>(kept.size()) < k) {
+      kept.push_back({std::move(item.value), adjusted});
+    }
+  }
+  return kept;
+}
+
+// Counts values of `column` over the member rows. For string columns the
+// count runs over dictionary codes (one array slot per distinct value); for
+// numeric columns a bounded Misra-Gries map is used so memory stays O(k).
+CountMap CountColumn(const Table& table, const std::string& column, int k,
+                     double rate, uint64_t seed, int64_t* rows_counted,
+                     int64_t* missing) {
+  CountMap counts;
+  ColumnPtr col = table.GetColumnOrNull(column);
+  if (col == nullptr) return counts;
+  const IColumn& c = *col;
+
+  if (const uint32_t* codes = c.RawCodes()) {
+    // Exact per-code counting; the dictionary is already materialized.
+    const auto& dict = c.Dictionary();
+    std::vector<int64_t> code_counts(dict.size(), 0);
+    auto tally = [&](uint32_t row) {
+      ++*rows_counted;
+      uint32_t code = codes[row];
+      if (code == StringColumn::kMissingCode) {
+        ++*missing;
+        return;
+      }
+      ++code_counts[code];
+    };
+    if (rate >= 1.0) {
+      ForEachRow(*table.members(), tally);
+    } else {
+      SampleRows(*table.members(), rate, seed, tally);
+    }
+    for (size_t code = 0; code < code_counts.size(); ++code) {
+      if (code_counts[code] > 0) counts[Value(dict[code])] = code_counts[code];
+    }
+    return counts;
+  }
+
+  // Generic path: bounded Misra-Gries counting with k counters.
+  auto tally = [&](uint32_t row) {
+    ++*rows_counted;
+    if (c.IsMissing(row)) {
+      ++*missing;
+      return;
+    }
+    Value v = c.GetValue(row);
+    auto it = counts.find(v);
+    if (it != counts.end()) {
+      ++it->second;
+      return;
+    }
+    if (static_cast<int>(counts.size()) < k) {
+      counts.emplace(std::move(v), 1);
+      return;
+    }
+    // Decrement step: all counters drop by one; zeros are evicted.
+    for (auto iter = counts.begin(); iter != counts.end();) {
+      if (--iter->second == 0) {
+        iter = counts.erase(iter);
+      } else {
+        ++iter;
+      }
+    }
+  };
+  if (rate >= 1.0) {
+    ForEachRow(*table.members(), tally);
+  } else {
+    SampleRows(*table.members(), rate, seed, tally);
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<HeavyHittersResult::Item> HeavyHittersResult::Select(
+    double threshold) const {
+  std::vector<Item> selected;
+  double floor = threshold * static_cast<double>(rows_counted);
+  for (const auto& item : items) {
+    if (static_cast<double>(item.count) >= floor) selected.push_back(item);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const Item& a, const Item& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return CompareValues(a.value, b.value) < 0;
+            });
+  return selected;
+}
+
+void HeavyHittersResult::Serialize(ByteWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(items.size()));
+  for (const auto& item : items) {
+    SerializeValue(item.value, w);
+    w->WriteI64(item.count);
+  }
+  w->WriteI64(rows_counted);
+  w->WriteI64(missing);
+  w->WriteDouble(sample_rate);
+  w->WriteI32(max_size);
+}
+
+Status HeavyHittersResult::Deserialize(ByteReader* r,
+                                       HeavyHittersResult* out) {
+  uint32_t n = 0;
+  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  out->items.resize(n);
+  for (auto& item : out->items) {
+    HV_RETURN_IF_ERROR(DeserializeValue(r, &item.value));
+    HV_RETURN_IF_ERROR(r->ReadI64(&item.count));
+  }
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->rows_counted));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->missing));
+  HV_RETURN_IF_ERROR(r->ReadDouble(&out->sample_rate));
+  HV_RETURN_IF_ERROR(r->ReadI32(&out->max_size));
+  return Status::OK();
+}
+
+HeavyHittersResult MisraGriesSketch::Summarize(const Table& table,
+                                               uint64_t seed) const {
+  (void)seed;
+  HeavyHittersResult result;
+  result.max_size = k_;
+  CountMap counts = CountColumn(table, column_, k_, 1.0, 0,
+                                &result.rows_counted, &result.missing);
+  result.items = ReduceToK(counts, k_);
+  return result;
+}
+
+HeavyHittersResult MisraGriesSketch::Merge(
+    const HeavyHittersResult& left, const HeavyHittersResult& right) const {
+  if (left.IsZero()) return right;
+  if (right.IsZero()) return left;
+  CountMap counts;
+  for (const auto& item : left.items) counts[item.value] += item.count;
+  for (const auto& item : right.items) counts[item.value] += item.count;
+  HeavyHittersResult out;
+  out.max_size = std::max(left.max_size, right.max_size);
+  out.rows_counted = left.rows_counted + right.rows_counted;
+  out.missing = left.missing + right.missing;
+  out.items = ReduceToK(counts, out.max_size);
+  return out;
+}
+
+HeavyHittersResult SampledHeavyHittersSketch::Summarize(const Table& table,
+                                                        uint64_t seed) const {
+  HeavyHittersResult result;
+  result.max_size = k_;
+  result.sample_rate = rate_;
+  // The sampled variant keeps every sampled value; the summary size is
+  // bounded by the global sample size n = K² log(K/δ), independent of the
+  // data size. Selection against the 3n/(4K) threshold happens at the root.
+  CountMap counts = CountColumn(table, column_, k_, rate_, seed,
+                                &result.rows_counted, &result.missing);
+  result.items.reserve(counts.size());
+  for (auto& [value, count] : counts) result.items.push_back({value, count});
+  return result;
+}
+
+HeavyHittersResult SampledHeavyHittersSketch::Merge(
+    const HeavyHittersResult& left, const HeavyHittersResult& right) const {
+  if (left.IsZero()) return right;
+  if (right.IsZero()) return left;
+  CountMap counts;
+  for (const auto& item : left.items) counts[item.value] += item.count;
+  for (const auto& item : right.items) counts[item.value] += item.count;
+  HeavyHittersResult out;
+  out.max_size = std::max(left.max_size, right.max_size);
+  out.rows_counted = left.rows_counted + right.rows_counted;
+  out.missing = left.missing + right.missing;
+  out.sample_rate = std::max(left.sample_rate, right.sample_rate);
+  out.items.reserve(counts.size());
+  for (auto& [value, count] : counts) out.items.push_back({value, count});
+  return out;
+}
+
+}  // namespace hillview

@@ -1,0 +1,92 @@
+#ifndef HILLVIEW_SKETCH_HEAVY_HITTERS_H_
+#define HILLVIEW_SKETCH_HEAVY_HITTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "sketch/next_items.h"
+#include "sketch/sketch.h"
+#include "util/serialize.h"
+
+namespace hillview {
+
+/// Approximate frequent-elements summary for one column. Used by both the
+/// Misra-Gries streaming sketch (§B.2 "Heavy hitters (streaming)", [68]) and
+/// the sampling sketch (§4.3 / Theorem 4).
+struct HeavyHittersResult {
+  struct Item {
+    Value value;
+    int64_t count = 0;  // approximate (MG: undercount; sampled: sample count)
+  };
+
+  std::vector<Item> items;
+  /// Rows contributing to counts: all scanned rows for MG, sampled rows for
+  /// the sampling sketch.
+  int64_t rows_counted = 0;
+  int64_t missing = 0;
+  double sample_rate = 1.0;
+  int max_size = 0;  // K
+
+  bool IsZero() const { return max_size == 0; }
+
+  /// Final selection at the root: items whose estimated relative frequency
+  /// is at least `threshold` (e.g. 3/(4K) of samples for the sampling
+  /// sketch, Theorem 4). Returns items sorted by descending count.
+  std::vector<Item> Select(double threshold) const;
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, HeavyHittersResult* out);
+};
+
+/// Misra-Gries with K counters. Exact undercount guarantee: true_count -
+/// N/K <= count <= true_count. Merge follows Agarwal et al. [2]: add
+/// counters pointwise, then subtract the (K+1)-st largest count and drop
+/// non-positive counters — preserving the MG error bound.
+class MisraGriesSketch final : public Sketch<HeavyHittersResult> {
+ public:
+  MisraGriesSketch(std::string column, int k)
+      : column_(std::move(column)), k_(k) {}
+
+  std::string name() const override {
+    return "heavy-hitters-mg(" + column_ + "," + std::to_string(k_) + ")";
+  }
+  HeavyHittersResult Zero() const override { return {}; }
+  HeavyHittersResult Summarize(const Table& table,
+                               uint64_t seed) const override;
+  HeavyHittersResult Merge(const HeavyHittersResult& left,
+                           const HeavyHittersResult& right) const override;
+
+ private:
+  std::string column_;
+  int k_;
+};
+
+/// Sampling-based heavy hitters (§4.3): sample at `rate` (chosen so the
+/// global sample has n = K² log(K/δ) rows), count sampled values, and at the
+/// root select values with frequency >= 3n/(4K). "This method is
+/// particularly efficient if K is small... better than [Misra-Gries] when
+/// K >= 100" (§B.2).
+class SampledHeavyHittersSketch final : public Sketch<HeavyHittersResult> {
+ public:
+  SampledHeavyHittersSketch(std::string column, int k, double rate)
+      : column_(std::move(column)), k_(k), rate_(rate) {}
+
+  std::string name() const override {
+    return "heavy-hitters-sampled(" + column_ + "," + std::to_string(k_) +
+           "," + std::to_string(rate_) + ")";
+  }
+  HeavyHittersResult Zero() const override { return {}; }
+  HeavyHittersResult Summarize(const Table& table,
+                               uint64_t seed) const override;
+  HeavyHittersResult Merge(const HeavyHittersResult& left,
+                           const HeavyHittersResult& right) const override;
+
+ private:
+  std::string column_;
+  int k_;
+  double rate_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_HEAVY_HITTERS_H_

@@ -1,0 +1,287 @@
+#include "sketch/histogram.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace hillview {
+
+int64_t HistogramResult::TotalCount() const {
+  return std::accumulate(counts.begin(), counts.end(), int64_t{0});
+}
+
+void HistogramResult::Serialize(ByteWriter* w) const {
+  w->WritePodVector(counts);
+  w->WriteI64(missing);
+  w->WriteI64(out_of_range);
+  w->WriteI64(rows_scanned);
+  w->WriteDouble(sample_rate);
+}
+
+Status HistogramResult::Deserialize(ByteReader* r, HistogramResult* out) {
+  HV_RETURN_IF_ERROR(r->ReadPodVector(&out->counts));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->missing));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->out_of_range));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->rows_scanned));
+  HV_RETURN_IF_ERROR(r->ReadDouble(&out->sample_rate));
+  return Status::OK();
+}
+
+HistogramResult MergeHistograms(const HistogramResult& left,
+                                const HistogramResult& right) {
+  if (left.IsZero()) return right;
+  if (right.IsZero()) return left;
+  assert(left.counts.size() == right.counts.size());
+  HistogramResult out = left;
+  for (size_t i = 0; i < out.counts.size(); ++i) {
+    out.counts[i] += right.counts[i];
+  }
+  out.missing += right.missing;
+  out.out_of_range += right.out_of_range;
+  out.rows_scanned += right.rows_scanned;
+  out.sample_rate = std::max(left.sample_rate, right.sample_rate);
+  return out;
+}
+
+namespace {
+
+// Tight tally loop over a raw numeric array with full membership: the fast
+// path for the single-thread microbenchmark (§7.2.1).
+template <typename T>
+void TallyRawFull(const T* data, uint32_t n, const NullMask& nulls,
+                  const NumericBuckets& buckets, HistogramResult* result) {
+  const double min = buckets.min();
+  const double max = buckets.max();
+  const int count = buckets.count();
+  const double scale = count / (max - min);
+  int64_t* counts = result->counts.data();
+  if (nulls.empty()) {
+    for (uint32_t r = 0; r < n; ++r) {
+      double v = static_cast<double>(data[r]);
+      if (v < min || v > max) {
+        ++result->out_of_range;
+        continue;
+      }
+      int idx = static_cast<int>((v - min) * scale);
+      if (idx >= count) idx = count - 1;
+      ++counts[idx];
+    }
+  } else {
+    for (uint32_t r = 0; r < n; ++r) {
+      if (nulls.IsMissing(r)) {
+        ++result->missing;
+        continue;
+      }
+      double v = static_cast<double>(data[r]);
+      if (v < min || v > max) {
+        ++result->out_of_range;
+        continue;
+      }
+      int idx = static_cast<int>((v - min) * scale);
+      if (idx >= count) idx = count - 1;
+      ++counts[idx];
+    }
+  }
+  result->rows_scanned += n;
+}
+
+// Sampled tally over a raw numeric array with full membership: geometric
+// skips straight over the array, no virtual dispatch. This path is what
+// makes sampling beat streaming once the rate is low (§7.2.1).
+template <typename T>
+void TallySampledRawFull(const T* data, uint32_t n, const NullMask& nulls,
+                         const NumericBuckets& buckets, double rate,
+                         uint64_t seed, HistogramResult* result) {
+  const double min = buckets.min();
+  const double max = buckets.max();
+  const int count = buckets.count();
+  const double scale = count / (max - min);
+  int64_t* counts = result->counts.data();
+  Random rng(seed);
+  GeometricSkipper skipper(&rng, rate);
+  bool check_nulls = !nulls.empty();
+
+  // Sampling a large column is DRAM-latency-bound: consecutive samples are
+  // ~1/rate rows apart, so each touch is a cache miss. Generating a batch of
+  // sample positions first and prefetching them overlaps those misses.
+  constexpr int kBatch = 32;
+  uint32_t pending[kBatch];
+  uint64_t r = skipper.Next();
+  while (r < n) {
+    int filled = 0;
+    while (filled < kBatch && r < n) {
+      pending[filled++] = static_cast<uint32_t>(r);
+      __builtin_prefetch(data + r);
+      r += 1 + skipper.Next();
+    }
+    result->rows_scanned += filled;
+    for (int i = 0; i < filled; ++i) {
+      uint32_t row = pending[i];
+      if (check_nulls && nulls.IsMissing(row)) {
+        ++result->missing;
+        continue;
+      }
+      double v = static_cast<double>(data[row]);
+      if (v < min || v > max) {
+        ++result->out_of_range;
+        continue;
+      }
+      int idx = static_cast<int>((v - min) * scale);
+      if (idx >= count) idx = count - 1;
+      ++counts[idx];
+    }
+  }
+}
+
+// Generic per-row tally used by both sampled and filtered paths.
+struct NumericTally {
+  const IColumn* col;
+  const NumericBuckets* buckets;
+  HistogramResult* result;
+
+  void operator()(uint32_t row) const {
+    ++result->rows_scanned;
+    if (col->IsMissing(row)) {
+      ++result->missing;
+      return;
+    }
+    int idx = buckets->IndexOf(col->GetDouble(row));
+    if (idx < 0) {
+      ++result->out_of_range;
+      return;
+    }
+    ++result->counts[idx];
+  }
+};
+
+struct StringTally {
+  const uint32_t* codes;
+  const std::vector<int>* code_to_bucket;
+  HistogramResult* result;
+
+  void operator()(uint32_t row) const {
+    ++result->rows_scanned;
+    uint32_t code = codes[row];
+    if (code == StringColumn::kMissingCode) {
+      ++result->missing;
+      return;
+    }
+    int idx = (*code_to_bucket)[code];
+    if (idx < 0) {
+      ++result->out_of_range;
+      return;
+    }
+    ++result->counts[idx];
+  }
+};
+
+}  // namespace
+
+void TallyHistogram(const Table& table, const std::string& column,
+                    const Buckets& buckets, double rate, uint64_t seed,
+                    HistogramResult* result) {
+  result->counts.assign(buckets.count(), 0);
+  result->sample_rate = rate < 1.0 ? rate : 1.0;
+  ColumnPtr col = table.GetColumnOrNull(column);
+  if (col == nullptr) return;  // Unknown column summarizes to zero counts.
+  const IMembershipSet& members = *table.members();
+
+  if (buckets.is_numeric()) {
+    const NumericBuckets& nb = buckets.numeric();
+    bool full_scan = rate >= 1.0;
+    bool full_membership = members.kind() == IMembershipSet::Kind::kFull;
+    if (full_membership) {
+      if (const double* raw = col->RawDouble()) {
+        if (full_scan) {
+          TallyRawFull(raw, members.size(), col->null_mask(), nb, result);
+        } else {
+          TallySampledRawFull(raw, members.size(), col->null_mask(), nb,
+                              rate, seed, result);
+        }
+        return;
+      }
+      if (const int32_t* raw = col->RawInt()) {
+        if (full_scan) {
+          TallyRawFull(raw, members.size(), col->null_mask(), nb, result);
+        } else {
+          TallySampledRawFull(raw, members.size(), col->null_mask(), nb,
+                              rate, seed, result);
+        }
+        return;
+      }
+      if (const int64_t* raw = col->RawDate()) {
+        if (full_scan) {
+          TallyRawFull(raw, members.size(), col->null_mask(), nb, result);
+        } else {
+          TallySampledRawFull(raw, members.size(), col->null_mask(), nb,
+                              rate, seed, result);
+        }
+        return;
+      }
+    }
+    NumericTally tally{col.get(), &nb, result};
+    if (full_scan) {
+      ForEachRow(members, tally);
+    } else {
+      SampleRows(members, rate, seed, tally);
+    }
+    return;
+  }
+
+  // String buckets: map each dictionary code to its bucket once, then scan
+  // the code array.
+  const StringBuckets& sb = buckets.string();
+  const uint32_t* codes = col->RawCodes();
+  if (codes == nullptr) return;  // Numeric column with string buckets: zero.
+  std::vector<int> code_to_bucket = sb.MapDictionary(*col);
+  StringTally tally{codes, &code_to_bucket, result};
+  if (rate >= 1.0) {
+    ForEachRow(members, tally);
+  } else {
+    SampleRows(members, rate, seed, tally);
+  }
+}
+
+std::string StreamingHistogramSketch::name() const {
+  return "histogram-streaming(" + column_ + "," +
+         std::to_string(buckets_.count()) + ")";
+}
+
+HistogramResult StreamingHistogramSketch::Zero() const {
+  return HistogramResult{};
+}
+
+HistogramResult StreamingHistogramSketch::Summarize(const Table& table,
+                                                    uint64_t seed) const {
+  (void)seed;
+  HistogramResult result;
+  TallyHistogram(table, column_, buckets_, 1.0, 0, &result);
+  return result;
+}
+
+HistogramResult StreamingHistogramSketch::Merge(
+    const HistogramResult& left, const HistogramResult& right) const {
+  return MergeHistograms(left, right);
+}
+
+std::string SampledHistogramSketch::name() const {
+  return "histogram-sampled(" + column_ + "," +
+         std::to_string(buckets_.count()) + "," + std::to_string(rate_) + ")";
+}
+
+HistogramResult SampledHistogramSketch::Zero() const {
+  return HistogramResult{};
+}
+
+HistogramResult SampledHistogramSketch::Summarize(const Table& table,
+                                                  uint64_t seed) const {
+  HistogramResult result;
+  TallyHistogram(table, column_, buckets_, rate_, seed, &result);
+  return result;
+}
+
+HistogramResult SampledHistogramSketch::Merge(
+    const HistogramResult& left, const HistogramResult& right) const {
+  return MergeHistograms(left, right);
+}
+
+}  // namespace hillview

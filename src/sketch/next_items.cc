@@ -1,0 +1,190 @@
+#include "sketch/next_items.h"
+
+#include <algorithm>
+
+namespace hillview {
+
+void SerializeValue(const Value& v, ByteWriter* w) {
+  if (std::holds_alternative<std::monostate>(v)) {
+    w->WriteU8(0);
+  } else if (const auto* i = std::get_if<int64_t>(&v)) {
+    w->WriteU8(1);
+    w->WriteI64(*i);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    w->WriteU8(2);
+    w->WriteDouble(*d);
+  } else {
+    w->WriteU8(3);
+    w->WriteString(std::get<std::string>(v));
+  }
+}
+
+Status DeserializeValue(ByteReader* r, Value* out) {
+  uint8_t tag = 0;
+  HV_RETURN_IF_ERROR(r->ReadU8(&tag));
+  switch (tag) {
+    case 0:
+      *out = std::monostate{};
+      return Status::OK();
+    case 1: {
+      int64_t i = 0;
+      HV_RETURN_IF_ERROR(r->ReadI64(&i));
+      *out = i;
+      return Status::OK();
+    }
+    case 2: {
+      double d = 0;
+      HV_RETURN_IF_ERROR(r->ReadDouble(&d));
+      *out = d;
+      return Status::OK();
+    }
+    case 3: {
+      std::string s;
+      HV_RETURN_IF_ERROR(r->ReadString(&s));
+      *out = std::move(s);
+      return Status::OK();
+    }
+    default:
+      return Status::OutOfRange("bad Value tag");
+  }
+}
+
+void RowSnapshot::Serialize(ByteWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(values.size()));
+  for (const auto& v : values) SerializeValue(v, w);
+  w->WriteI64(count);
+}
+
+Status RowSnapshot::Deserialize(ByteReader* r, RowSnapshot* out) {
+  uint32_t n = 0;
+  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  out->values.resize(n);
+  for (auto& v : out->values) HV_RETURN_IF_ERROR(DeserializeValue(r, &v));
+  return r->ReadI64(&out->count);
+}
+
+void NextItemsResult::Serialize(ByteWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(rows.size()));
+  for (const auto& row : rows) row.Serialize(w);
+  w->WriteI64(rows_before);
+}
+
+Status NextItemsResult::Deserialize(ByteReader* r, NextItemsResult* out) {
+  uint32_t n = 0;
+  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  out->rows.resize(n);
+  for (auto& row : out->rows) {
+    HV_RETURN_IF_ERROR(RowSnapshot::Deserialize(r, &row));
+  }
+  return r->ReadI64(&out->rows_before);
+}
+
+std::string NextItemsSketch::name() const {
+  std::string n = "next-items(";
+  for (const auto& o : order_.orientations()) {
+    n += o.column;
+    n += o.ascending ? "+" : "-";
+  }
+  n += "," + std::to_string(k_) + ")";
+  return n;
+}
+
+int NextItemsSketch::CompareKeys(const std::vector<Value>& a,
+                                 const std::vector<Value>& b) const {
+  const auto& orientations = order_.orientations();
+  for (size_t i = 0; i < orientations.size(); ++i) {
+    int c = CompareValues(a[i], b[i]);
+    if (c != 0) return orientations[i].ascending ? c : -c;
+  }
+  return 0;
+}
+
+NextItemsResult NextItemsSketch::Summarize(const Table& table,
+                                           uint64_t seed) const {
+  (void)seed;
+  NextItemsResult result;
+  if (k_ <= 0) return result;
+  RowComparator comparator(table, order_);
+
+  // Distinct kept rows, sorted ascending under the order, with counts.
+  // Invariant: a row enters only while it is among the K smallest distinct
+  // rows seen so far; once evicted it can never re-enter, so the counts of
+  // the finally-kept rows are exact.
+  std::vector<uint32_t> reps;
+  std::vector<int64_t> counts;
+  reps.reserve(k_ + 1);
+  counts.reserve(k_ + 1);
+
+  ForEachRow(*table.members(), [&](uint32_t row) {
+    if (start_key_.has_value() &&
+        CompareRowToKey(table, order_, row, *start_key_) <= 0) {
+      ++result.rows_before;
+      return;
+    }
+    // Position of the first rep >= row.
+    auto it = std::lower_bound(
+        reps.begin(), reps.end(), row,
+        [&](uint32_t rep, uint32_t r) { return comparator.Compare(rep, r) < 0; });
+    size_t pos = static_cast<size_t>(it - reps.begin());
+    if (it != reps.end() && comparator.Compare(*it, row) == 0) {
+      ++counts[pos];
+      return;
+    }
+    if (static_cast<int>(reps.size()) < k_) {
+      reps.insert(it, row);
+      counts.insert(counts.begin() + pos, 1);
+      return;
+    }
+    if (pos < reps.size()) {
+      reps.insert(it, row);
+      counts.insert(counts.begin() + pos, 1);
+      reps.pop_back();
+      counts.pop_back();
+    }
+  });
+
+  // Materialize the kept rows.
+  std::vector<std::string> all_columns = order_.ColumnNames();
+  all_columns.insert(all_columns.end(), display_columns_.begin(),
+                     display_columns_.end());
+  result.rows.reserve(reps.size());
+  for (size_t i = 0; i < reps.size(); ++i) {
+    RowSnapshot snap;
+    snap.values = table.GetRow(reps[i], all_columns);
+    snap.count = counts[i];
+    result.rows.push_back(std::move(snap));
+  }
+  return result;
+}
+
+NextItemsResult NextItemsSketch::Merge(const NextItemsResult& left,
+                                       const NextItemsResult& right) const {
+  NextItemsResult out;
+  out.rows_before = left.rows_before + right.rows_before;
+  out.rows.reserve(std::min<size_t>(left.rows.size() + right.rows.size(), k_));
+  size_t i = 0, j = 0;
+  while (static_cast<int>(out.rows.size()) < k_ &&
+         (i < left.rows.size() || j < right.rows.size())) {
+    if (i == left.rows.size()) {
+      out.rows.push_back(right.rows[j++]);
+      continue;
+    }
+    if (j == right.rows.size()) {
+      out.rows.push_back(left.rows[i++]);
+      continue;
+    }
+    int c = CompareKeys(left.rows[i].values, right.rows[j].values);
+    if (c < 0) {
+      out.rows.push_back(left.rows[i++]);
+    } else if (c > 0) {
+      out.rows.push_back(right.rows[j++]);
+    } else {
+      RowSnapshot combined = left.rows[i++];
+      combined.count += right.rows[j++].count;
+      out.rows.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+}  // namespace hillview

@@ -1,0 +1,188 @@
+#include "sketch/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hillview {
+
+std::vector<double> CorrelationResult::CorrelationMatrix() const {
+  std::vector<double> corr(static_cast<size_t>(m) * m, 0.0);
+  if (count == 0) return corr;
+  double n = static_cast<double>(count);
+  std::vector<double> mean(m), stddev(m);
+  for (int i = 0; i < m; ++i) {
+    mean[i] = sums[i] / n;
+    double var = products[i * m + i] / n - mean[i] * mean[i];
+    stddev[i] = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i == j) {
+        corr[i * m + j] = 1.0;
+        continue;
+      }
+      double cov = products[i * m + j] / n - mean[i] * mean[j];
+      double denom = stddev[i] * stddev[j];
+      corr[i * m + j] = denom > 0 ? cov / denom : 0.0;
+    }
+  }
+  return corr;
+}
+
+void CorrelationResult::Serialize(ByteWriter* w) const {
+  w->WriteI32(m);
+  w->WriteI64(count);
+  w->WritePodVector(sums);
+  w->WritePodVector(products);
+  w->WriteI64(skipped);
+}
+
+Status CorrelationResult::Deserialize(ByteReader* r, CorrelationResult* out) {
+  HV_RETURN_IF_ERROR(r->ReadI32(&out->m));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->count));
+  HV_RETURN_IF_ERROR(r->ReadPodVector(&out->sums));
+  HV_RETURN_IF_ERROR(r->ReadPodVector(&out->products));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->skipped));
+  return Status::OK();
+}
+
+std::string CorrelationSketch::name() const {
+  std::string n = "correlation(";
+  for (const auto& c : columns_) {
+    n += c;
+    n += ",";
+  }
+  n += std::to_string(rate_) + ")";
+  return n;
+}
+
+CorrelationResult CorrelationSketch::Summarize(const Table& table,
+                                               uint64_t seed) const {
+  CorrelationResult result;
+  result.m = static_cast<int>(columns_.size());
+  result.sums.assign(result.m, 0.0);
+  result.products.assign(static_cast<size_t>(result.m) * result.m, 0.0);
+
+  std::vector<const IColumn*> cols;
+  for (const auto& name : columns_) {
+    ColumnPtr c = table.GetColumnOrNull(name);
+    if (c == nullptr || !IsNumericKind(c->kind())) return result;
+    cols.push_back(c.get());
+  }
+  const int m = result.m;
+  std::vector<double> row_values(m);
+
+  auto tally = [&](uint32_t row) {
+    for (int i = 0; i < m; ++i) {
+      if (cols[i]->IsMissing(row)) {
+        ++result.skipped;
+        return;
+      }
+      row_values[i] = cols[i]->GetDouble(row);
+    }
+    ++result.count;
+    for (int i = 0; i < m; ++i) {
+      result.sums[i] += row_values[i];
+      for (int j = i; j < m; ++j) {
+        result.products[i * m + j] += row_values[i] * row_values[j];
+      }
+    }
+  };
+  if (rate_ >= 1.0) {
+    ForEachRow(*table.members(), tally);
+  } else {
+    SampleRows(*table.members(), rate_, seed, tally);
+  }
+  // Mirror the upper triangle.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < i; ++j) {
+      result.products[i * m + j] = result.products[j * m + i];
+    }
+  }
+  return result;
+}
+
+CorrelationResult CorrelationSketch::Merge(
+    const CorrelationResult& left, const CorrelationResult& right) const {
+  if (left.IsZero()) return right;
+  if (right.IsZero()) return left;
+  CorrelationResult out = left;
+  out.count += right.count;
+  out.skipped += right.skipped;
+  for (size_t i = 0; i < out.sums.size(); ++i) out.sums[i] += right.sums[i];
+  for (size_t i = 0; i < out.products.size(); ++i) {
+    out.products[i] += right.products[i];
+  }
+  return out;
+}
+
+EigenDecomposition JacobiEigen(const std::vector<double>& matrix, int m,
+                               int max_sweeps) {
+  std::vector<double> a = matrix;  // Working copy, mutated in place.
+  // v starts as identity; accumulates rotations (columns are eigenvectors).
+  std::vector<double> v(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) v[i * m + i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < m; ++i) {
+      for (int j = i + 1; j < m; ++j) off += a[i * m + j] * a[i * m + j];
+    }
+    if (off < 1e-18) break;
+    for (int p = 0; p < m; ++p) {
+      for (int q = p + 1; q < m; ++q) {
+        double apq = a[p * m + q];
+        if (std::fabs(apq) < 1e-18) continue;
+        double app = a[p * m + p], aqq = a[q * m + q];
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (int i = 0; i < m; ++i) {
+          double aip = a[i * m + p], aiq = a[i * m + q];
+          a[i * m + p] = c * aip - s * aiq;
+          a[i * m + q] = s * aip + c * aiq;
+        }
+        for (int i = 0; i < m; ++i) {
+          double api = a[p * m + i], aqi = a[q * m + i];
+          a[p * m + i] = c * api - s * aqi;
+          a[q * m + i] = s * api + c * aqi;
+        }
+        for (int i = 0; i < m; ++i) {
+          double vip = v[i * m + p], viq = v[i * m + q];
+          v[i * m + p] = c * vip - s * viq;
+          v[i * m + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return a[x * m + x] > a[y * m + y];
+  });
+  out.eigenvalues.reserve(m);
+  out.eigenvectors.reserve(m);
+  for (int idx : order) {
+    out.eigenvalues.push_back(a[idx * m + idx]);
+    std::vector<double> vec(m);
+    for (int i = 0; i < m; ++i) vec[i] = v[i * m + idx];
+    out.eigenvectors.push_back(std::move(vec));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> PcaBasis(const CorrelationResult& corr,
+                                          int k) {
+  if (corr.m == 0 || k <= 0) return {};
+  EigenDecomposition eigen = JacobiEigen(corr.CorrelationMatrix(), corr.m);
+  int take = std::min<int>(k, corr.m);
+  eigen.eigenvectors.resize(take);
+  return eigen.eigenvectors;
+}
+
+}  // namespace hillview

@@ -1,0 +1,68 @@
+#ifndef HILLVIEW_SKETCH_PCA_H_
+#define HILLVIEW_SKETCH_PCA_H_
+
+#include <string>
+#include <vector>
+
+#include "sketch/sketch.h"
+#include "util/serialize.h"
+
+namespace hillview {
+
+/// Accumulated second-moment statistics for M numeric columns: enough to
+/// form the M×M correlation matrix at the root (§B.3 "Principal component
+/// analysis": "This matrix can be efficiently computed by a sampling-based
+/// sketch"). Summary size is O(M²), independent of the row count.
+struct CorrelationResult {
+  int m = 0;
+  int64_t count = 0;
+  std::vector<double> sums;      // m entries
+  std::vector<double> products;  // m*m entries, row-major
+  int64_t skipped = 0;           // rows with any missing value among the M
+
+  bool IsZero() const { return m == 0; }
+
+  /// The correlation matrix (m*m, row-major); identity diagonals.
+  std::vector<double> CorrelationMatrix() const;
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, CorrelationResult* out);
+};
+
+class CorrelationSketch final : public Sketch<CorrelationResult> {
+ public:
+  /// Computes over `columns` (all must be numeric); samples at `rate`.
+  CorrelationSketch(std::vector<std::string> columns, double rate = 1.0)
+      : columns_(std::move(columns)), rate_(rate) {}
+
+  std::string name() const override;
+  CorrelationResult Zero() const override { return {}; }
+  CorrelationResult Summarize(const Table& table, uint64_t seed) const override;
+  CorrelationResult Merge(const CorrelationResult& left,
+                          const CorrelationResult& right) const override;
+
+ private:
+  std::vector<std::string> columns_;
+  double rate_;
+};
+
+/// Eigen decomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Returns eigenvalues (descending) and matching unit eigenvectors (each a
+/// row of `eigenvectors`). Small matrices only (M <= ~100), which covers PCA
+/// over spreadsheet columns.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+};
+
+EigenDecomposition JacobiEigen(const std::vector<double>& matrix, int m,
+                               int max_sweeps = 64);
+
+/// Top-k principal directions of the correlation matrix: the PCA projection
+/// basis (k rows of length m).
+std::vector<std::vector<double>> PcaBasis(const CorrelationResult& corr,
+                                          int k);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_PCA_H_

@@ -1,0 +1,107 @@
+#include "sketch/quantile.h"
+
+#include <algorithm>
+
+namespace hillview {
+
+const std::vector<Value>* QuantileResult::KeyAtQuantile(double q) const {
+  if (keys.empty()) return nullptr;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  size_t idx = static_cast<size_t>(q * (keys.size() - 1) + 0.5);
+  return &keys[idx];
+}
+
+void QuantileResult::Serialize(ByteWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(keys.size()));
+  for (const auto& key : keys) {
+    w->WriteU32(static_cast<uint32_t>(key.size()));
+    for (const auto& v : key) SerializeValue(v, w);
+  }
+  w->WriteDouble(rate);
+  w->WriteI32(max_size);
+}
+
+Status QuantileResult::Deserialize(ByteReader* r, QuantileResult* out) {
+  uint32_t n = 0;
+  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  out->keys.resize(n);
+  for (auto& key : out->keys) {
+    uint32_t m = 0;
+    HV_RETURN_IF_ERROR(r->ReadU32(&m));
+    key.resize(m);
+    for (auto& v : key) HV_RETURN_IF_ERROR(DeserializeValue(r, &v));
+  }
+  HV_RETURN_IF_ERROR(r->ReadDouble(&out->rate));
+  HV_RETURN_IF_ERROR(r->ReadI32(&out->max_size));
+  return Status::OK();
+}
+
+std::string QuantileSketch::name() const {
+  std::string n = "quantile(";
+  for (const auto& o : order_.orientations()) {
+    n += o.column;
+    n += o.ascending ? "+" : "-";
+  }
+  n += "," + std::to_string(rate_) + ")";
+  return n;
+}
+
+int QuantileSketch::CompareKeys(const std::vector<Value>& a,
+                                const std::vector<Value>& b) const {
+  const auto& orientations = order_.orientations();
+  for (size_t i = 0; i < orientations.size() && i < a.size() && i < b.size();
+       ++i) {
+    int c = CompareValues(a[i], b[i]);
+    if (c != 0) return orientations[i].ascending ? c : -c;
+  }
+  return 0;
+}
+
+QuantileResult QuantileSketch::Summarize(const Table& table,
+                                         uint64_t seed) const {
+  QuantileResult result;
+  result.rate = rate_;
+  result.max_size = max_size_;
+  std::vector<std::string> names = order_.ColumnNames();
+
+  std::vector<uint32_t> sampled;
+  SampleRows(*table.members(), rate_, seed,
+             [&](uint32_t row) { sampled.push_back(row); });
+  RowComparator comparator(table, order_);
+  std::sort(sampled.begin(), sampled.end(),
+            [&](uint32_t a, uint32_t b) { return comparator.Less(a, b); });
+  result.keys.reserve(sampled.size());
+  for (uint32_t row : sampled) result.keys.push_back(table.GetRow(row, names));
+  return result;
+}
+
+QuantileResult QuantileSketch::Merge(const QuantileResult& left,
+                                     const QuantileResult& right) const {
+  if (left.IsZero()) return right;
+  if (right.IsZero()) return left;
+  QuantileResult out;
+  out.rate = std::max(left.rate, right.rate);
+  out.max_size = std::max(left.max_size, right.max_size);
+  out.keys.reserve(left.keys.size() + right.keys.size());
+  std::merge(left.keys.begin(), left.keys.end(), right.keys.begin(),
+             right.keys.end(), std::back_inserter(out.keys),
+             [this](const std::vector<Value>& a, const std::vector<Value>& b) {
+               return CompareKeys(a, b) < 0;
+             });
+  // Decimation: drop every other element once past the cap. Ranks are
+  // preserved to within the quantile accuracy budget because decimation is
+  // rank-uniform.
+  while (out.max_size > 0 &&
+         static_cast<int>(out.keys.size()) > out.max_size) {
+    std::vector<std::vector<Value>> kept;
+    kept.reserve(out.keys.size() / 2 + 1);
+    for (size_t i = 0; i < out.keys.size(); i += 2) {
+      kept.push_back(std::move(out.keys[i]));
+    }
+    out.keys = std::move(kept);
+  }
+  return out;
+}
+
+}  // namespace hillview

@@ -1,0 +1,60 @@
+#ifndef HILLVIEW_SKETCH_QUANTILE_H_
+#define HILLVIEW_SKETCH_QUANTILE_H_
+
+#include <string>
+#include <vector>
+
+#include "sketch/next_items.h"
+#include "sketch/sketch.h"
+#include "storage/row_order.h"
+#include "util/serialize.h"
+
+namespace hillview {
+
+/// A uniform random sample of row keys, kept sorted under the record order.
+/// The scroll-bar quantile vizketch (§4.3 "Quantile for scroll bar"): with
+/// O(V²) samples the key at relative rank q is within ±1/(2V) of the true
+/// q-quantile with high probability (Theorem 2).
+struct QuantileResult {
+  /// Sampled keys (cells of the order columns), sorted ascending.
+  std::vector<std::vector<Value>> keys;
+  /// Sampling rate used (same across partitions).
+  double rate = 1.0;
+  /// Cap on the retained sample size (decimation threshold during merges).
+  int max_size = 0;
+
+  bool IsZero() const { return max_size == 0; }
+
+  /// The key closest to quantile q in [0,1]; empty if no samples.
+  const std::vector<Value>* KeyAtQuantile(double q) const;
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, QuantileResult* out);
+};
+
+class QuantileSketch final : public Sketch<QuantileResult> {
+ public:
+  /// `rate` is typically SampleRateForSize(QuantileSampleSize(V), total).
+  /// `max_size` bounds the summary; merges decimate (keep every other
+  /// element) beyond it, preserving rank statistics.
+  QuantileSketch(RecordOrder order, double rate, int max_size)
+      : order_(std::move(order)), rate_(rate), max_size_(max_size) {}
+
+  std::string name() const override;
+  QuantileResult Zero() const override { return {}; }
+  QuantileResult Summarize(const Table& table, uint64_t seed) const override;
+  QuantileResult Merge(const QuantileResult& left,
+                       const QuantileResult& right) const override;
+
+ private:
+  int CompareKeys(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const;
+
+  RecordOrder order_;
+  double rate_;
+  int max_size_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_QUANTILE_H_

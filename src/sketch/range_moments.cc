@@ -1,0 +1,121 @@
+#include "sketch/range_moments.h"
+
+#include <algorithm>
+
+namespace hillview {
+
+void RangeResult::Serialize(ByteWriter* w) const {
+  w->WriteDouble(min);
+  w->WriteDouble(max);
+  w->WriteString(min_string);
+  w->WriteString(max_string);
+  w->WriteBool(is_string);
+  w->WriteBool(is_integral);
+  w->WriteI64(present_count);
+  w->WriteI64(missing_count);
+  w->WritePodVector(moments);
+}
+
+Status RangeResult::Deserialize(ByteReader* r, RangeResult* out) {
+  HV_RETURN_IF_ERROR(r->ReadDouble(&out->min));
+  HV_RETURN_IF_ERROR(r->ReadDouble(&out->max));
+  HV_RETURN_IF_ERROR(r->ReadString(&out->min_string));
+  HV_RETURN_IF_ERROR(r->ReadString(&out->max_string));
+  HV_RETURN_IF_ERROR(r->ReadBool(&out->is_string));
+  HV_RETURN_IF_ERROR(r->ReadBool(&out->is_integral));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->present_count));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->missing_count));
+  HV_RETURN_IF_ERROR(r->ReadPodVector(&out->moments));
+  return Status::OK();
+}
+
+RangeResult RangeSketch::Summarize(const Table& table, uint64_t seed) const {
+  (void)seed;
+  RangeResult result;
+  result.moments.assign(num_moments_, 0.0);
+  ColumnPtr col = table.GetColumnOrNull(column_);
+  if (col == nullptr) return result;
+  const IColumn& c = *col;
+  result.is_string = IsStringKind(c.kind());
+  result.is_integral = c.kind() == DataKind::kInt;
+  bool first = true;
+
+  if (result.is_string) {
+    const uint32_t* codes = c.RawCodes();
+    const auto& dict = c.Dictionary();
+    uint32_t min_code = 0, max_code = 0;
+    ForEachRow(*table.members(), [&](uint32_t row) {
+      uint32_t code = codes[row];
+      if (code == StringColumn::kMissingCode) {
+        ++result.missing_count;
+        return;
+      }
+      ++result.present_count;
+      if (first) {
+        min_code = max_code = code;
+        first = false;
+      } else {
+        min_code = std::min(min_code, code);
+        max_code = std::max(max_code, code);
+      }
+    });
+    if (!first) {
+      result.min_string = dict[min_code];
+      result.max_string = dict[max_code];
+    }
+    return result;
+  }
+
+  ForEachRow(*table.members(), [&](uint32_t row) {
+    if (c.IsMissing(row)) {
+      ++result.missing_count;
+      return;
+    }
+    double v = c.GetDouble(row);
+    ++result.present_count;
+    if (first) {
+      result.min = result.max = v;
+      first = false;
+    } else {
+      result.min = std::min(result.min, v);
+      result.max = std::max(result.max, v);
+    }
+    double power = v;
+    for (int m = 0; m < num_moments_; ++m) {
+      result.moments[m] += power;
+      power *= v;
+    }
+  });
+  return result;
+}
+
+RangeResult RangeSketch::Merge(const RangeResult& left,
+                               const RangeResult& right) const {
+  if (left.IsZero()) return right;
+  if (right.IsZero()) return left;
+  RangeResult out = left;
+  out.missing_count += right.missing_count;
+  if (right.present_count > 0) {
+    if (out.present_count == 0) {
+      out.min = right.min;
+      out.max = right.max;
+      out.min_string = right.min_string;
+      out.max_string = right.max_string;
+    } else {
+      out.min = std::min(out.min, right.min);
+      out.max = std::max(out.max, right.max);
+      if (out.is_string) {
+        if (right.min_string < out.min_string) out.min_string = right.min_string;
+        if (right.max_string > out.max_string) out.max_string = right.max_string;
+      }
+    }
+    out.present_count += right.present_count;
+    for (size_t m = 0; m < out.moments.size() && m < right.moments.size();
+         ++m) {
+      out.moments[m] += right.moments[m];
+    }
+  }
+  return out;
+}
+
+}  // namespace hillview

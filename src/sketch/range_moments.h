@@ -1,0 +1,98 @@
+#ifndef HILLVIEW_SKETCH_RANGE_MOMENTS_H_
+#define HILLVIEW_SKETCH_RANGE_MOMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "sketch/sketch.h"
+#include "util/serialize.h"
+
+namespace hillview {
+
+/// Column statistics: min/max, counts, and statistical moments (§B.3
+/// "Moments"). This is the workhorse of the preparation phase (§5.3): every
+/// chart first runs a RangeSketch to determine its input range, and the
+/// result is cached because it is deterministic.
+struct RangeResult {
+  // Numeric range (valid when present_count > 0 and the column is numeric).
+  double min = 0;
+  double max = 0;
+  // String range (valid for string columns).
+  std::string min_string;
+  std::string max_string;
+  bool is_string = false;
+  /// True for integer columns: bucket planners clamp the bucket count to the
+  /// number of representable integers so bars align with whole values.
+  bool is_integral = false;
+
+  int64_t present_count = 0;
+  int64_t missing_count = 0;
+  /// moments[i] = sum over rows of value^(i+1); mean = moments[0]/count,
+  /// variance = moments[1]/count - mean².
+  std::vector<double> moments;
+
+  bool IsZero() const { return present_count == 0 && missing_count == 0; }
+
+  int64_t TotalRows() const { return present_count + missing_count; }
+  double Mean() const {
+    return moments.empty() || present_count == 0
+               ? 0.0
+               : moments[0] / static_cast<double>(present_count);
+  }
+  double Variance() const {
+    if (moments.size() < 2 || present_count == 0) return 0.0;
+    double mean = Mean();
+    return moments[1] / static_cast<double>(present_count) - mean * mean;
+  }
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, RangeResult* out);
+};
+
+/// Exact streaming sketch computing RangeResult for one column.
+class RangeSketch final : public Sketch<RangeResult> {
+ public:
+  /// `num_moments` is the paper's K (>= 2 captures mean and variance).
+  explicit RangeSketch(std::string column, int num_moments = 2)
+      : column_(std::move(column)), num_moments_(num_moments) {}
+
+  std::string name() const override {
+    return "range(" + column_ + "," + std::to_string(num_moments_) + ")";
+  }
+  RangeResult Zero() const override { return {}; }
+  RangeResult Summarize(const Table& table, uint64_t seed) const override;
+  RangeResult Merge(const RangeResult& left,
+                    const RangeResult& right) const override;
+
+ private:
+  std::string column_;
+  int num_moments_;
+};
+
+/// Counts member rows (used by query planners to derive sample rates; a
+/// special case of RangeSketch kept separate because it reads no column).
+struct CountResult {
+  int64_t rows = 0;
+  void Serialize(ByteWriter* w) const { w->WriteI64(rows); }
+  static Status Deserialize(ByteReader* r, CountResult* out) {
+    return r->ReadI64(&out->rows);
+  }
+};
+
+class CountSketch final : public Sketch<CountResult> {
+ public:
+  std::string name() const override { return "count"; }
+  CountResult Zero() const override { return {}; }
+  CountResult Summarize(const Table& table, uint64_t seed) const override {
+    (void)seed;
+    return CountResult{static_cast<int64_t>(table.num_rows())};
+  }
+  CountResult Merge(const CountResult& left,
+                    const CountResult& right) const override {
+    return CountResult{left.rows + right.rows};
+  }
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_RANGE_MOMENTS_H_

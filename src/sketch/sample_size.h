@@ -1,0 +1,98 @@
+#ifndef HILLVIEW_SKETCH_SAMPLE_SIZE_H_
+#define HILLVIEW_SKETCH_SAMPLE_SIZE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace hillview {
+
+/// Sample-size formulas from Appendix C of the paper. Every formula depends
+/// only on the display geometry and the error probability δ — never on the
+/// dataset size. That independence is what makes sampled vizketches scale
+/// super-linearly (§7.2.2): a bigger dataset is sampled at a lower rate.
+///
+/// The theory gives O(·) bounds; the constants below follow the paper's
+/// practical guidance ("we have found that using C·V² samples for constant C
+/// works well") and are validated by the accuracy property tests, which check
+/// the ≤ 1 pixel / ≤ 1 color-shade guarantees empirically.
+
+/// Default error probability used when the caller does not specify δ.
+inline constexpr double kDefaultDelta = 0.01;
+
+/// Practical constant C in n = C·V²·log(1/δ) families.
+inline constexpr double kSampleConstant = 1.0;
+
+/// CDF plot with V vertical pixels: per-pixel additive error 0.1/V requires
+/// n = O(V² log(1/δ)) samples (Appendix B.1).
+inline uint64_t CdfSampleSize(int v_pixels, double delta = kDefaultDelta) {
+  double v = v_pixels;
+  return static_cast<uint64_t>(
+      std::ceil(kSampleConstant * 25.0 * v * v * std::log(1.0 / delta)));
+}
+
+/// Histogram with B bars and V-pixel max bar height: a one-pixel bar error
+/// needs accuracy µ·p_max/V where p_max >= 1/B in the worst case, giving
+/// n = O(V²B² log(1/δ)) (Theorem 3 with the worst-case p_max).
+///
+/// The B² dependence makes the worst case large; like the Java code we use
+/// the practical n = C·V²·log(1/δ) scaled by B, clamped to the theory bound.
+inline uint64_t HistogramSampleSize(int v_pixels, int buckets,
+                                    double delta = kDefaultDelta) {
+  double v = v_pixels;
+  double b = std::max(1, buckets);
+  double practical = kSampleConstant * v * v * b * std::log(1.0 / delta);
+  return static_cast<uint64_t>(std::ceil(practical));
+}
+
+/// Stacked histogram: the subdivision error analysis (Appendix B.1) yields
+/// the same form as the histogram, n = O(V²·Bx² log(1/δ)).
+inline uint64_t StackedHistogramSampleSize(int v_pixels, int x_buckets,
+                                           double delta = kDefaultDelta) {
+  return HistogramSampleSize(v_pixels, x_buckets, delta);
+}
+
+/// Heat map with Bx×By bins and c discernible colors: bin-density accuracy
+/// 1/(2c) needs n = O(c²·Bx²·By² log(1/δ)) in the worst case; practically
+/// the density floor is 1/(Bx·By), giving n = C·c²·Bx·By·log(1/δ).
+inline uint64_t HeatMapSampleSize(int x_buckets, int y_buckets,
+                                  int colors = 20,
+                                  double delta = kDefaultDelta) {
+  double c = colors;
+  double bxy = static_cast<double>(std::max(1, x_buckets)) *
+               static_cast<double>(std::max(1, y_buckets));
+  return static_cast<uint64_t>(
+      std::ceil(kSampleConstant * 4.0 * c * c * bxy * std::log(1.0 / delta)));
+}
+
+/// Quantile (scroll bar) with V pixels: accuracy ε = 1/(2V) needs
+/// n = O(ε⁻² log(1/δ)) = O(V² log(1/δ)) samples (Theorem 2).
+/// In practice ε = 1/(2V) with constant success probability suffices
+/// (§C.1: "which requires sample complexity O(V²) for constant probability
+/// of success"), so the log(1/δ) factor is folded into the constant; the
+/// summary must stay small because every sampled key is materialized.
+inline uint64_t QuantileSampleSize(int v_pixels,
+                                   double delta = kDefaultDelta) {
+  (void)delta;
+  double v = v_pixels;
+  return static_cast<uint64_t>(v * v) + 1;
+}
+
+/// Sampled heavy hitters with threshold 1/K: n = K² log(K/δ) (Theorem 4,
+/// with α = 1/K) guarantees all items above 1/K and none below 1/(4K).
+inline uint64_t HeavyHittersSampleSize(int k, double delta = kDefaultDelta) {
+  double kd = std::max(1, k);
+  return static_cast<uint64_t>(std::ceil(kd * kd * std::log(kd / delta))) + 1;
+}
+
+/// Converts a target sample size into a per-row sampling rate for a dataset
+/// of `total_rows` rows. Rates above 1 clamp to full scans.
+inline double SampleRateForSize(uint64_t target, uint64_t total_rows) {
+  if (total_rows == 0) return 1.0;
+  double rate = static_cast<double>(target) / static_cast<double>(total_rows);
+  return std::min(1.0, rate);
+}
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_SAMPLE_SIZE_H_

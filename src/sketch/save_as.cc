@@ -1,0 +1,52 @@
+#include "sketch/save_as.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "storage/columnar_file.h"
+
+namespace hillview {
+
+void SaveResult::Serialize(ByteWriter* w) const {
+  w->WriteI64(partitions_written);
+  w->WriteI64(rows_written);
+  w->WriteU32(static_cast<uint32_t>(errors.size()));
+  for (const auto& e : errors) w->WriteString(e);
+}
+
+Status SaveResult::Deserialize(ByteReader* r, SaveResult* out) {
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->partitions_written));
+  HV_RETURN_IF_ERROR(r->ReadI64(&out->rows_written));
+  uint32_t n = 0;
+  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  out->errors.resize(n);
+  for (auto& e : out->errors) HV_RETURN_IF_ERROR(r->ReadString(&e));
+  return Status::OK();
+}
+
+SaveResult SaveAsSketch::Summarize(const Table& table, uint64_t seed) const {
+  SaveResult result;
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016" PRIx64, seed);
+  std::string path = directory_ + "/" + prefix_ + "-" + name + ".hvcf";
+  Status s = WriteTableFile(table, path);
+  if (!s.ok()) {
+    result.errors.push_back(s.ToString());
+    return result;
+  }
+  result.partitions_written = 1;
+  result.rows_written = table.num_rows();
+  return result;
+}
+
+SaveResult SaveAsSketch::Merge(const SaveResult& left,
+                               const SaveResult& right) const {
+  SaveResult out = left;
+  out.partitions_written += right.partitions_written;
+  out.rows_written += right.rows_written;
+  out.errors.insert(out.errors.end(), right.errors.begin(),
+                    right.errors.end());
+  return out;
+}
+
+}  // namespace hillview

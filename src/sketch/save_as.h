@@ -1,0 +1,51 @@
+#ifndef HILLVIEW_SKETCH_SAVE_AS_H_
+#define HILLVIEW_SKETCH_SAVE_AS_H_
+
+#include <string>
+#include <vector>
+
+#include "sketch/sketch.h"
+#include "util/serialize.h"
+
+namespace hillview {
+
+/// Result of saving a derived table back to a repository (§5.4: saving "is
+/// implemented through a special vizketch with a summarize function that
+/// writes a data record to the repository and returns an error indication,
+/// while the merge function combines error indications").
+struct SaveResult {
+  int64_t partitions_written = 0;
+  int64_t rows_written = 0;
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  bool IsZero() const { return partitions_written == 0 && errors.empty(); }
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, SaveResult* out);
+};
+
+/// Writes each partition to `<directory>/<prefix>-<partition seed>.hvcf`.
+/// The engine's per-partition seed doubles as a stable unique partition id,
+/// so replayed saves overwrite their own files (idempotent recovery).
+class SaveAsSketch final : public Sketch<SaveResult> {
+ public:
+  SaveAsSketch(std::string directory, std::string prefix)
+      : directory_(std::move(directory)), prefix_(std::move(prefix)) {}
+
+  std::string name() const override {
+    return "save-as(" + directory_ + "/" + prefix_ + ")";
+  }
+  SaveResult Zero() const override { return {}; }
+  SaveResult Summarize(const Table& table, uint64_t seed) const override;
+  SaveResult Merge(const SaveResult& left,
+                   const SaveResult& right) const override;
+
+ private:
+  std::string directory_;
+  std::string prefix_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_SAVE_AS_H_

@@ -1,0 +1,61 @@
+#ifndef HILLVIEW_SKETCH_SKETCH_H_
+#define HILLVIEW_SKETCH_SKETCH_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+
+namespace hillview {
+
+/// A mergeable summarization method (§4.1): `Summarize` maps a dataset
+/// partition to a small summary; `Merge` combines two summaries such that
+///
+///   Summarize(D1 ⊎ D2) == Merge(Summarize(D1), Summarize(D2))
+///
+/// exactly for streaming sketches and in distribution for sampled ones.
+/// Vizketches are sketches whose parameters (bucket counts, sample sizes)
+/// are derived from a display resolution; that derivation lives in
+/// `render/` — the sketch itself is pure data summarization.
+///
+/// Implementations must be deterministic functions of (table, seed): the
+/// engine replays (sketch, seed) pairs from the redo log after failures
+/// (§5.8), so a restarted worker must reproduce identical summaries.
+///
+/// The summary type R must be default-constructible (== the zero summary),
+/// copyable, and define
+///   void Serialize(ByteWriter*) const;
+///   static Status Deserialize(ByteReader*, R*);
+/// which the simulated cluster uses to move summaries between machines and
+/// to charge network bytes.
+template <typename R>
+class Sketch {
+ public:
+  using ResultType = R;
+
+  virtual ~Sketch() = default;
+
+  /// Stable name recorded in the redo log and the computation-cache key.
+  virtual std::string name() const = 0;
+
+  /// The identity element of Merge: the summary of an empty dataset.
+  virtual R Zero() const = 0;
+
+  /// Computes the summary of one partition. `seed` is the partition-specific
+  /// deterministic seed (already mixed from the root seed by the engine);
+  /// non-randomized sketches ignore it. Must be single-threaded and
+  /// side-effect free — the engine owns all concurrency (§5.5).
+  virtual R Summarize(const Table& table, uint64_t seed) const = 0;
+
+  /// Combines two summaries. Must be associative with Zero() as identity,
+  /// and commutative for all sketches in this library (partial results can
+  /// arrive in any order).
+  virtual R Merge(const R& left, const R& right) const = 0;
+};
+
+template <typename R>
+using SketchPtr = std::shared_ptr<const Sketch<R>>;
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_SKETCH_H_

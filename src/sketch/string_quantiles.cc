@@ -1,0 +1,125 @@
+#include "sketch/string_quantiles.h"
+
+#include <algorithm>
+
+namespace hillview {
+
+void BottomKResult::Serialize(ByteWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(items.size()));
+  for (const auto& [hash, value] : items) {
+    w->WriteU64(hash);
+    w->WriteString(value);
+  }
+  w->WriteI32(k);
+  w->WriteBool(complete);
+}
+
+Status BottomKResult::Deserialize(ByteReader* r, BottomKResult* out) {
+  uint32_t n = 0;
+  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  out->items.resize(n);
+  for (auto& [hash, value] : out->items) {
+    HV_RETURN_IF_ERROR(r->ReadU64(&hash));
+    HV_RETURN_IF_ERROR(r->ReadString(&value));
+  }
+  HV_RETURN_IF_ERROR(r->ReadI32(&out->k));
+  HV_RETURN_IF_ERROR(r->ReadBool(&out->complete));
+  return Status::OK();
+}
+
+BottomKResult BottomKStringsSketch::Summarize(const Table& table,
+                                              uint64_t seed) const {
+  (void)seed;  // Fixed hash seed: partitions must agree on hashes to merge.
+  BottomKResult result;
+  result.k = k_;
+  ColumnPtr col = table.GetColumnOrNull(column_);
+  if (col == nullptr) return result;
+  const uint32_t* codes = col->RawCodes();
+  if (codes == nullptr) return result;  // Not a string column.
+  const auto& dict = col->Dictionary();
+
+  // The dictionary already holds the distinct values of this partition, so
+  // bottom-k runs over the dictionary, not the rows. Only codes referenced
+  // by member rows count as present (a filtered partition may not use all
+  // dictionary entries).
+  std::vector<uint8_t> used(dict.size(), 0);
+  if (table.members()->kind() == IMembershipSet::Kind::kFull &&
+      table.num_rows() > 0) {
+    // Loaders only create dictionary entries for present values.
+    std::fill(used.begin(), used.end(), 1);
+  } else {
+    ForEachRow(*table.members(), [&](uint32_t row) {
+      uint32_t code = codes[row];
+      if (code != StringColumn::kMissingCode) used[code] = 1;
+    });
+  }
+
+  for (size_t c = 0; c < dict.size(); ++c) {
+    if (!used[c]) continue;
+    uint64_t h = HashBytes(dict[c].data(), dict[c].size(), hash_seed_);
+    result.items.emplace_back(h, dict[c]);
+  }
+  std::sort(result.items.begin(), result.items.end());
+  result.items.erase(std::unique(result.items.begin(), result.items.end(),
+                                 [](const auto& a, const auto& b) {
+                                   return a.first == b.first;
+                                 }),
+                     result.items.end());
+  if (static_cast<int>(result.items.size()) > k_) {
+    result.items.resize(k_);
+    result.complete = false;
+  }
+  return result;
+}
+
+BottomKResult BottomKStringsSketch::Merge(const BottomKResult& left,
+                                          const BottomKResult& right) const {
+  if (left.IsZero()) return right;
+  if (right.IsZero()) return left;
+  BottomKResult out;
+  out.k = std::max(left.k, right.k);
+  out.items.reserve(left.items.size() + right.items.size());
+  std::merge(left.items.begin(), left.items.end(), right.items.begin(),
+             right.items.end(), std::back_inserter(out.items));
+  out.items.erase(std::unique(out.items.begin(), out.items.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.first == b.first;
+                              }),
+                  out.items.end());
+  out.complete = left.complete && right.complete;
+  if (static_cast<int>(out.items.size()) > out.k) {
+    out.items.resize(out.k);
+    out.complete = false;
+  }
+  return out;
+}
+
+StringBuckets StringBucketsFromBottomK(const BottomKResult& result,
+                                       int max_buckets,
+                                       const std::string& max_value) {
+  std::vector<std::string> values;
+  values.reserve(result.items.size());
+  for (const auto& [hash, value] : result.items) values.push_back(value);
+  std::sort(values.begin(), values.end());
+
+  std::vector<std::string> boundaries;
+  int distinct = static_cast<int>(values.size());
+  if (distinct == 0) return StringBuckets(std::vector<std::string>{});
+  if (distinct <= max_buckets && result.complete) {
+    // One bucket per distinct value.
+    boundaries = values;
+  } else {
+    // Quantile boundaries over the (sampled) distinct values.
+    boundaries.reserve(max_buckets);
+    for (int b = 0; b < max_buckets; ++b) {
+      size_t idx = static_cast<size_t>(
+          static_cast<double>(b) * distinct / max_buckets);
+      if (boundaries.empty() || values[idx] != boundaries.back()) {
+        boundaries.push_back(values[idx]);
+      }
+    }
+  }
+  return StringBuckets(std::move(boundaries), max_value, !max_value.empty());
+}
+
+}  // namespace hillview

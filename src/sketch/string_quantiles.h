@@ -1,0 +1,65 @@
+#ifndef HILLVIEW_SKETCH_STRING_QUANTILES_H_
+#define HILLVIEW_SKETCH_STRING_QUANTILES_H_
+
+#include <string>
+#include <vector>
+
+#include "sketch/buckets.h"
+#include "sketch/sketch.h"
+#include "util/serialize.h"
+
+namespace hillview {
+
+/// Bottom-k sample over *distinct* strings of a column (§B.1 "Equi-width
+/// buckets for string data", using bottom-k sketches [92, 19]): keeps the k
+/// distinct values with the smallest hashes. Because the hash is fixed
+/// across partitions, merging is a union-and-truncate, and the surviving
+/// values are a uniform sample of the distinct values of the whole column —
+/// from which approximate quantiles over distinct strings follow.
+struct BottomKResult {
+  /// (hash, value), sorted ascending by hash, distinct hashes.
+  std::vector<std::pair<uint64_t, std::string>> items;
+  int k = 0;
+  /// True when every distinct value of the scanned partitions fit in k slots
+  /// (then the "sample" is exhaustive and quantiles are exact).
+  bool complete = true;
+
+  bool IsZero() const { return k == 0; }
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, BottomKResult* out);
+};
+
+class BottomKStringsSketch final : public Sketch<BottomKResult> {
+ public:
+  explicit BottomKStringsSketch(std::string column, int k = 4096,
+                                uint64_t hash_seed = 0x42544b)
+      : column_(std::move(column)), k_(k), hash_seed_(hash_seed) {}
+
+  std::string name() const override {
+    return "bottomk(" + column_ + "," + std::to_string(k_) + ")";
+  }
+  BottomKResult Zero() const override { return {}; }
+  BottomKResult Summarize(const Table& table, uint64_t seed) const override;
+  BottomKResult Merge(const BottomKResult& left,
+                      const BottomKResult& right) const override;
+
+ private:
+  std::string column_;
+  int k_;
+  uint64_t hash_seed_;
+};
+
+/// Derives string bucket boundaries from a bottom-k sample: at most
+/// `max_buckets` boundaries at the 1/B, 2/B, ... quantiles of the sampled
+/// distinct strings, sorted alphabetically. If the sample shows `<=
+/// max_buckets` distinct values (and is complete), each value gets its own
+/// bucket — the paper's "if there are few distinct values (50 or fewer), we
+/// assign a bin for each value".
+StringBuckets StringBucketsFromBottomK(const BottomKResult& result,
+                                       int max_buckets,
+                                       const std::string& max_value);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_SKETCH_STRING_QUANTILES_H_

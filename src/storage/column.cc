@@ -1,0 +1,125 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+namespace hillview {
+
+struct ColumnBuilder::DictIndex {
+  std::unordered_map<std::string, uint32_t> map;
+};
+
+void ColumnBuilder::AppendInt(int32_t v) {
+  assert(kind_ == DataKind::kInt);
+  ints_.push_back(v);
+  ++count_;
+}
+
+void ColumnBuilder::AppendDouble(double v) {
+  assert(kind_ == DataKind::kDouble);
+  doubles_.push_back(v);
+  ++count_;
+}
+
+void ColumnBuilder::AppendDate(int64_t millis) {
+  assert(kind_ == DataKind::kDate);
+  dates_.push_back(millis);
+  ++count_;
+}
+
+void ColumnBuilder::AppendString(std::string_view v) {
+  assert(IsStringKind(kind_));
+  if (dict_index_ == nullptr) dict_index_ = std::make_shared<DictIndex>();
+  auto [it, inserted] =
+      dict_index_->map.try_emplace(std::string(v),
+                                   static_cast<uint32_t>(dict_.size()));
+  if (inserted) dict_.push_back(std::string(v));
+  codes_.push_back(it->second);
+  ++count_;
+}
+
+void ColumnBuilder::AppendMissing() {
+  switch (kind_) {
+    case DataKind::kInt:
+      nulls_.SetMissing(count_);
+      ints_.push_back(0);
+      break;
+    case DataKind::kDouble:
+      nulls_.SetMissing(count_);
+      doubles_.push_back(0.0);
+      break;
+    case DataKind::kDate:
+      nulls_.SetMissing(count_);
+      dates_.push_back(0);
+      break;
+    case DataKind::kString:
+    case DataKind::kCategory:
+      codes_.push_back(StringColumn::kMissingCode);
+      break;
+  }
+  ++count_;
+}
+
+void ColumnBuilder::AppendValue(const Value& v) {
+  if (std::holds_alternative<std::monostate>(v)) {
+    AppendMissing();
+    return;
+  }
+  switch (kind_) {
+    case DataKind::kInt:
+      AppendInt(static_cast<int32_t>(std::get<int64_t>(v)));
+      break;
+    case DataKind::kDouble:
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        AppendDouble(static_cast<double>(*i));
+      } else {
+        AppendDouble(std::get<double>(v));
+      }
+      break;
+    case DataKind::kDate:
+      AppendDate(std::get<int64_t>(v));
+      break;
+    case DataKind::kString:
+    case DataKind::kCategory:
+      AppendString(std::get<std::string>(v));
+      break;
+  }
+}
+
+ColumnPtr ColumnBuilder::Finish() {
+  switch (kind_) {
+    case DataKind::kInt:
+      return std::make_shared<Int32Column>(std::move(ints_),
+                                           std::move(nulls_));
+    case DataKind::kDouble:
+      return std::make_shared<DoubleColumn>(std::move(doubles_),
+                                            std::move(nulls_));
+    case DataKind::kDate:
+      return std::make_shared<DateColumn>(std::move(dates_),
+                                          std::move(nulls_));
+    case DataKind::kString:
+    case DataKind::kCategory:
+      break;
+  }
+  // Sort the dictionary and remap codes so code order == alphabetical order.
+  std::vector<uint32_t> order(dict_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return dict_[a] < dict_[b];
+  });
+  std::vector<uint32_t> remap(dict_.size());
+  std::vector<std::string> sorted_dict(dict_.size());
+  for (uint32_t new_code = 0; new_code < order.size(); ++new_code) {
+    remap[order[new_code]] = new_code;
+    sorted_dict[new_code] = std::move(dict_[order[new_code]]);
+  }
+  for (auto& code : codes_) {
+    if (code != StringColumn::kMissingCode) code = remap[code];
+  }
+  return std::make_shared<StringColumn>(kind_, std::move(codes_),
+                                        std::move(sorted_dict));
+}
+
+}  // namespace hillview

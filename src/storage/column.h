@@ -1,0 +1,294 @@
+#ifndef HILLVIEW_STORAGE_COLUMN_H_
+#define HILLVIEW_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hillview {
+
+/// Bitmap of missing values. Empty mask means "no value is missing", which is
+/// the common case and costs nothing.
+class NullMask {
+ public:
+  NullMask() = default;
+
+  /// Marks `row` missing, growing the bitmap as needed.
+  void SetMissing(uint32_t row) {
+    size_t word = row >> 6;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    words_[word] |= (1ULL << (row & 63));
+    ++count_;
+  }
+
+  bool IsMissing(uint32_t row) const {
+    size_t word = row >> 6;
+    if (word >= words_.size()) return false;
+    return (words_[word] >> (row & 63)) & 1;
+  }
+
+  bool empty() const { return count_ == 0; }
+  uint64_t count() const { return count_; }
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint64_t count_ = 0;
+};
+
+/// Read-only columnar data. The in-memory representation follows §6: plain
+/// arrays of base types to minimize allocator pressure; string columns use
+/// dictionary encoding for compression.
+///
+/// Scans (vizketch summarize functions) should prefer the Raw* fast paths and
+/// fall back to the virtual per-row accessors only for generic code paths
+/// (row materialization, sorting comparisons, CSV output).
+class IColumn {
+ public:
+  virtual ~IColumn() = default;
+
+  virtual DataKind kind() const = 0;
+  virtual uint32_t size() const = 0;
+  virtual bool IsMissing(uint32_t row) const = 0;
+
+  /// Numeric conversion used by charts (§4.3: "a value that can be readily
+  /// converted to a real number"). For string kinds this is the dictionary
+  /// code, which respects alphabetical order (dictionaries are sorted).
+  virtual double GetDouble(uint32_t row) const = 0;
+
+  /// Materializes a cell; used only for small outputs (next-items, render).
+  virtual Value GetValue(uint32_t row) const = 0;
+
+  /// Renders a cell as text (dates render as their millisecond count; the
+  /// render layer owns pretty date formatting).
+  virtual std::string GetString(uint32_t row) const = 0;
+
+  /// Three-way row comparison with missing-last ordering.
+  virtual int CompareRows(uint32_t a, uint32_t b) const = 0;
+
+  /// Hash of the cell value, stable across partitions (used by heavy hitters
+  /// and distinct-count sketches). Missing hashes to a fixed sentinel.
+  virtual uint64_t HashRow(uint32_t row, uint64_t seed) const = 0;
+
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual const NullMask& null_mask() const = 0;
+
+  // Fast-path raw accessors; each returns nullptr unless the column has that
+  // physical representation.
+  virtual const int32_t* RawInt() const { return nullptr; }
+  virtual const double* RawDouble() const { return nullptr; }
+  virtual const int64_t* RawDate() const { return nullptr; }
+  virtual const uint32_t* RawCodes() const { return nullptr; }
+
+  /// For dictionary-encoded columns: the sorted dictionary; empty otherwise.
+  virtual const std::vector<std::string>& Dictionary() const {
+    static const std::vector<std::string> kEmpty;
+    return kEmpty;
+  }
+};
+
+using ColumnPtr = std::shared_ptr<const IColumn>;
+
+namespace internal_column {
+
+/// Shared implementation for the three numeric physical layouts.
+template <typename T, DataKind KIND>
+class NumericColumn final : public IColumn {
+ public:
+  NumericColumn(std::vector<T> data, NullMask nulls)
+      : data_(std::move(data)), nulls_(std::move(nulls)) {}
+
+  DataKind kind() const override { return KIND; }
+  uint32_t size() const override { return static_cast<uint32_t>(data_.size()); }
+  bool IsMissing(uint32_t row) const override { return nulls_.IsMissing(row); }
+
+  double GetDouble(uint32_t row) const override {
+    return static_cast<double>(data_[row]);
+  }
+
+  Value GetValue(uint32_t row) const override {
+    if (IsMissing(row)) return std::monostate{};
+    if constexpr (std::is_same_v<T, double>) {
+      return data_[row];
+    } else {
+      return static_cast<int64_t>(data_[row]);
+    }
+  }
+
+  std::string GetString(uint32_t row) const override {
+    return ValueToString(GetValue(row));
+  }
+
+  int CompareRows(uint32_t a, uint32_t b) const override {
+    bool ma = IsMissing(a), mb = IsMissing(b);
+    if (ma || mb) return ma == mb ? 0 : (ma ? 1 : -1);
+    if (data_[a] != data_[b]) return data_[a] < data_[b] ? -1 : 1;
+    return 0;
+  }
+
+  uint64_t HashRow(uint32_t row, uint64_t seed) const override {
+    if (IsMissing(row)) return MixSeed(seed, 0x6d697373);  // "miss"
+    if constexpr (std::is_same_v<T, double>) {
+      double d = data_[row];
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return MixSeed(seed, bits);
+    } else {
+      return MixSeed(seed, static_cast<uint64_t>(data_[row]));
+    }
+  }
+
+  size_t MemoryBytes() const override {
+    return data_.size() * sizeof(T) + nulls_.MemoryBytes();
+  }
+
+  const NullMask& null_mask() const override { return nulls_; }
+
+  const int32_t* RawInt() const override {
+    if constexpr (std::is_same_v<T, int32_t>) return data_.data();
+    return nullptr;
+  }
+  const double* RawDouble() const override {
+    if constexpr (std::is_same_v<T, double>) return data_.data();
+    return nullptr;
+  }
+  const int64_t* RawDate() const override {
+    if constexpr (std::is_same_v<T, int64_t>) return data_.data();
+    return nullptr;
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+ private:
+  std::vector<T> data_;
+  NullMask nulls_;
+};
+
+}  // namespace internal_column
+
+using Int32Column = internal_column::NumericColumn<int32_t, DataKind::kInt>;
+using DoubleColumn = internal_column::NumericColumn<double, DataKind::kDouble>;
+using DateColumn = internal_column::NumericColumn<int64_t, DataKind::kDate>;
+
+/// Dictionary-encoded string column (kString or kCategory). The dictionary is
+/// sorted, so code order equals alphabetical order and GetDouble (the code)
+/// can drive equi-width string bucketing directly.
+class StringColumn final : public IColumn {
+ public:
+  static constexpr uint32_t kMissingCode = std::numeric_limits<uint32_t>::max();
+
+  StringColumn(DataKind kind, std::vector<uint32_t> codes,
+               std::vector<std::string> dictionary)
+      : kind_(kind), codes_(std::move(codes)), dict_(std::move(dictionary)) {}
+
+  DataKind kind() const override { return kind_; }
+  uint32_t size() const override {
+    return static_cast<uint32_t>(codes_.size());
+  }
+  bool IsMissing(uint32_t row) const override {
+    return codes_[row] == kMissingCode;
+  }
+
+  double GetDouble(uint32_t row) const override {
+    return static_cast<double>(codes_[row]);
+  }
+
+  Value GetValue(uint32_t row) const override {
+    if (IsMissing(row)) return std::monostate{};
+    return dict_[codes_[row]];
+  }
+
+  std::string GetString(uint32_t row) const override {
+    if (IsMissing(row)) return "";
+    return dict_[codes_[row]];
+  }
+
+  std::string_view GetStringView(uint32_t row) const {
+    if (IsMissing(row)) return {};
+    return dict_[codes_[row]];
+  }
+
+  int CompareRows(uint32_t a, uint32_t b) const override {
+    uint32_t ca = codes_[a], cb = codes_[b];
+    // kMissingCode is the max uint32, so missing naturally sorts last.
+    if (ca != cb) return ca < cb ? -1 : 1;
+    return 0;
+  }
+
+  uint64_t HashRow(uint32_t row, uint64_t seed) const override {
+    if (IsMissing(row)) return MixSeed(seed, 0x6d697373);
+    const std::string& s = dict_[codes_[row]];
+    return HashBytes(s.data(), s.size(), seed);
+  }
+
+  size_t MemoryBytes() const override {
+    size_t bytes = codes_.size() * sizeof(uint32_t);
+    for (const auto& s : dict_) bytes += s.size() + sizeof(std::string);
+    return bytes;
+  }
+
+  const NullMask& null_mask() const override {
+    static const NullMask kEmpty;
+    return kEmpty;
+  }
+
+  const uint32_t* RawCodes() const override { return codes_.data(); }
+  const std::vector<std::string>& Dictionary() const override { return dict_; }
+
+  uint32_t dictionary_size() const { return static_cast<uint32_t>(dict_.size()); }
+
+ private:
+  DataKind kind_;
+  std::vector<uint32_t> codes_;
+  std::vector<std::string> dict_;
+};
+
+/// Appends values of any kind and produces an immutable column. Builders are
+/// how every loader (CSV, generators, derived-column maps) creates data.
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(DataKind kind) : kind_(kind) {}
+
+  DataKind kind() const { return kind_; }
+  uint32_t size() const { return count_; }
+
+  void AppendInt(int32_t v);
+  void AppendDouble(double v);
+  void AppendDate(int64_t millis);
+  void AppendString(std::string_view v);
+  void AppendMissing();
+  /// Appends a materialized value; its alternative must match the kind.
+  void AppendValue(const Value& v);
+
+  /// Builds the immutable column. For string kinds this sorts the dictionary
+  /// and remaps codes so that code order equals alphabetical order.
+  ColumnPtr Finish();
+
+ private:
+  DataKind kind_;
+  uint32_t count_ = 0;
+  NullMask nulls_;
+  std::vector<int32_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int64_t> dates_;
+  std::vector<uint32_t> codes_;
+  std::vector<std::string> dict_;
+  // Dictionary lookup during building (string -> provisional code).
+  struct DictIndex;
+  std::shared_ptr<DictIndex> dict_index_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_COLUMN_H_

@@ -1,0 +1,299 @@
+#include "storage/columnar_file.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "util/serialize.h"
+
+namespace hillview {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x46435648;  // "HVCF"
+constexpr uint32_t kVersion = 1;
+
+// Serializes one column's payload (compacted to member rows).
+void WriteColumnPayload(const Table& table, int col_index, ByteWriter* w) {
+  const IColumn& col = *table.column(col_index);
+  const IMembershipSet& members = *table.members();
+  bool full = members.kind() == IMembershipSet::Kind::kFull;
+
+  switch (col.kind()) {
+    case DataKind::kInt: {
+      std::vector<int32_t> data;
+      std::vector<uint8_t> missing;
+      data.reserve(members.size());
+      missing.reserve(members.size());
+      ForEachRow(members, [&](uint32_t row) {
+        data.push_back(col.RawInt()[row]);
+        missing.push_back(col.IsMissing(row) ? 1 : 0);
+      });
+      w->WritePodVector(missing);
+      w->WritePodVector(data);
+      return;
+    }
+    case DataKind::kDouble: {
+      std::vector<double> data;
+      std::vector<uint8_t> missing;
+      ForEachRow(members, [&](uint32_t row) {
+        data.push_back(col.RawDouble()[row]);
+        missing.push_back(col.IsMissing(row) ? 1 : 0);
+      });
+      w->WritePodVector(missing);
+      w->WritePodVector(data);
+      return;
+    }
+    case DataKind::kDate: {
+      std::vector<int64_t> data;
+      std::vector<uint8_t> missing;
+      ForEachRow(members, [&](uint32_t row) {
+        data.push_back(col.RawDate()[row]);
+        missing.push_back(col.IsMissing(row) ? 1 : 0);
+      });
+      w->WritePodVector(missing);
+      w->WritePodVector(data);
+      return;
+    }
+    case DataKind::kString:
+    case DataKind::kCategory: {
+      const auto& dict = col.Dictionary();
+      w->WriteU32(static_cast<uint32_t>(dict.size()));
+      for (const auto& s : dict) w->WriteString(s);
+      std::vector<uint32_t> codes;
+      codes.reserve(members.size());
+      const uint32_t* raw = col.RawCodes();
+      ForEachRow(members, [&](uint32_t row) { codes.push_back(raw[row]); });
+      w->WritePodVector(codes);
+      (void)full;
+      return;
+    }
+  }
+}
+
+Result<ColumnPtr> ReadColumnPayload(DataKind kind, ByteReader* r) {
+  switch (kind) {
+    case DataKind::kInt: {
+      std::vector<uint8_t> missing;
+      std::vector<int32_t> data;
+      HV_RETURN_IF_ERROR(r->ReadPodVector(&missing));
+      HV_RETURN_IF_ERROR(r->ReadPodVector(&data));
+      NullMask nulls;
+      for (uint32_t i = 0; i < missing.size(); ++i) {
+        if (missing[i]) nulls.SetMissing(i);
+      }
+      return ColumnPtr(
+          std::make_shared<Int32Column>(std::move(data), std::move(nulls)));
+    }
+    case DataKind::kDouble: {
+      std::vector<uint8_t> missing;
+      std::vector<double> data;
+      HV_RETURN_IF_ERROR(r->ReadPodVector(&missing));
+      HV_RETURN_IF_ERROR(r->ReadPodVector(&data));
+      NullMask nulls;
+      for (uint32_t i = 0; i < missing.size(); ++i) {
+        if (missing[i]) nulls.SetMissing(i);
+      }
+      return ColumnPtr(
+          std::make_shared<DoubleColumn>(std::move(data), std::move(nulls)));
+    }
+    case DataKind::kDate: {
+      std::vector<uint8_t> missing;
+      std::vector<int64_t> data;
+      HV_RETURN_IF_ERROR(r->ReadPodVector(&missing));
+      HV_RETURN_IF_ERROR(r->ReadPodVector(&data));
+      NullMask nulls;
+      for (uint32_t i = 0; i < missing.size(); ++i) {
+        if (missing[i]) nulls.SetMissing(i);
+      }
+      return ColumnPtr(
+          std::make_shared<DateColumn>(std::move(data), std::move(nulls)));
+    }
+    case DataKind::kString:
+    case DataKind::kCategory: {
+      uint32_t dict_size = 0;
+      HV_RETURN_IF_ERROR(r->ReadU32(&dict_size));
+      std::vector<std::string> dict(dict_size);
+      for (auto& s : dict) HV_RETURN_IF_ERROR(r->ReadString(&s));
+      std::vector<uint32_t> codes;
+      HV_RETURN_IF_ERROR(r->ReadPodVector(&codes));
+      return ColumnPtr(std::make_shared<StringColumn>(kind, std::move(codes),
+                                                      std::move(dict)));
+    }
+  }
+  return Status::Internal("unknown column kind");
+}
+
+// Sleeps long enough that reading `bytes` at `bytes_per_second` takes the
+// modeled time.
+void Throttle(uint64_t bytes, double bytes_per_second) {
+  if (bytes_per_second <= 0) return;
+  double seconds = static_cast<double>(bytes) / bytes_per_second;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+struct ColumnEntry {
+  std::string name;
+  DataKind kind;
+  uint64_t payload_size;
+  uint64_t payload_offset;
+};
+
+struct FileHeader {
+  uint32_t num_rows = 0;
+  std::vector<ColumnEntry> entries;
+};
+
+Result<FileHeader> ReadHeader(std::FILE* f, const std::string& path) {
+  auto read_bytes = [&](void* out, size_t n) -> Status {
+    if (std::fread(out, 1, n, f) != n) {
+      return Status::IoError("short read in '" + path + "'");
+    }
+    return Status::OK();
+  };
+  uint32_t magic = 0, version = 0, num_cols = 0;
+  FileHeader header;
+  HV_RETURN_IF_ERROR(read_bytes(&magic, 4));
+  HV_RETURN_IF_ERROR(read_bytes(&version, 4));
+  HV_RETURN_IF_ERROR(read_bytes(&num_cols, 4));
+  HV_RETURN_IF_ERROR(read_bytes(&header.num_rows, 4));
+  if (magic != kMagic) return Status::IoError("'" + path + "' is not HVCF");
+  if (version != kVersion) {
+    return Status::IoError("unsupported HVCF version in '" + path + "'");
+  }
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    ColumnEntry entry;
+    uint32_t name_len = 0;
+    HV_RETURN_IF_ERROR(read_bytes(&name_len, 4));
+    entry.name.resize(name_len);
+    if (name_len > 0) HV_RETURN_IF_ERROR(read_bytes(entry.name.data(), name_len));
+    uint8_t kind = 0;
+    HV_RETURN_IF_ERROR(read_bytes(&kind, 1));
+    entry.kind = static_cast<DataKind>(kind);
+    HV_RETURN_IF_ERROR(read_bytes(&entry.payload_size, 8));
+    entry.payload_offset = static_cast<uint64_t>(std::ftell(f));
+    if (std::fseek(f, static_cast<long>(entry.payload_size), SEEK_CUR) != 0) {
+      return Status::IoError("seek failed in '" + path + "'");
+    }
+    header.entries.push_back(std::move(entry));
+  }
+  return header;
+}
+
+}  // namespace
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot create '" + path + "'");
+  auto write_bytes = [&](const void* data, size_t n) -> Status {
+    if (std::fwrite(data, 1, n, f) != n) {
+      return Status::IoError("write failed for '" + path + "'");
+    }
+    return Status::OK();
+  };
+  auto cleanup_and = [&](Status s) {
+    std::fclose(f);
+    return s;
+  };
+
+  uint32_t num_cols = table.num_columns();
+  uint32_t num_rows = table.num_rows();
+  Status s;
+  if (!(s = write_bytes(&kMagic, 4)).ok()) return cleanup_and(s);
+  if (!(s = write_bytes(&kVersion, 4)).ok()) return cleanup_and(s);
+  if (!(s = write_bytes(&num_cols, 4)).ok()) return cleanup_and(s);
+  if (!(s = write_bytes(&num_rows, 4)).ok()) return cleanup_and(s);
+
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const std::string& name = table.schema().column(c).name;
+    uint32_t name_len = static_cast<uint32_t>(name.size());
+    uint8_t kind = static_cast<uint8_t>(table.schema().column(c).kind);
+    ByteWriter payload;
+    WriteColumnPayload(table, c, &payload);
+    uint64_t payload_size = payload.size();
+    if (!(s = write_bytes(&name_len, 4)).ok()) return cleanup_and(s);
+    if (!(s = write_bytes(name.data(), name_len)).ok()) return cleanup_and(s);
+    if (!(s = write_bytes(&kind, 1)).ok()) return cleanup_and(s);
+    if (!(s = write_bytes(&payload_size, 8)).ok()) return cleanup_and(s);
+    if (!(s = write_bytes(payload.bytes().data(), payload.size())).ok()) {
+      return cleanup_and(s);
+    }
+  }
+  return cleanup_and(Status::OK());
+}
+
+Result<TablePtr> ReadTableFile(const std::string& path,
+                               const ReadOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "'");
+  auto header_result = ReadHeader(f, path);
+  if (!header_result.ok()) {
+    std::fclose(f);
+    return header_result.status();
+  }
+  FileHeader header = header_result.Take();
+
+  auto wanted = [&](const std::string& name) {
+    if (options.columns.empty()) return true;
+    return std::find(options.columns.begin(), options.columns.end(), name) !=
+           options.columns.end();
+  };
+
+  std::vector<ColumnDescription> descs;
+  std::vector<ColumnPtr> columns;
+  for (const auto& entry : header.entries) {
+    if (!wanted(entry.name)) continue;
+    if (std::fseek(f, static_cast<long>(entry.payload_offset), SEEK_SET) != 0) {
+      std::fclose(f);
+      return Status::IoError("seek failed in '" + path + "'");
+    }
+    std::vector<uint8_t> payload(entry.payload_size);
+    // Read in chunks so throttling produces a smooth bandwidth model.
+    constexpr size_t kChunk = 1 << 22;  // 4 MiB
+    size_t off = 0;
+    while (off < payload.size()) {
+      size_t n = std::min(kChunk, payload.size() - off);
+      if (std::fread(payload.data() + off, 1, n, f) != n) {
+        std::fclose(f);
+        return Status::IoError("short read in '" + path + "'");
+      }
+      Throttle(n, options.bytes_per_second);
+      off += n;
+    }
+    ByteReader reader(payload.data(), payload.size());
+    auto col = ReadColumnPayload(entry.kind, &reader);
+    if (!col.ok()) {
+      std::fclose(f);
+      return col.status();
+    }
+    descs.push_back({entry.name, entry.kind});
+    columns.push_back(col.Take());
+  }
+  std::fclose(f);
+  if (columns.empty()) {
+    return Status::NotFound("no requested columns found in '" + path + "'");
+  }
+  return Table::Create(Schema(std::move(descs)), std::move(columns));
+}
+
+Result<uint64_t> TableFileBytes(const std::string& path,
+                                const std::vector<std::string>& columns) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "'");
+  auto header_result = ReadHeader(f, path);
+  std::fclose(f);
+  if (!header_result.ok()) return header_result.status();
+  uint64_t bytes = 0;
+  for (const auto& entry : header_result.value().entries) {
+    if (!columns.empty() &&
+        std::find(columns.begin(), columns.end(), entry.name) ==
+            columns.end()) {
+      continue;
+    }
+    bytes += entry.payload_size;
+  }
+  return bytes;
+}
+
+}  // namespace hillview

@@ -1,0 +1,42 @@
+#ifndef HILLVIEW_STORAGE_COLUMNAR_FILE_H_
+#define HILLVIEW_STORAGE_COLUMNAR_FILE_H_
+
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace hillview {
+
+/// Binary columnar file format ("HVCF"): the repository format standing in
+/// for ORC/Parquet. One file holds one table partition; columns are stored
+/// contiguously so a reader enjoys "fast sequential access and columnar
+/// access" (§5.4). Member rows are compacted on write.
+///
+/// Layout (little endian):
+///   magic "HVCF" | version u32 | num_cols u32 | num_rows u32
+///   per column: name | kind u8 | null-words vec | payload
+///     numeric payload: raw values vec
+///     string payload:  dictionary (u32 count + strings) | codes vec
+Status WriteTableFile(const Table& table, const std::string& path);
+
+/// Read throttling to model cold-storage bandwidth (Fig 6's SSD runs).
+/// bytes_per_second <= 0 means unthrottled.
+struct ReadOptions {
+  double bytes_per_second = 0;
+  /// Read only these columns (empty = all). Columnar formats allow reading
+  /// a column subset, which the data cache exploits (§5.4).
+  std::vector<std::string> columns;
+};
+
+Result<TablePtr> ReadTableFile(const std::string& path,
+                               const ReadOptions& options = {});
+
+/// Size in bytes the named columns occupy in the file (for bandwidth math in
+/// cold-read benchmarks). Empty = all columns.
+Result<uint64_t> TableFileBytes(const std::string& path,
+                                const std::vector<std::string>& columns = {});
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_COLUMNAR_FILE_H_

@@ -1,0 +1,241 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hillview {
+
+namespace {
+
+// Splits one CSV record into fields, honoring RFC 4180 quoting.
+std::vector<std::string> SplitRecord(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool ParseInt32(const std::string& s, int32_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+DataKind InferKind(const std::vector<std::vector<std::string>>& records,
+                   size_t col) {
+  bool all_int = true, all_double = true, any_value = false;
+  for (const auto& rec : records) {
+    if (col >= rec.size() || rec[col].empty()) continue;
+    any_value = true;
+    int32_t i;
+    double d;
+    if (!ParseInt32(rec[col], &i)) all_int = false;
+    if (!ParseDouble(rec[col], &d)) all_double = false;
+    if (!all_int && !all_double) break;
+  }
+  if (!any_value) return DataKind::kString;
+  if (all_int) return DataKind::kInt;
+  if (all_double) return DataKind::kDouble;
+  return DataKind::kString;
+}
+
+Result<TablePtr> ParseRecords(std::vector<std::vector<std::string>> records,
+                              const CsvOptions& options) {
+  if (records.empty() && options.schema == nullptr) {
+    return Status::InvalidArgument("empty CSV input with no schema");
+  }
+  std::vector<std::string> names;
+  if (options.has_header) {
+    if (records.empty()) {
+      return Status::InvalidArgument("CSV input missing header line");
+    }
+    names = records.front();
+    records.erase(records.begin());
+  }
+
+  size_t num_cols = 0;
+  if (options.schema != nullptr) {
+    num_cols = options.schema->num_columns();
+  } else if (!names.empty()) {
+    num_cols = names.size();
+  } else if (!records.empty()) {
+    num_cols = records[0].size();
+  }
+  if (num_cols == 0) return Status::InvalidArgument("CSV input has no columns");
+
+  std::vector<ColumnDescription> descs(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (options.schema != nullptr) {
+      descs[c] = options.schema->column(static_cast<int>(c));
+    } else {
+      descs[c].name = c < names.size() ? names[c] : "col" + std::to_string(c);
+      descs[c].kind = InferKind(records, c);
+    }
+  }
+
+  std::vector<ColumnBuilder> builders;
+  builders.reserve(num_cols);
+  for (const auto& d : descs) builders.emplace_back(d.kind);
+
+  for (const auto& rec : records) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string* cell = c < rec.size() ? &rec[c] : nullptr;
+      if (cell == nullptr || cell->empty()) {
+        builders[c].AppendMissing();
+        continue;
+      }
+      switch (descs[c].kind) {
+        case DataKind::kInt: {
+          int32_t v;
+          if (ParseInt32(*cell, &v)) {
+            builders[c].AppendInt(v);
+          } else {
+            builders[c].AppendMissing();
+          }
+          break;
+        }
+        case DataKind::kDouble: {
+          double v;
+          if (ParseDouble(*cell, &v)) {
+            builders[c].AppendDouble(v);
+          } else {
+            builders[c].AppendMissing();
+          }
+          break;
+        }
+        case DataKind::kDate: {
+          // Dates in CSV are millisecond counts (pretty parsing is out of
+          // scope; the generators produce milliseconds).
+          int32_t unused;
+          (void)unused;
+          errno = 0;
+          char* end = nullptr;
+          long long v = std::strtoll(cell->c_str(), &end, 10);
+          if (errno == 0 && end == cell->c_str() + cell->size()) {
+            builders[c].AppendDate(v);
+          } else {
+            builders[c].AppendMissing();
+          }
+          break;
+        }
+        case DataKind::kString:
+        case DataKind::kCategory:
+          builders[c].AppendString(*cell);
+          break;
+      }
+    }
+  }
+
+  std::vector<ColumnPtr> columns;
+  columns.reserve(num_cols);
+  for (auto& b : builders) columns.push_back(b.Finish());
+  return Table::Create(Schema(std::move(descs)), std::move(columns));
+}
+
+std::vector<std::vector<std::string>> ReadRecords(std::istream& in,
+                                                  char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    records.push_back(SplitRecord(line, delim));
+  }
+  return records;
+}
+
+// Quotes a field if it contains the delimiter, a quote, or a newline.
+std::string QuoteField(const std::string& s, char delim) {
+  bool needs_quote = false;
+  for (char c : s) {
+    if (c == delim || c == '"' || c == '\n') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return ParseRecords(ReadRecords(in, options.delimiter), options);
+}
+
+Result<TablePtr> ReadCsvText(const std::string& text,
+                             const CsvOptions& options) {
+  std::istringstream in(text);
+  return ParseRecords(ReadRecords(in, options.delimiter), options);
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create '" + path + "'");
+  const Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    out << QuoteField(schema.column(c).name, ',');
+  }
+  out << '\n';
+  ForEachRow(*table.members(), [&](uint32_t row) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      out << QuoteField(table.column(c)->GetString(row), ',');
+    }
+    out << '\n';
+  });
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace hillview

@@ -1,0 +1,37 @@
+#ifndef HILLVIEW_STORAGE_CSV_H_
+#define HILLVIEW_STORAGE_CSV_H_
+
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace hillview {
+
+/// CSV loading options.
+struct CsvOptions {
+  /// If set, parse using this schema; the header must match by position.
+  /// If unset, kinds are inferred (int -> double -> string, per column).
+  const Schema* schema = nullptr;
+  /// Whether the first line is a header. Without a header, columns are named
+  /// "col0", "col1", ...
+  bool has_header = true;
+  char delimiter = ',';
+};
+
+/// Reads a CSV file into a single in-memory table. Hillview reads raw data
+/// with no ingestion step (§5.4); this is the plain-text repository reader.
+/// Handles quoted fields (RFC 4180 quoting, embedded delimiters/quotes).
+/// Empty fields become missing values.
+Result<TablePtr> ReadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// Parses CSV text from a string (used by tests).
+Result<TablePtr> ReadCsvText(const std::string& text,
+                             const CsvOptions& options = {});
+
+/// Writes the member rows of a table as CSV with a header line.
+Status WriteCsv(const Table& table, const std::string& path);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_CSV_H_

@@ -1,0 +1,336 @@
+#include "storage/jsonl.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace hillview {
+
+namespace {
+
+/// Minimal JSON scanner for flat objects. Values are captured as tagged
+/// strings; full JSON (nesting, arrays) is rejected with a parse error.
+struct JsonValue {
+  enum class Tag { kNull, kNumber, kString, kBool } tag = Tag::kNull;
+  std::string text;  // raw number text or decoded string
+  bool boolean = false;
+};
+
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  Result<std::map<std::string, JsonValue>> Parse() {
+    std::map<std::string, JsonValue> fields;
+    SkipSpace();
+    if (!Consume('{')) return Error("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return fields;
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      HV_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipSpace();
+      JsonValue value;
+      HV_RETURN_IF_ERROR(ParseValue(&value));
+      fields[key] = std::move(value);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}'");
+    }
+    return fields;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case '/': out->push_back('/'); break;
+          case '\\': out->push_back('\\'); break;
+          case '"': out->push_back('"'); break;
+          case 'u': {
+            // Basic \uXXXX support: Latin-1 subset decodes; others pass
+            // through as '?' (log formats rarely need more).
+            if (pos_ + 4 > s_.size()) return Error("bad \\u escape");
+            unsigned code = std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            out->push_back(code < 256 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseValue(JsonValue* out) {
+    if (pos_ >= s_.size()) return Error("unexpected end");
+    char c = s_[pos_];
+    if (c == '"') {
+      out->tag = JsonValue::Tag::kString;
+      return ParseString(&out->text);
+    }
+    if (c == 't' || c == 'f') {
+      bool is_true = s_.compare(pos_, 4, "true") == 0;
+      bool is_false = s_.compare(pos_, 5, "false") == 0;
+      if (!is_true && !is_false) return Error("bad literal");
+      out->tag = JsonValue::Tag::kBool;
+      out->boolean = is_true;
+      pos_ += is_true ? 4 : 5;
+      return Status::OK();
+    }
+    if (c == 'n') {
+      if (s_.compare(pos_, 4, "null") != 0) return Error("bad literal");
+      out->tag = JsonValue::Tag::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (c == '{' || c == '[') {
+      return Error("nested objects/arrays are not supported");
+    }
+    // Number.
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("bad value");
+    out->tag = JsonValue::Tag::kNumber;
+    out->text = s_.substr(start, pos_ - start);
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+DataKind InferJsonKind(
+    const std::vector<std::map<std::string, JsonValue>>& rows,
+    const std::string& key) {
+  bool all_int = true, any = false;
+  for (const auto& row : rows) {
+    auto it = row.find(key);
+    if (it == row.end() || it->second.tag == JsonValue::Tag::kNull) continue;
+    any = true;
+    switch (it->second.tag) {
+      case JsonValue::Tag::kString:
+        return DataKind::kString;
+      case JsonValue::Tag::kBool:
+        break;  // int-compatible
+      case JsonValue::Tag::kNumber: {
+        double d = std::atof(it->second.text.c_str());
+        if (d != std::floor(d) || std::fabs(d) > INT32_MAX) all_int = false;
+        break;
+      }
+      case JsonValue::Tag::kNull:
+        break;
+    }
+  }
+  if (!any) return DataKind::kString;
+  return all_int ? DataKind::kInt : DataKind::kDouble;
+}
+
+Result<TablePtr> BuildTable(
+    const std::vector<std::map<std::string, JsonValue>>& rows,
+    const JsonlOptions& options) {
+  std::vector<ColumnDescription> descs;
+  if (options.schema != nullptr) {
+    descs = options.schema->columns();
+  } else {
+    // Union of keys, in first-seen order across rows.
+    std::vector<std::string> keys;
+    std::map<std::string, bool> seen;
+    for (const auto& row : rows) {
+      for (const auto& [key, value] : row) {
+        if (!seen[key]) {
+          seen[key] = true;
+          keys.push_back(key);
+        }
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const auto& key : keys) {
+      descs.push_back({key, InferJsonKind(rows, key)});
+    }
+  }
+  if (descs.empty()) {
+    return Status::InvalidArgument("JSONL input has no fields");
+  }
+
+  std::vector<ColumnBuilder> builders;
+  for (const auto& d : descs) builders.emplace_back(d.kind);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < descs.size(); ++c) {
+      auto it = row.find(descs[c].name);
+      if (it == row.end() || it->second.tag == JsonValue::Tag::kNull) {
+        builders[c].AppendMissing();
+        continue;
+      }
+      const JsonValue& v = it->second;
+      switch (descs[c].kind) {
+        case DataKind::kInt:
+          if (v.tag == JsonValue::Tag::kBool) {
+            builders[c].AppendInt(v.boolean ? 1 : 0);
+          } else if (v.tag == JsonValue::Tag::kNumber) {
+            builders[c].AppendInt(
+                static_cast<int32_t>(std::atof(v.text.c_str())));
+          } else {
+            builders[c].AppendMissing();
+          }
+          break;
+        case DataKind::kDouble:
+          if (v.tag == JsonValue::Tag::kNumber) {
+            builders[c].AppendDouble(std::atof(v.text.c_str()));
+          } else if (v.tag == JsonValue::Tag::kBool) {
+            builders[c].AppendDouble(v.boolean ? 1 : 0);
+          } else {
+            builders[c].AppendMissing();
+          }
+          break;
+        case DataKind::kDate:
+          if (v.tag == JsonValue::Tag::kNumber) {
+            builders[c].AppendDate(std::atoll(v.text.c_str()));
+          } else {
+            builders[c].AppendMissing();
+          }
+          break;
+        case DataKind::kString:
+        case DataKind::kCategory:
+          if (v.tag == JsonValue::Tag::kString) {
+            builders[c].AppendString(v.text);
+          } else if (v.tag == JsonValue::Tag::kNumber) {
+            builders[c].AppendString(v.text);
+          } else if (v.tag == JsonValue::Tag::kBool) {
+            builders[c].AppendString(v.boolean ? "true" : "false");
+          } else {
+            builders[c].AppendMissing();
+          }
+          break;
+      }
+    }
+  }
+  std::vector<ColumnPtr> columns;
+  for (auto& b : builders) columns.push_back(b.Finish());
+  return Table::Create(Schema(std::move(descs)), std::move(columns));
+}
+
+Result<TablePtr> ParseStream(std::istream& in, const JsonlOptions& options) {
+  std::vector<std::map<std::string, JsonValue>> rows;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    LineParser parser(line);
+    auto fields = parser.Parse();
+    if (!fields.ok()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": " +
+          fields.status().message());
+    }
+    rows.push_back(fields.Take());
+  }
+  return BuildTable(rows, options);
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> ReadJsonl(const std::string& path,
+                           const JsonlOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return ParseStream(in, options);
+}
+
+Result<TablePtr> ReadJsonlText(const std::string& text,
+                               const JsonlOptions& options) {
+  std::istringstream in(text);
+  return ParseStream(in, options);
+}
+
+Status WriteJsonl(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create '" + path + "'");
+  const Schema& schema = table.schema();
+  ForEachRow(*table.members(), [&](uint32_t row) {
+    out << '{';
+    bool first = true;
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      const IColumn& col = *table.column(c);
+      if (col.IsMissing(row)) continue;
+      if (!first) out << ',';
+      first = false;
+      out << '"' << EscapeJson(schema.column(c).name) << "\":";
+      if (IsStringKind(col.kind())) {
+        out << '"' << EscapeJson(col.GetString(row)) << '"';
+      } else {
+        out << col.GetString(row);
+      }
+    }
+    out << "}\n";
+  });
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace hillview

@@ -1,0 +1,37 @@
+#ifndef HILLVIEW_STORAGE_JSONL_H_
+#define HILLVIEW_STORAGE_JSONL_H_
+
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace hillview {
+
+/// JSON-lines repository reader (§2: Hillview "can operate directly on data
+/// stored in ... JSON files ... without any data transformation overheads").
+/// One JSON object per line; flat objects only (no nesting — nested values
+/// would be columns of their own in a real repository). Supported value
+/// shapes: numbers (int32 when integral and in range, double otherwise),
+/// strings, booleans (mapped to int 0/1), and null (missing).
+///
+/// The schema is the union of keys across rows when not given; kinds are
+/// inferred like the CSV reader (int -> double -> string per column).
+struct JsonlOptions {
+  const Schema* schema = nullptr;
+};
+
+Result<TablePtr> ReadJsonl(const std::string& path,
+                           const JsonlOptions& options = {});
+
+/// Parses JSON-lines text from a string (used by tests).
+Result<TablePtr> ReadJsonlText(const std::string& text,
+                               const JsonlOptions& options = {});
+
+/// Writes the member rows of a table as JSON lines (missing cells are
+/// omitted from the object, matching common log formats).
+Status WriteJsonl(const Table& table, const std::string& path);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_JSONL_H_

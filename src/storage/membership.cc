@@ -1,0 +1,49 @@
+#include "storage/membership.h"
+
+#include <algorithm>
+
+namespace hillview {
+
+const std::vector<uint64_t>& IMembershipSet::bitmap_words() const {
+  static const std::vector<uint64_t> kEmpty;
+  return kEmpty;
+}
+
+const std::vector<uint32_t>& IMembershipSet::sparse_rows() const {
+  static const std::vector<uint32_t> kEmpty;
+  return kEmpty;
+}
+
+DenseMembership::DenseMembership(std::vector<uint64_t> words, uint32_t universe)
+    : words_(std::move(words)), universe_(universe) {
+  uint64_t count = 0;
+  for (uint64_t w : words_) count += __builtin_popcountll(w);
+  count_ = static_cast<uint32_t>(count);
+}
+
+SparseMembership::SparseMembership(std::vector<uint32_t> rows,
+                                   uint32_t universe)
+    : rows_(std::move(rows)), universe_(universe) {}
+
+bool SparseMembership::Contains(uint32_t row) const {
+  return std::binary_search(rows_.begin(), rows_.end(), row);
+}
+
+MembershipPtr FilterMembership(const IMembershipSet& base,
+                               const std::function<bool(uint32_t)>& pred) {
+  uint32_t universe = base.universe_size();
+  std::vector<uint32_t> hits;
+  ForEachRow(base, [&](uint32_t row) {
+    if (pred(row)) hits.push_back(row);
+  });
+  double density =
+      universe == 0 ? 0.0 : static_cast<double>(hits.size()) / universe;
+  if (density < kSparseDensityCutoff) {
+    return std::make_shared<SparseMembership>(std::move(hits), universe);
+  }
+  std::vector<uint64_t> words((universe + 63) / 64, 0);
+  for (uint32_t row : hits) words[row >> 6] |= (1ULL << (row & 63));
+  return std::make_shared<DenseMembership>(std::move(words), universe);
+}
+
+}  // namespace hillview

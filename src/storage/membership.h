@@ -1,0 +1,187 @@
+#ifndef HILLVIEW_STORAGE_MEMBERSHIP_H_
+#define HILLVIEW_STORAGE_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/random.h"
+
+namespace hillview {
+
+/// Identifies which rows of a partition belong to a (possibly filtered) table
+/// (§5.6). Derived tables share column data and differ only in this set.
+///
+/// Representations: a full set (no filtering), a dense bitmap, or a sparse
+/// sorted row list — chosen by density, as in the paper ("Dense tables that
+/// contain most rows store a bitmap, while sparse tables store a hashset").
+class IMembershipSet {
+ public:
+  enum class Kind { kFull, kDense, kSparse };
+
+  virtual ~IMembershipSet() = default;
+
+  virtual Kind kind() const = 0;
+  /// Number of rows in the underlying partition (the columns' length).
+  virtual uint32_t universe_size() const = 0;
+  /// Number of member rows.
+  virtual uint32_t size() const = 0;
+  virtual bool Contains(uint32_t row) const = 0;
+  virtual size_t MemoryBytes() const = 0;
+
+  // Representation accessors for devirtualized hot loops; each is only valid
+  // for the corresponding kind.
+  virtual const std::vector<uint64_t>& bitmap_words() const;
+  virtual const std::vector<uint32_t>& sparse_rows() const;
+};
+
+using MembershipPtr = std::shared_ptr<const IMembershipSet>;
+
+/// All rows [0, n) are members.
+class FullMembership final : public IMembershipSet {
+ public:
+  explicit FullMembership(uint32_t n) : n_(n) {}
+  Kind kind() const override { return Kind::kFull; }
+  uint32_t universe_size() const override { return n_; }
+  uint32_t size() const override { return n_; }
+  bool Contains(uint32_t row) const override { return row < n_; }
+  size_t MemoryBytes() const override { return sizeof(*this); }
+
+ private:
+  uint32_t n_;
+};
+
+/// Bitmap membership for dense filters.
+class DenseMembership final : public IMembershipSet {
+ public:
+  DenseMembership(std::vector<uint64_t> words, uint32_t universe);
+
+  Kind kind() const override { return Kind::kDense; }
+  uint32_t universe_size() const override { return universe_; }
+  uint32_t size() const override { return count_; }
+  bool Contains(uint32_t row) const override {
+    if ((row >> 6) >= words_.size()) return false;
+    return (words_[row >> 6] >> (row & 63)) & 1;
+  }
+  size_t MemoryBytes() const override {
+    return words_.size() * sizeof(uint64_t);
+  }
+  const std::vector<uint64_t>& bitmap_words() const override { return words_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint32_t universe_;
+  uint32_t count_;
+};
+
+/// Sorted row-id list for sparse filters.
+class SparseMembership final : public IMembershipSet {
+ public:
+  /// `rows` must be sorted ascending and duplicate-free.
+  SparseMembership(std::vector<uint32_t> rows, uint32_t universe);
+
+  Kind kind() const override { return Kind::kSparse; }
+  uint32_t universe_size() const override { return universe_; }
+  uint32_t size() const override { return static_cast<uint32_t>(rows_.size()); }
+  bool Contains(uint32_t row) const override;
+  size_t MemoryBytes() const override {
+    return rows_.size() * sizeof(uint32_t);
+  }
+  const std::vector<uint32_t>& sparse_rows() const override { return rows_; }
+
+ private:
+  std::vector<uint32_t> rows_;
+  uint32_t universe_;
+};
+
+/// Builds the best representation for the rows matching `pred` within `base`.
+/// Density below kSparseDensityCutoff selects the sparse representation.
+MembershipPtr FilterMembership(const IMembershipSet& base,
+                               const std::function<bool(uint32_t)>& pred);
+
+inline constexpr double kSparseDensityCutoff = 1.0 / 32.0;
+
+/// Calls `fn(row)` for every member row in increasing order. Dispatches once
+/// on the representation so the per-row loop is branch-predictable.
+template <typename Fn>
+void ForEachRow(const IMembershipSet& m, Fn&& fn) {
+  switch (m.kind()) {
+    case IMembershipSet::Kind::kFull: {
+      uint32_t n = m.size();
+      for (uint32_t r = 0; r < n; ++r) fn(r);
+      return;
+    }
+    case IMembershipSet::Kind::kDense: {
+      const auto& words = m.bitmap_words();
+      for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t bits = words[w];
+        while (bits != 0) {
+          int bit = __builtin_ctzll(bits);
+          fn(static_cast<uint32_t>((w << 6) + bit));
+          bits &= bits - 1;
+        }
+      }
+      return;
+    }
+    case IMembershipSet::Kind::kSparse: {
+      for (uint32_t r : m.sparse_rows()) fn(r);
+      return;
+    }
+  }
+}
+
+/// Samples each member row independently with probability `rate` and calls
+/// `fn(row)` for the sampled rows, in increasing row order. Runs in expected
+/// time proportional to the number of samples (plus bitmap skips), matching
+/// §5.6's requirement that sampling "does not require reading each row".
+///
+/// Dense bitmaps are sampled by geometric skips over the universe followed by
+/// a membership test; a universe row that is a member is kept, so members are
+/// sampled at exactly `rate` ("for dense tables we walk randomly the bitmap
+/// in increasing index order").
+template <typename Fn>
+void SampleRows(const IMembershipSet& m, double rate, uint64_t seed, Fn&& fn) {
+  if (rate <= 0.0) return;
+  Random rng(seed);
+  if (rate >= 1.0) {
+    ForEachRow(m, fn);
+    return;
+  }
+  GeometricSkipper skipper(&rng, rate);
+  switch (m.kind()) {
+    case IMembershipSet::Kind::kFull: {
+      uint64_t n = m.size();
+      uint64_t r = skipper.Next();
+      while (r < n) {
+        fn(static_cast<uint32_t>(r));
+        r += 1 + skipper.Next();
+      }
+      return;
+    }
+    case IMembershipSet::Kind::kDense: {
+      uint64_t n = m.universe_size();
+      uint64_t r = skipper.Next();
+      while (r < n) {
+        auto row = static_cast<uint32_t>(r);
+        if (m.Contains(row)) fn(row);
+        r += 1 + skipper.Next();
+      }
+      return;
+    }
+    case IMembershipSet::Kind::kSparse: {
+      const auto& rows = m.sparse_rows();
+      uint64_t n = rows.size();
+      uint64_t i = skipper.Next();
+      while (i < n) {
+        fn(rows[i]);
+        i += 1 + skipper.Next();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_MEMBERSHIP_H_

@@ -1,0 +1,34 @@
+#include "storage/row_order.h"
+
+namespace hillview {
+
+RowComparator::RowComparator(const Table& table, const RecordOrder& order) {
+  for (const auto& o : order.orientations()) {
+    ColumnPtr col = table.GetColumnOrNull(o.column);
+    if (col == nullptr) continue;  // Unknown columns are ignored.
+    columns_.push_back(col.get());
+    ascending_.push_back(o.ascending);
+  }
+}
+
+int RowComparator::Compare(uint32_t a, uint32_t b) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    int c = columns_[i]->CompareRows(a, b);
+    if (c != 0) return ascending_[i] ? c : -c;
+  }
+  return 0;
+}
+
+int CompareRowToKey(const Table& table, const RecordOrder& order, uint32_t row,
+                    const std::vector<Value>& key) {
+  const auto& orientations = order.orientations();
+  for (size_t i = 0; i < orientations.size() && i < key.size(); ++i) {
+    ColumnPtr col = table.GetColumnOrNull(orientations[i].column);
+    if (col == nullptr) continue;
+    int c = CompareValues(col->GetValue(row), key[i]);
+    if (c != 0) return orientations[i].ascending ? c : -c;
+  }
+  return 0;
+}
+
+}  // namespace hillview

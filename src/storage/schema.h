@@ -1,0 +1,79 @@
+#ifndef HILLVIEW_STORAGE_SCHEMA_H_
+#define HILLVIEW_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace hillview {
+
+/// Name and kind of one column.
+struct ColumnDescription {
+  std::string name;
+  DataKind kind = DataKind::kString;
+
+  bool operator==(const ColumnDescription& other) const {
+    return name == other.name && kind == other.kind;
+  }
+};
+
+/// Ordered list of column descriptions with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDescription> columns)
+      : columns_(std::move(columns)) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      index_[columns_[i].name] = static_cast<int>(i);
+    }
+  }
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDescription& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnDescription>& columns() const { return columns_; }
+
+  /// Index of the named column, or -1.
+  int IndexOf(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  std::optional<ColumnDescription> Find(const std::string& name) const {
+    int i = IndexOf(name);
+    if (i < 0) return std::nullopt;
+    return columns_[i];
+  }
+
+  /// Returns a new schema with `desc` appended.
+  Schema Append(const ColumnDescription& desc) const {
+    std::vector<ColumnDescription> cols = columns_;
+    cols.push_back(desc);
+    return Schema(std::move(cols));
+  }
+
+  /// Returns the schema restricted to `names`, in the given order. Unknown
+  /// names are skipped.
+  Schema Project(const std::vector<std::string>& names) const {
+    std::vector<ColumnDescription> cols;
+    for (const auto& n : names) {
+      int i = IndexOf(n);
+      if (i >= 0) cols.push_back(columns_[i]);
+    }
+    return Schema(std::move(cols));
+  }
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<ColumnDescription> columns_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_SCHEMA_H_

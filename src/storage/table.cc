@@ -1,0 +1,90 @@
+#include "storage/table.h"
+
+#include <cassert>
+
+namespace hillview {
+
+TablePtr Table::Create(Schema schema, std::vector<ColumnPtr> columns) {
+  uint32_t n = columns.empty() ? 0 : columns[0]->size();
+  return Create(std::move(schema), std::move(columns),
+                std::make_shared<FullMembership>(n));
+}
+
+TablePtr Table::Create(Schema schema, std::vector<ColumnPtr> columns,
+                       MembershipPtr members) {
+  assert(static_cast<int>(columns.size()) == schema.num_columns());
+  for (const auto& col : columns) {
+    assert(col->size() == members->universe_size());
+    (void)col;
+  }
+  return TablePtr(
+      new Table(std::move(schema), std::move(columns), std::move(members)));
+}
+
+Result<ColumnPtr> Table::GetColumn(const std::string& name) const {
+  int i = schema_.IndexOf(name);
+  if (i < 0) return Status::NotFound("no column named '" + name + "'");
+  return columns_[i];
+}
+
+ColumnPtr Table::GetColumnOrNull(const std::string& name) const {
+  int i = schema_.IndexOf(name);
+  return i < 0 ? nullptr : columns_[i];
+}
+
+TablePtr Table::Filter(const std::function<bool(uint32_t)>& pred) const {
+  MembershipPtr filtered = FilterMembership(*members_, pred);
+  return TablePtr(new Table(schema_, columns_, std::move(filtered)));
+}
+
+TablePtr Table::WithColumn(const ColumnDescription& desc,
+                           ColumnPtr column) const {
+  assert(column->size() == universe_size());
+  Schema schema = schema_.Append(desc);
+  std::vector<ColumnPtr> columns = columns_;
+  columns.push_back(std::move(column));
+  return TablePtr(new Table(std::move(schema), std::move(columns), members_));
+}
+
+TablePtr Table::Project(const std::vector<std::string>& names) const {
+  Schema schema = schema_.Project(names);
+  std::vector<ColumnPtr> columns;
+  columns.reserve(schema.num_columns());
+  for (const auto& desc : schema.columns()) {
+    columns.push_back(columns_[schema_.IndexOf(desc.name)]);
+  }
+  return TablePtr(new Table(std::move(schema), std::move(columns), members_));
+}
+
+std::vector<Value> Table::GetRow(uint32_t row,
+                                 const std::vector<std::string>& names) const {
+  std::vector<Value> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    int i = schema_.IndexOf(name);
+    out.push_back(i < 0 ? Value(std::monostate{}) : columns_[i]->GetValue(row));
+  }
+  return out;
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = members_->MemoryBytes();
+  for (const auto& col : columns_) bytes += col->MemoryBytes();
+  return bytes;
+}
+
+std::vector<uint32_t> PartitionRowCounts(uint64_t total_rows,
+                                         uint32_t rows_per_partition) {
+  std::vector<uint32_t> counts;
+  if (rows_per_partition == 0) rows_per_partition = 1;
+  uint64_t remaining = total_rows;
+  while (remaining > 0) {
+    uint32_t take = static_cast<uint32_t>(
+        remaining < rows_per_partition ? remaining : rows_per_partition);
+    counts.push_back(take);
+    remaining -= take;
+  }
+  return counts;
+}
+
+}  // namespace hillview

@@ -1,0 +1,89 @@
+#ifndef HILLVIEW_STORAGE_TABLE_H_
+#define HILLVIEW_STORAGE_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/membership.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace hillview {
+
+class Table;
+using TablePtr = std::shared_ptr<const Table>;
+
+/// An immutable columnar table fragment: the unit of data a leaf node
+/// operates on (one micropartition, §5.3). A Table is a set of shared columns
+/// plus a membership set; derived tables (filtering, zoom-in §5.6) share the
+/// same columns and replace only the membership set, so filtering costs no
+/// data copies.
+class Table {
+ public:
+  /// Full table over all rows of the given columns.
+  static TablePtr Create(Schema schema, std::vector<ColumnPtr> columns);
+
+  /// Table with an explicit membership set (used by Filter and tests).
+  static TablePtr Create(Schema schema, std::vector<ColumnPtr> columns,
+                         MembershipPtr members);
+
+  const Schema& schema() const { return schema_; }
+  const MembershipPtr& members() const { return members_; }
+
+  /// Number of member rows (after filtering).
+  uint32_t num_rows() const { return members_->size(); }
+  /// Number of physical rows in the columns.
+  uint32_t universe_size() const { return members_->universe_size(); }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const ColumnPtr& column(int i) const { return columns_[i]; }
+
+  /// Column by name; error status if absent.
+  Result<ColumnPtr> GetColumn(const std::string& name) const;
+  /// Column by name; nullptr if absent (for hot paths that pre-validate).
+  ColumnPtr GetColumnOrNull(const std::string& name) const;
+
+  /// A derived table keeping only rows where `pred(row)` holds (§5.6).
+  TablePtr Filter(const std::function<bool(uint32_t)>& pred) const;
+
+  /// A derived table with one extra column appended. The new column must
+  /// cover the full universe (it is defined for non-member rows too).
+  TablePtr WithColumn(const ColumnDescription& desc, ColumnPtr column) const;
+
+  /// A derived table restricted to the named columns (same membership).
+  TablePtr Project(const std::vector<std::string>& names) const;
+
+  /// Materializes one row's cells for the named columns.
+  std::vector<Value> GetRow(uint32_t row,
+                            const std::vector<std::string>& names) const;
+
+  /// Total bytes of column data plus membership overhead.
+  size_t MemoryBytes() const;
+
+  /// Total cell count as the paper counts it: rows x columns.
+  uint64_t CellCount() const {
+    return static_cast<uint64_t>(num_rows()) * num_columns();
+  }
+
+ private:
+  Table(Schema schema, std::vector<ColumnPtr> columns, MembershipPtr members)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        members_(std::move(members)) {}
+
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+  MembershipPtr members_;
+};
+
+/// Splits `rows` into micropartition-sized tables built by `make_partition`.
+/// Used by loaders/generators; partitions are the units assigned to leaves.
+std::vector<uint32_t> PartitionRowCounts(uint64_t total_rows,
+                                         uint32_t rows_per_partition);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_TABLE_H_

@@ -1,0 +1,78 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace hillview {
+
+const char* DataKindName(DataKind kind) {
+  switch (kind) {
+    case DataKind::kInt:
+      return "Int";
+    case DataKind::kDouble:
+      return "Double";
+    case DataKind::kDate:
+      return "Date";
+    case DataKind::kString:
+      return "String";
+    case DataKind::kCategory:
+      return "Category";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// Orders the variant alternatives for cross-type comparison: numbers first,
+// then strings, then missing (missing-last).
+int TypeRank(const Value& v) {
+  if (std::holds_alternative<std::monostate>(v)) return 2;
+  if (std::holds_alternative<std::string>(v)) return 1;
+  return 0;  // int64 or double: numeric
+}
+
+double AsDouble(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return static_cast<double>(*i);
+  return std::get<double>(v);
+}
+
+}  // namespace
+
+int CompareValues(const Value& a, const Value& b) {
+  int ra = TypeRank(a), rb = TypeRank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0: {
+      // Numeric: compare exactly when both are int64 to avoid precision loss.
+      const auto* ia = std::get_if<int64_t>(&a);
+      const auto* ib = std::get_if<int64_t>(&b);
+      if (ia != nullptr && ib != nullptr) {
+        if (*ia != *ib) return *ia < *ib ? -1 : 1;
+        return 0;
+      }
+      double da = AsDouble(a), db = AsDouble(b);
+      if (da != db) return da < db ? -1 : 1;
+      return 0;
+    }
+    case 1: {
+      const std::string& sa = std::get<std::string>(a);
+      const std::string& sb = std::get<std::string>(b);
+      int c = sa.compare(sb);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;  // both missing
+  }
+}
+
+std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<std::monostate>(v)) return "";
+  if (const auto* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", *d);
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+}  // namespace hillview

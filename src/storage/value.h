@@ -1,0 +1,49 @@
+#ifndef HILLVIEW_STORAGE_VALUE_H_
+#define HILLVIEW_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace hillview {
+
+/// Column data kinds supported by the spreadsheet (§3.5): integers, floating
+/// point, dates, free-form text, and categorical strings. Dates are stored as
+/// milliseconds since the Unix epoch, exactly like the Java implementation.
+enum class DataKind : uint8_t {
+  kInt = 0,       // 32-bit signed integer
+  kDouble = 1,    // 64-bit IEEE double
+  kDate = 2,      // int64 milliseconds since epoch
+  kString = 3,    // free-form text, dictionary-encoded
+  kCategory = 4,  // categorical string, dictionary-encoded, small cardinality
+};
+
+const char* DataKindName(DataKind kind);
+
+/// Returns true for kinds whose values convert to a real number "readily"
+/// (§4.3): ints, doubles and dates. String kinds are not numeric.
+inline bool IsNumericKind(DataKind kind) {
+  return kind == DataKind::kInt || kind == DataKind::kDouble ||
+         kind == DataKind::kDate;
+}
+
+inline bool IsStringKind(DataKind kind) {
+  return kind == DataKind::kString || kind == DataKind::kCategory;
+}
+
+/// A single materialized cell. Only tiny summaries (next-items rows, heavy
+/// hitter keys) ever materialize Values; scans work on raw column arrays.
+/// monostate represents a missing value, which sorts after all present values
+/// (matching the Java implementation's null ordering).
+using Value = std::variant<std::monostate, int64_t, double, std::string>;
+
+/// Three-way comparison with missing-last semantics. Values of different
+/// numeric representations (int64 vs double) compare numerically.
+int CompareValues(const Value& a, const Value& b);
+
+/// Renders a value for table views and CSV output; missing renders as "".
+std::string ValueToString(const Value& v);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_VALUE_H_

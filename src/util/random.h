@@ -1,0 +1,149 @@
+#ifndef HILLVIEW_UTIL_RANDOM_H_
+#define HILLVIEW_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace hillview {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Hillview requires determinism for
+/// fault-tolerant replay (§5.8): all randomized vizketches receive their seed
+/// from the redo log, so a restarted worker recomputes identical summaries.
+///
+/// This class is intentionally minimal and header-only: it is used on the hot
+/// sampling path of every sampled vizketch.
+class Random {
+ public:
+  /// Seeds the four lanes of xoshiro256** from a single 64-bit seed using
+  /// splitmix64, per the reference implementation's recommendation.
+  explicit Random(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  /// rejection method (unbiased, one multiply in the common case).
+  uint64_t NextUint64(uint64_t bound) {
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric skip distance for Bernoulli(p) sampling: the number of items to
+  /// skip before the next sampled item. Lets sampled sketches walk a column
+  /// without a per-row coin flip (the paper's "sampling is efficient"
+  /// requirement in §5.6).
+  uint64_t NextGeometricSkip(double p) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return ~0ULL;
+    double u = NextDouble();
+    // Smallest k >= 0 with 1-(1-p)^(k+1) >= u.
+    return static_cast<uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+  }
+
+  /// Gaussian via Box-Muller (used only by data generators, not hot paths).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+/// Geometric skip generator for Bernoulli(p) sampling with the log of the
+/// failure probability precomputed: one NextDouble + one log per sample
+/// instead of three logs. This is the hot path of every sampled vizketch.
+class GeometricSkipper {
+ public:
+  GeometricSkipper(Random* rng, double p)
+      : rng_(rng), always_(p >= 1.0), never_(p <= 0.0) {
+    if (!always_ && !never_) inv_log_q_ = 1.0 / std::log1p(-p);
+  }
+
+  /// Rows to skip before the next sampled row.
+  uint64_t Next() {
+    if (always_) return 0;
+    if (never_) return ~0ULL;
+    double u = rng_->NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    double skip = std::floor(std::log(u) * inv_log_q_);
+    // log(u) <= 0 and inv_log_q_ < 0, so skip >= 0; cap absurd skips.
+    if (skip >= 9e18) return ~0ULL;
+    return static_cast<uint64_t>(skip);
+  }
+
+ private:
+  Random* rng_;
+  double inv_log_q_ = 0;
+  bool always_;
+  bool never_;
+};
+
+/// Stateless 64-bit mixer; used to derive per-partition seeds from a root seed
+/// so that replay on a restarted worker is deterministic regardless of which
+/// worker hosts the partition.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// 64-bit hash for strings/bytes (FNV-1a); used by sparse membership sets and
+/// bottom-k sampling over distinct strings.
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche so low bits are usable for bucketing.
+  return MixSeed(h, 0x5bd1e995);
+}
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_UTIL_RANDOM_H_

@@ -1,0 +1,123 @@
+#ifndef HILLVIEW_UTIL_SERIALIZE_H_
+#define HILLVIEW_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hillview {
+
+/// Growable byte sink used to serialize vizketch summaries for transport
+/// across (simulated) machine boundaries. The simulated cluster counts these
+/// bytes to reproduce the paper's root-bandwidth measurements (Fig 5 bottom).
+///
+/// The format is little-endian, unaligned, with no framing: each summary type
+/// defines its own layout via Serialize/Deserialize.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { Append(&v, 1); }
+  void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { Append(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { Append(&v, sizeof(v)); }
+  void WriteDouble(double v) { Append(&v, sizeof(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU32(static_cast<uint32_t>(v.size()));
+    Append(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  void Append(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a serialized buffer. All accessors return
+/// Status so that corrupted or truncated messages surface as errors rather
+/// than undefined behavior (the simulated network can inject truncation in
+/// fault-injection tests).
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  Status ReadU8(uint8_t* out) { return Copy(out, 1); }
+  Status ReadU32(uint32_t* out) { return Copy(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return Copy(out, sizeof(*out)); }
+  Status ReadI32(int32_t* out) { return Copy(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return Copy(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return Copy(out, sizeof(*out)); }
+
+  Status ReadBool(bool* out) {
+    uint8_t v = 0;
+    HV_RETURN_IF_ERROR(ReadU8(&v));
+    *out = (v != 0);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    HV_RETURN_IF_ERROR(ReadU32(&len));
+    if (len > Remaining()) return Truncated();
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadPodVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint32_t n = 0;
+    HV_RETURN_IF_ERROR(ReadU32(&n));
+    size_t bytes = static_cast<size_t>(n) * sizeof(T);
+    if (bytes > Remaining()) return Truncated();
+    out->resize(n);
+    std::memcpy(out->data(), data_ + pos_, bytes);
+    pos_ += bytes;
+    return Status::OK();
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Copy(void* out, size_t len) {
+    if (len > Remaining()) return Truncated();
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  static Status Truncated() {
+    return Status::OutOfRange("truncated serialized message");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_UTIL_SERIALIZE_H_

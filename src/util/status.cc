@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace hillview {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeName(code_);
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+}  // namespace hillview

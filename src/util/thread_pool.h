@@ -1,0 +1,110 @@
+#ifndef HILLVIEW_UTIL_THREAD_POOL_H_
+#define HILLVIEW_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hillview {
+
+/// Fixed-size worker pool. Hillview runs one leaf dataset per micropartition
+/// and schedules their summarize() calls on a shared pool (§5.3: "there is a
+/// thread pool that serves leafs with work to do").
+///
+/// Supports a high-priority lane used by cancellation messages, which must
+/// bypass queued work (§5.3: cancellation "bypasses the queuing mechanisms").
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    if (num_threads < 1) num_threads = 1;
+    threads_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task at normal priority. Tasks run FIFO.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return;
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Enqueues a task ahead of all normal-priority work.
+  void SubmitHighPriority(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return;
+      queue_.push_front(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+  /// Stops accepting work, drains in-flight tasks, joins threads. Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return;
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (shutdown_) return;
+          continue;
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+        if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_UTIL_THREAD_POOL_H_

@@ -1,0 +1,222 @@
+#include "workload/flights.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace hillview {
+namespace workload {
+
+namespace {
+
+const char* kAirlines[] = {"AA", "AS", "B6", "DL", "EV", "F9",
+                           "FL", "HA", "MQ", "NK", "OO", "UA",
+                           "US", "VX", "WN", "YV", "YX", "9E"};
+constexpr int kNumAirlines = 18;
+
+const char* kStates[] = {
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI",
+    "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI",
+    "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC",
+    "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT",
+    "VT", "VA", "WA", "WV", "WI", "WY", "DC", "PR", "VI"};
+constexpr int kNumStates = 53;
+
+constexpr int kNumAirports = 347;
+
+// Deterministic synthetic airport code for index i ("AAA".."ZZZ" space).
+// The multiplier is coprime to 26^3, so the map is injective: every index
+// gets a distinct code (kNumAirports distinct airports, like the real data).
+std::string AirportCode(int i) {
+  int j = static_cast<int>((static_cast<int64_t>(i) * 5003) % 17576);
+  char code[4];
+  code[0] = static_cast<char>('A' + j / 676);
+  code[1] = static_cast<char>('A' + (j / 26) % 26);
+  code[2] = static_cast<char>('A' + j % 26);
+  code[3] = '\0';
+  return code;
+}
+
+int AirportState(int airport) { return (airport * 17 + 5) % kNumStates; }
+
+// Zipf-like skew: rank r gets weight ~ 1/(r+1). Sampled by inverse CDF over
+// precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double exponent) : cumulative_(n) {
+    double total = 0;
+    for (int r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(r + 1.0, exponent);
+      cumulative_[r] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+
+  int Sample(Random* rng) const {
+    double u = rng->NextDouble();
+    int lo = 0, hi = static_cast<int>(cumulative_.size()) - 1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (cumulative_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+constexpr int64_t kMillisPerDay = 86400000LL;
+// 1999-01-01 UTC in epoch millis; the dataset spans the next 20 years.
+constexpr int64_t kEpochStart = 915148800000LL;
+constexpr int kDaysSpanned = 20 * 365;
+
+}  // namespace
+
+Schema FlightsSchema(const FlightsOptions& options) {
+  std::vector<ColumnDescription> cols = {
+      {"Year", DataKind::kInt},
+      {"Month", DataKind::kInt},
+      {"DayOfMonth", DataKind::kInt},
+      {"DayOfWeek", DataKind::kInt},
+      {"FlightDate", DataKind::kDate},
+      {"Airline", DataKind::kCategory},
+      {"FlightNumber", DataKind::kInt},
+      {"Origin", DataKind::kCategory},
+      {"OriginState", DataKind::kCategory},
+      {"Dest", DataKind::kCategory},
+      {"DestState", DataKind::kCategory},
+      {"CrsDepTime", DataKind::kInt},
+      {"DepTime", DataKind::kInt},
+      {"DepDelay", DataKind::kDouble},
+      {"ArrDelay", DataKind::kDouble},
+      {"TaxiIn", DataKind::kDouble},
+      {"TaxiOut", DataKind::kDouble},
+      {"Cancelled", DataKind::kInt},
+      {"Distance", DataKind::kDouble},
+      {"AirTime", DataKind::kDouble},
+      {"WeatherDelay", DataKind::kDouble},
+  };
+  for (int f = 0; f < options.filler_columns; ++f) {
+    char name[24];
+    std::snprintf(name, sizeof(name), "metric_%02d", f);
+    cols.push_back({name, DataKind::kDouble});
+  }
+  return Schema(std::move(cols));
+}
+
+TablePtr GenerateFlights(uint32_t rows, uint64_t seed,
+                         const FlightsOptions& options) {
+  Random rng(seed);
+  static const ZipfSampler kAirlineSampler(kNumAirlines, 0.8);
+  static const ZipfSampler kAirportSampler(kNumAirports, 1.05);
+
+  Schema schema = FlightsSchema(options);
+  std::vector<ColumnBuilder> builders;
+  builders.reserve(schema.num_columns());
+  for (const auto& d : schema.columns()) builders.emplace_back(d.kind);
+
+  for (uint32_t r = 0; r < rows; ++r) {
+    int day = static_cast<int>(rng.NextUint64(kDaysSpanned));
+    int64_t date = kEpochStart + day * kMillisPerDay;
+    int year = 1999 + day / 365;
+    int month = 1 + (day % 365) / 31;
+    int day_of_month = 1 + (day % 365) % 31;
+    int day_of_week = 1 + day % 7;
+
+    int airline = kAirlineSampler.Sample(&rng);
+    int origin = kAirportSampler.Sample(&rng);
+    int dest = kAirportSampler.Sample(&rng);
+    if (dest == origin) dest = (dest + 1) % kNumAirports;
+
+    // Departure times cluster in daytime hours.
+    int hour = static_cast<int>(
+        std::fmod(std::fabs(12.0 + 5.0 * rng.NextGaussian()), 24.0));
+    int minute = static_cast<int>(rng.NextUint64(60));
+    int crs_dep = hour * 100 + minute;
+
+    bool cancelled = rng.NextBernoulli(0.018);
+
+    // Heavy-tailed delay: mostly small/negative, occasionally hours.
+    double dep_delay = -5.0 + std::exp(rng.NextGaussian() * 1.3 + 1.7) - 5.0;
+    double arr_delay = dep_delay + rng.NextGaussian() * 12.0;
+    double taxi_out = 10.0 + std::fabs(rng.NextGaussian()) * 8.0;
+    double taxi_in = 5.0 + std::fabs(rng.NextGaussian()) * 4.0;
+    double distance = 150.0 + std::exp(rng.NextGaussian() * 0.9 + 6.0);
+    if (distance > 5000) distance = 5000;
+    double air_time = distance / 7.5 + rng.NextGaussian() * 10.0;
+    bool weather = rng.NextBernoulli(0.04);
+    double weather_delay = weather ? std::fabs(rng.NextGaussian()) * 40.0 : 0;
+
+    int c = 0;
+    builders[c++].AppendInt(year);
+    builders[c++].AppendInt(month);
+    builders[c++].AppendInt(day_of_month);
+    builders[c++].AppendInt(day_of_week);
+    builders[c++].AppendDate(date);
+    builders[c++].AppendString(kAirlines[airline]);
+    builders[c++].AppendInt(static_cast<int32_t>(1 + rng.NextUint64(7000)));
+    builders[c++].AppendString(AirportCode(origin));
+    builders[c++].AppendString(kStates[AirportState(origin)]);
+    builders[c++].AppendString(AirportCode(dest));
+    builders[c++].AppendString(kStates[AirportState(dest)]);
+    builders[c++].AppendInt(crs_dep);
+    if (cancelled) {
+      // Cancelled flights never departed: undefined values, like the real
+      // dataset ("real dataset with ... undefined values").
+      builders[c++].AppendMissing();  // DepTime
+      builders[c++].AppendMissing();  // DepDelay
+      builders[c++].AppendMissing();  // ArrDelay
+      builders[c++].AppendMissing();  // TaxiIn
+      builders[c++].AppendMissing();  // TaxiOut
+    } else {
+      int dep_time = crs_dep + static_cast<int>(dep_delay);
+      builders[c++].AppendInt(((dep_time % 2400) + 2400) % 2400);
+      builders[c++].AppendDouble(dep_delay);
+      builders[c++].AppendDouble(arr_delay);
+      builders[c++].AppendDouble(taxi_in);
+      builders[c++].AppendDouble(taxi_out);
+    }
+    builders[c++].AppendInt(cancelled ? 1 : 0);
+    builders[c++].AppendDouble(distance);
+    if (cancelled) {
+      builders[c++].AppendMissing();  // AirTime
+    } else {
+      builders[c++].AppendDouble(air_time);
+    }
+    builders[c++].AppendDouble(weather_delay);
+    for (int f = 0; f < options.filler_columns; ++f) {
+      builders[c++].AppendDouble(rng.NextGaussian() * (f + 1));
+    }
+  }
+
+  std::vector<ColumnPtr> columns;
+  columns.reserve(builders.size());
+  for (auto& b : builders) columns.push_back(b.Finish());
+  return Table::Create(std::move(schema), std::move(columns));
+}
+
+std::vector<LocalDataSet::Loader> FlightsLoaders(
+    uint64_t total_rows, uint32_t rows_per_partition, uint64_t seed,
+    const FlightsOptions& options) {
+  std::vector<uint32_t> counts =
+      PartitionRowCounts(total_rows, rows_per_partition);
+  std::vector<LocalDataSet::Loader> loaders;
+  loaders.reserve(counts.size());
+  for (size_t p = 0; p < counts.size(); ++p) {
+    uint32_t rows = counts[p];
+    uint64_t partition_seed = MixSeed(seed, p);
+    loaders.push_back([rows, partition_seed, options]() -> Result<TablePtr> {
+      return GenerateFlights(rows, partition_seed, options);
+    });
+  }
+  return loaders;
+}
+
+}  // namespace workload
+}  // namespace hillview

@@ -1,0 +1,125 @@
+#include "workload/logs.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace hillview {
+namespace workload {
+
+namespace {
+
+const char* kServerNames[] = {"Gandalf",  "Frodo",   "Samwise", "Aragorn",
+                              "Legolas",  "Gimli",   "Boromir", "Merry",
+                              "Pippin",   "Elrond",  "Galadriel", "Saruman",
+                              "Denethor", "Faramir", "Eowyn",   "Theoden"};
+constexpr int kNumServerNames = 16;
+
+const char* kLevels[] = {"DEBUG", "INFO", "WARN", "ERROR", "FATAL"};
+const double kLevelWeights[] = {0.30, 0.55, 0.10, 0.045, 0.005};
+
+const char* kComponents[] = {"scheduler", "storage", "network", "auth",
+                             "frontend", "compactor", "replicator", "gc"};
+constexpr int kNumComponents = 8;
+
+const char* kMessageTemplates[] = {
+    "request completed", "request failed", "retrying operation",
+    "connection reset by peer", "slow query detected",
+    "checkpoint written", "lease expired", "quota exceeded",
+    "election started", "snapshot installed"};
+constexpr int kNumTemplates = 10;
+
+constexpr int64_t kMillisPerMonth = 30LL * 86400000LL;
+constexpr int64_t kLogEpoch = 1546300800000LL;  // 2019-01-01
+
+std::string ServerName(int i) {
+  std::string base = kServerNames[i % kNumServerNames];
+  if (i >= kNumServerNames) base += "-" + std::to_string(i / kNumServerNames);
+  return base;
+}
+
+}  // namespace
+
+Schema LogsSchema(const LogsOptions& options) {
+  std::vector<ColumnDescription> cols = {
+      {"Timestamp", DataKind::kDate},    {"Server", DataKind::kCategory},
+      {"Level", DataKind::kCategory},    {"Component", DataKind::kCategory},
+      {"Message", DataKind::kString},    {"LatencyMs", DataKind::kDouble},
+      {"CpuPercent", DataKind::kDouble}, {"MemoryMb", DataKind::kDouble},
+  };
+  for (int f = 0; f < options.filler_columns; ++f) {
+    char name[24];
+    std::snprintf(name, sizeof(name), "counter_%02d", f);
+    cols.push_back({name, DataKind::kDouble});
+  }
+  return Schema(std::move(cols));
+}
+
+TablePtr GenerateLogs(uint32_t rows, uint64_t seed,
+                      const LogsOptions& options) {
+  Random rng(seed);
+  Schema schema = LogsSchema(options);
+  std::vector<ColumnBuilder> builders;
+  for (const auto& d : schema.columns()) builders.emplace_back(d.kind);
+
+  for (uint32_t r = 0; r < rows; ++r) {
+    int64_t ts = kLogEpoch + static_cast<int64_t>(rng.NextUint64(kMillisPerMonth));
+    int server = static_cast<int>(rng.NextUint64(options.num_servers));
+    double u = rng.NextDouble();
+    int level = 0;
+    double acc = 0;
+    for (int l = 0; l < 5; ++l) {
+      acc += kLevelWeights[l];
+      if (u < acc) {
+        level = l;
+        break;
+      }
+    }
+    int component = static_cast<int>(rng.NextUint64(kNumComponents));
+    int tmpl = static_cast<int>(rng.NextUint64(kNumTemplates));
+    std::string message = std::string(kMessageTemplates[tmpl]) + " op=" +
+                          std::to_string(rng.NextUint64(512));
+    double latency = std::exp(rng.NextGaussian() * 1.1 + 2.0);
+    double cpu = std::fmin(100.0, std::fabs(rng.NextGaussian()) * 25.0);
+    double memory = 512.0 + std::fabs(rng.NextGaussian()) * 2048.0;
+
+    int c = 0;
+    builders[c++].AppendDate(ts);
+    builders[c++].AppendString(ServerName(server));
+    builders[c++].AppendString(kLevels[level]);
+    builders[c++].AppendString(kComponents[component]);
+    builders[c++].AppendString(message);
+    builders[c++].AppendDouble(latency);
+    builders[c++].AppendDouble(cpu);
+    builders[c++].AppendDouble(memory);
+    for (int f = 0; f < options.filler_columns; ++f) {
+      builders[c++].AppendDouble(rng.NextDouble() * 1000.0);
+    }
+  }
+
+  std::vector<ColumnPtr> columns;
+  for (auto& b : builders) columns.push_back(b.Finish());
+  return Table::Create(std::move(schema), std::move(columns));
+}
+
+std::vector<LocalDataSet::Loader> LogsLoaders(uint64_t total_rows,
+                                              uint32_t rows_per_partition,
+                                              uint64_t seed,
+                                              const LogsOptions& options) {
+  std::vector<uint32_t> counts =
+      PartitionRowCounts(total_rows, rows_per_partition);
+  std::vector<LocalDataSet::Loader> loaders;
+  loaders.reserve(counts.size());
+  for (size_t p = 0; p < counts.size(); ++p) {
+    uint32_t rows = counts[p];
+    uint64_t partition_seed = MixSeed(seed, p);
+    loaders.push_back([rows, partition_seed, options]() -> Result<TablePtr> {
+      return GenerateLogs(rows, partition_seed, options);
+    });
+  }
+  return loaders;
+}
+
+}  // namespace workload
+}  // namespace hillview

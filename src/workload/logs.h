@@ -1,0 +1,38 @@
+#ifndef HILLVIEW_WORKLOAD_LOGS_H_
+#define HILLVIEW_WORKLOAD_LOGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "storage/table.h"
+
+namespace hillview {
+namespace workload {
+
+/// Synthetic datacenter log/metric dataset motivating the trillion-cell
+/// scenario of §3.1: "50 servers logging 100 columns at a rate of 100 rows
+/// per minute generate in a month 21.6B cells". Columns: Timestamp (date),
+/// Server (category, e.g. "Gandalf" and friends), Level (category),
+/// Component (category), Message (text with templated patterns), Latency,
+/// CpuPercent, MemoryMb (doubles), plus filler metrics.
+struct LogsOptions {
+  int num_servers = 50;
+  int filler_columns = 0;
+};
+
+Schema LogsSchema(const LogsOptions& options = {});
+
+/// One micropartition of `rows` log records, deterministic in seed.
+TablePtr GenerateLogs(uint32_t rows, uint64_t seed,
+                      const LogsOptions& options = {});
+
+std::vector<LocalDataSet::Loader> LogsLoaders(uint64_t total_rows,
+                                              uint32_t rows_per_partition,
+                                              uint64_t seed,
+                                              const LogsOptions& options = {});
+
+}  // namespace workload
+}  // namespace hillview
+
+#endif  // HILLVIEW_WORKLOAD_LOGS_H_

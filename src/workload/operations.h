@@ -1,0 +1,57 @@
+#ifndef HILLVIEW_WORKLOAD_OPERATIONS_H_
+#define HILLVIEW_WORKLOAD_OPERATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/row_engine.h"
+#include "spreadsheet/spreadsheet.h"
+
+namespace hillview {
+namespace workload {
+
+/// The spreadsheet operations of the end-to-end evaluation (Fig 4):
+///   O1  Sort, numerical data
+///   O2  Sort 5 columns, numerical data
+///   O3  Sort, string data
+///   O4  Quantile + sort, 5 columns, numerical data
+///   O5  Range + (histogram & cdf), numerical data
+///   O6  Filter + range + (histogram & cdf), numerical data
+///   O7  Distinct + range + histogram, string data
+///   O8  Heavy hitters sampling, string data
+///   O9  Distinct count, numerical data
+///   O10 Range + (stacked histogram & cdf), numerical data
+///   O11 Heatmap, numerical data
+/// Each runs against the flights schema, on Hillview (via the Spreadsheet
+/// facade) or on the general-purpose baseline (RowEngine).
+inline constexpr int kNumOperations = 11;
+
+/// "O1".."O11".
+const char* OperationName(int op);
+
+/// Short description matching Fig 4.
+const char* OperationDescription(int op);
+
+/// Measurements of one operation run.
+struct OpMeasurement {
+  double seconds = 0;
+  /// Seconds to the first partial visualization (Hillview only; equals
+  /// `seconds` for the baseline, which has no progressive results).
+  double first_partial_seconds = 0;
+  /// Bytes received by the root/master node for this operation.
+  uint64_t root_bytes = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Runs operation `op` (1-based) on a Hillview spreadsheet. Bytes are read
+/// from the session's simulated network (delta across the call).
+OpMeasurement RunHillviewOperation(Spreadsheet* sheet, int op);
+
+/// Runs the equivalent general-purpose query plan on the RowEngine baseline.
+OpMeasurement RunBaselineOperation(baseline::RowEngine* engine, int op);
+
+}  // namespace workload
+}  // namespace hillview
+
+#endif  // HILLVIEW_WORKLOAD_OPERATIONS_H_

@@ -1,0 +1,38 @@
+#ifndef HILLVIEW_WORKLOAD_QUESTIONS_H_
+#define HILLVIEW_WORKLOAD_QUESTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "spreadsheet/spreadsheet.h"
+
+namespace hillview {
+namespace workload {
+
+/// The case-study questions of §7.5 (Fig 10), answered by scripted operator
+/// sessions against the public Spreadsheet API. Each script performs the
+/// spreadsheet actions an analyst would (filter, chart, heavy hitters, sort)
+/// and extracts a short textual answer; the number of actions is counted the
+/// way the paper counts them (menu choice / click / selection = 1 action).
+inline constexpr int kNumQuestions = 20;
+
+/// The question text, "Q1".."Q20" (Fig 10).
+const char* QuestionText(int q);
+
+struct QuestionOutcome {
+  int actions = 0;
+  std::string answer;
+  bool answered = false;
+  bool ok = false;  // script executed without errors
+  std::string error;
+};
+
+/// Runs the scripted session for question `q` (1-based) on a flights
+/// spreadsheet. Q20 is expected to report "not answerable from this data",
+/// like the paper's operator concluded.
+QuestionOutcome AnswerQuestion(Spreadsheet* sheet, int q);
+
+}  // namespace workload
+}  // namespace hillview
+
+#endif  // HILLVIEW_WORKLOAD_QUESTIONS_H_

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "cluster/root.h"
+#include "sketch/histogram.h"
+#include "sketch/range_moments.h"
+#include "test_util.h"
+#include "util/stopwatch.h"
+
+namespace hillview {
+namespace {
+
+using cluster::RootSession;
+using cluster::SimulatedNetwork;
+using cluster::Worker;
+using testing::MakeDoubleTable;
+using testing::SplitValues;
+using testing::TestCluster;
+using testing::UniformDoubles;
+
+TEST(Cluster, SketchMatchesSingleMachineResult) {
+  auto values = UniformDoubles(20000, 0, 100, 81);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 8)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, /*workers=*/3, /*threads=*/2);
+  ASSERT_NE(tc, nullptr);
+
+  auto sketch = std::make_shared<StreamingHistogramSketch>(
+      "x", Buckets(NumericBuckets(0, 100, 16)));
+  auto result = tc->root->RunSketch<HistogramResult>("data", sketch);
+  ASSERT_TRUE(result.ok());
+
+  HistogramResult expected =
+      sketch->Summarize(*MakeDoubleTable("x", values), 0);
+  EXPECT_EQ(result.value().counts, expected.counts);
+}
+
+TEST(Cluster, RootReceivesSmallSummaries) {
+  auto values = UniformDoubles(100000, 0, 1, 82);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 8)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, 4, 2);
+  auto sketch = std::make_shared<StreamingHistogramSketch>(
+      "x", Buckets(NumericBuckets(0, 1, 50)));
+  ASSERT_TRUE(tc->root->RunSketch<HistogramResult>("data", sketch).ok());
+  uint64_t up = tc->network.bytes_received_by_root();
+  EXPECT_GT(up, 0u);
+  // 50-bucket histogram ≈ 440B/summary; even with per-worker partials the
+  // total stays orders of magnitude below the 800 KB raw column.
+  EXPECT_LT(up, 100000u);
+  EXPECT_GT(tc->network.messages_up(), 0u);
+  EXPECT_GT(tc->network.bytes_sent_by_root(), 0u);
+}
+
+TEST(Cluster, MapThenSketch) {
+  auto values = UniformDoubles(10000, 0, 1, 83);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 4)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, 2, 2);
+  auto derived = tc->root->MapDataSet(
+      "data",
+      [](const TablePtr& t) -> Result<TablePtr> {
+        return t->Filter(
+            [t](uint32_t r) { return t->column(0)->GetDouble(r) < 0.25; });
+      },
+      "q1");
+  ASSERT_TRUE(derived.ok());
+  auto count = tc->root->RunSketch<CountResult>(
+      derived.value(), std::make_shared<CountSketch>());
+  ASSERT_TRUE(count.ok());
+  EXPECT_NEAR(count.value().rows, 2500, 300);
+}
+
+TEST(Cluster, UnknownDatasetIsUnavailable) {
+  auto tc = TestCluster::Create({MakeDoubleTable("x", {1.0})}, 1, 1);
+  auto result = tc->root->RunSketch<CountResult>(
+      "nope", std::make_shared<CountSketch>());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Cluster, WorkerRestartHealsViaRedoLogReplay) {
+  auto values = UniformDoubles(10000, 0, 1, 84);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 6)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, 3, 2);
+
+  // Create a derived dataset, then crash one worker.
+  auto derived = tc->root->MapDataSet(
+      "data",
+      [](const TablePtr& t) -> Result<TablePtr> {
+        return t->Filter(
+            [t](uint32_t r) { return t->column(0)->GetDouble(r) >= 0.5; });
+      },
+      "upper");
+  ASSERT_TRUE(derived.ok());
+  auto before = tc->root->RunSketch<CountResult>(
+      derived.value(), std::make_shared<CountSketch>());
+  ASSERT_TRUE(before.ok());
+
+  tc->root->RestartWorker(1);
+  EXPECT_EQ(tc->workers[1]->restart_count(), 1);
+
+  // The query heals transparently: RunSketch replays the redo log (load +
+  // map) and retries.
+  auto after = tc->root->RunSketch<CountResult>(
+      derived.value(), std::make_shared<CountSketch>());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().rows, before.value().rows);
+  EXPECT_GE(tc->root->redo_log().Size(), 2);
+}
+
+TEST(Cluster, SampledSketchIsDeterministicAcrossRestart) {
+  // §5.8: replays must be deterministic, including randomized vizketches —
+  // the seed comes from the log, the per-partition seed from tree position.
+  auto values = UniformDoubles(40000, 0, 1, 85);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 8)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, 2, 2);
+  auto sketch = std::make_shared<SampledHistogramSketch>(
+      "x", Buckets(NumericBuckets(0, 1, 10)), 0.05);
+  auto r1 = tc->root->RunSketch<HistogramResult>("data", sketch, /*seed=*/7);
+  ASSERT_TRUE(r1.ok());
+
+  tc->root->RestartWorker(0);
+  auto r2 = tc->root->RunSketch<HistogramResult>("data", sketch, /*seed=*/7);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().counts, r2.value().counts);
+}
+
+TEST(Cluster, ComputationCacheServesRepeatedQueries) {
+  auto values = UniformDoubles(5000, 0, 10, 86);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 4)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, 2, 2);
+  auto sketch = std::make_shared<RangeSketch>("x");
+  auto r1 = tc->root->RunSketch<RangeResult>("data", sketch, 0, true);
+  ASSERT_TRUE(r1.ok());
+  uint64_t bytes_after_first = tc->network.bytes_received_by_root();
+  auto r2 = tc->root->RunSketch<RangeResult>("data", sketch, 0, true);
+  ASSERT_TRUE(r2.ok());
+  // Second run is a cache hit: no new network traffic.
+  EXPECT_EQ(tc->network.bytes_received_by_root(), bytes_after_first);
+  EXPECT_EQ(tc->root->cache().hits(), 1);
+  EXPECT_DOUBLE_EQ(r2.value().min, r1.value().min);
+}
+
+TEST(Cluster, EvictionIsTransparent) {
+  // Cache eviction (unlike a crash) keeps dataset structure; queries just
+  // reload lazily without replay.
+  auto values = UniformDoubles(4000, 0, 1, 87);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 4)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, 2, 1);
+  auto c1 = tc->root->RunSketch<CountResult>("data",
+                                             std::make_shared<CountSketch>());
+  ASSERT_TRUE(c1.ok());
+  for (auto& w : tc->workers) w->EvictCaches();
+  auto c2 = tc->root->RunSketch<CountResult>("data",
+                                             std::make_shared<CountSketch>());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c1.value().rows, c2.value().rows);
+}
+
+TEST(Cluster, ProgressiveStreamDeliversPartials) {
+  auto values = UniformDoubles(50000, 0, 1, 88);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 16)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  // Zero aggregation window so every worker completion propagates.
+  RootSession::Options options;
+  options.aggregation.aggregation_window_ms = 0;
+  std::vector<cluster::WorkerPtr> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.push_back(std::make_shared<Worker>("w" + std::to_string(w), 1));
+  }
+  SimulatedNetwork network;
+  RootSession root(workers, &network, options);
+  std::vector<LocalDataSet::Loader> loaders;
+  for (const auto& t : partitions) {
+    loaders.push_back([t]() -> Result<TablePtr> { return t; });
+  }
+  ASSERT_TRUE(root.LoadDataSet("data", loaders).ok());
+
+  auto stream = root.RunSketchStream<CountResult>(
+      "data", std::make_shared<CountSketch>());
+  std::atomic<int> partials{0};
+  stream->Subscribe(
+      [&partials](const PartialResult<CountResult>&) { partials.fetch_add(1); });
+  auto last = stream->BlockingLast();
+  ASSERT_TRUE(stream->final_status().ok());
+  EXPECT_EQ(last->value.rows, 50000);
+  EXPECT_GE(partials.load(), 2);
+}
+
+TEST(Network, LatencyModelSlowsTransfers) {
+  SimulatedNetwork::Model model;
+  model.latency_ms = 5;
+  SimulatedNetwork network(model);
+  Stopwatch watch;
+  network.SendUp(100);
+  EXPECT_GE(watch.ElapsedMillis(), 4.0);
+  EXPECT_EQ(network.bytes_received_by_root(), 100u);
+}
+
+}  // namespace
+}  // namespace hillview

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "render/svg.h"
+#include "storage/jsonl.h"
+#include "test_util.h"
+
+namespace hillview {
+namespace {
+
+// --- JSON lines ---------------------------------------------------------------
+
+TEST(Jsonl, ParsesFlatObjects) {
+  auto t = ReadJsonlText(
+      "{\"name\":\"web1\",\"latency\":12.5,\"code\":200}\n"
+      "{\"name\":\"web2\",\"latency\":3.25,\"code\":404}\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  TablePtr table = t.value();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->schema().Find("code")->kind, DataKind::kInt);
+  EXPECT_EQ(table->schema().Find("latency")->kind, DataKind::kDouble);
+  EXPECT_EQ(table->schema().Find("name")->kind, DataKind::kString);
+  EXPECT_EQ(table->GetRow(1, {"name", "code"})[0],
+            Value(std::string("web2")));
+  EXPECT_EQ(table->GetRow(1, {"name", "code"})[1], Value(int64_t{404}));
+}
+
+TEST(Jsonl, HandlesMissingKeysAndNulls) {
+  auto t = ReadJsonlText(
+      "{\"a\":1,\"b\":\"x\"}\n"
+      "{\"a\":null}\n"
+      "{\"b\":\"y\",\"c\":true}\n");
+  ASSERT_TRUE(t.ok());
+  TablePtr table = t.value();
+  EXPECT_EQ(table->num_columns(), 3);
+  ColumnPtr a = table->GetColumnOrNull("a");
+  EXPECT_FALSE(a->IsMissing(0));
+  EXPECT_TRUE(a->IsMissing(1));
+  EXPECT_TRUE(a->IsMissing(2));
+  // Booleans land in int columns.
+  EXPECT_EQ(table->schema().Find("c")->kind, DataKind::kInt);
+  EXPECT_EQ(table->GetRow(2, {"c"})[0], Value(int64_t{1}));
+}
+
+TEST(Jsonl, DecodesEscapes) {
+  auto t = ReadJsonlText("{\"s\":\"a\\\"b\\\\c\\nd\\u0041\"}\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->GetRow(0, {"s"})[0],
+            Value(std::string("a\"b\\c\ndA")));
+}
+
+TEST(Jsonl, RejectsNestedStructures) {
+  auto t = ReadJsonlText("{\"a\":{\"nested\":1}}\n");
+  EXPECT_FALSE(t.ok());
+  auto t2 = ReadJsonlText("{\"a\":[1,2]}\n");
+  EXPECT_FALSE(t2.ok());
+}
+
+TEST(Jsonl, RejectsMalformedLine) {
+  auto t = ReadJsonlText("{\"a\":1}\nnot json\n");
+  EXPECT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Jsonl, ExplicitSchemaSelectsColumns) {
+  Schema schema({{"latency", DataKind::kDouble}});
+  JsonlOptions options;
+  options.schema = &schema;
+  auto t = ReadJsonlText("{\"name\":\"x\",\"latency\":5}\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->num_columns(), 1);
+  EXPECT_EQ(t.value()->GetRow(0, {"latency"})[0], Value(5.0));
+}
+
+TEST(Jsonl, RoundTripThroughFile) {
+  ColumnBuilder a(DataKind::kInt), b(DataKind::kString);
+  a.AppendInt(7);
+  a.AppendMissing();
+  b.AppendString("quote\"and\\slash");
+  b.AppendString("plain");
+  TablePtr t = Table::Create(
+      Schema({{"n", DataKind::kInt}, {"s", DataKind::kString}}),
+      {a.Finish(), b.Finish()});
+  std::string path = ::testing::TempDir() + "/hv_jsonl_roundtrip.jsonl";
+  ASSERT_TRUE(WriteJsonl(*t, path).ok());
+  auto back = ReadJsonl(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value()->num_rows(), 2u);
+  EXPECT_EQ(back.value()->GetRow(0, {"s"})[0],
+            Value(std::string("quote\"and\\slash")));
+  // Row 1's n was missing -> key omitted -> still missing after round trip.
+  EXPECT_TRUE(back.value()->GetColumnOrNull("n")->IsMissing(1));
+  std::remove(path.c_str());
+}
+
+// --- SVG export ---------------------------------------------------------------
+
+TEST(Svg, HistogramGeometryMatchesPlot) {
+  HistogramPlot plot;
+  plot.height = 100;
+  plot.bar_heights = {50, 100, 0};
+  std::string svg = HistogramToSvg(plot, 4);
+  // Tallest bar: y = 0, height = 100.
+  EXPECT_NE(svg.find("height=\"100\""), std::string::npos);
+  EXPECT_NE(svg.find("y=\"0\""), std::string::npos);
+  // Zero bars emit no rect: exactly 2 rects.
+  size_t count = 0;
+  for (size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, CdfIsAPolyline) {
+  CdfPlot plot;
+  plot.height = 10;
+  plot.pixel_y = {2, 5, 10};
+  std::string svg = CdfToSvg(plot);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("0,8"), std::string::npos);   // y flipped: 10-2
+  EXPECT_NE(svg.find("2,0"), std::string::npos);   // last point at top
+}
+
+TEST(Svg, HeatMapSkipsEmptyBins) {
+  HeatMapPlot plot;
+  plot.x_bins = 2;
+  plot.y_bins = 1;
+  plot.colors = 20;
+  plot.color = {0, 7};
+  std::string svg = HeatMapToSvg(plot);
+  size_t count = 0;
+  for (size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);  // only the non-empty bin
+}
+
+TEST(Svg, StackedSegmentsStack) {
+  StackedHistogramPlot plot;
+  plot.height = 100;
+  plot.segment_heights = {{40, 60}};
+  plot.bar_heights = {100};
+  std::string svg = StackedHistogramToSvg(plot, 4);
+  // Two segments: bottom one from y=60, top one from y=0.
+  EXPECT_NE(svg.find("y=\"60\""), std::string::npos);
+  EXPECT_NE(svg.find("y=\"0\""), std::string::npos);
+}
+
+TEST(Svg, WriteFile) {
+  std::string path = ::testing::TempDir() + "/hv_chart.svg";
+  ASSERT_TRUE(WriteSvgFile("<svg></svg>", path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<svg></svg>");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hillview

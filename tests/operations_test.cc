@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "baseline/row_engine.h"
+#include "test_util.h"
+#include "workload/flights.h"
+#include "workload/operations.h"
+#include "workload/questions.h"
+
+namespace hillview {
+namespace {
+
+using workload::AnswerQuestion;
+using workload::kNumOperations;
+using workload::kNumQuestions;
+using workload::RunBaselineOperation;
+using workload::RunHillviewOperation;
+
+/// Small shared deployment for the operation/question scripts.
+class OperationsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workers_ = new std::vector<cluster::WorkerPtr>();
+    for (int w = 0; w < 2; ++w) {
+      workers_->push_back(std::make_shared<cluster::Worker>(
+          "w" + std::to_string(w), 2));
+    }
+    network_ = new cluster::SimulatedNetwork();
+    session_ = new cluster::RootSession(*workers_, network_);
+    ASSERT_TRUE(session_
+                    ->LoadDataSet("flights",
+                                  workload::FlightsLoaders(40000, 10000, 99))
+                    .ok());
+    sheet_ = new Spreadsheet(session_, "flights", {400, 200});
+
+    std::vector<TablePtr> partitions;
+    for (int p = 0; p < 4; ++p) {
+      partitions.push_back(workload::GenerateFlights(10000, MixSeed(99, p)));
+    }
+    engine_ = new baseline::RowEngine(partitions, 4);
+  }
+
+  static void TearDownTestSuite() {
+    delete sheet_;
+    delete session_;
+    delete network_;
+    delete workers_;
+    delete engine_;
+  }
+
+  static std::vector<cluster::WorkerPtr>* workers_;
+  static cluster::SimulatedNetwork* network_;
+  static cluster::RootSession* session_;
+  static Spreadsheet* sheet_;
+  static baseline::RowEngine* engine_;
+};
+
+std::vector<cluster::WorkerPtr>* OperationsTest::workers_ = nullptr;
+cluster::SimulatedNetwork* OperationsTest::network_ = nullptr;
+cluster::RootSession* OperationsTest::session_ = nullptr;
+Spreadsheet* OperationsTest::sheet_ = nullptr;
+baseline::RowEngine* OperationsTest::engine_ = nullptr;
+
+TEST_F(OperationsTest, NamesAndDescriptionsCoverAllOps) {
+  for (int op = 1; op <= kNumOperations; ++op) {
+    EXPECT_STRNE(workload::OperationName(op), "?");
+    EXPECT_STRNE(workload::OperationDescription(op), "?");
+  }
+  EXPECT_STREQ(workload::OperationName(0), "?");
+  EXPECT_STREQ(workload::OperationName(12), "?");
+}
+
+TEST_F(OperationsTest, AllHillviewOperationsSucceed) {
+  for (int op = 1; op <= kNumOperations; ++op) {
+    auto m = RunHillviewOperation(sheet_, op);
+    EXPECT_TRUE(m.ok) << "O" << op << ": " << m.error;
+    EXPECT_GT(m.seconds, 0) << "O" << op;
+    EXPECT_GT(m.root_bytes, 0u) << "O" << op;
+    EXPECT_LE(m.first_partial_seconds, m.seconds + 1e-9) << "O" << op;
+  }
+}
+
+TEST_F(OperationsTest, AllBaselineOperationsSucceed) {
+  for (int op = 1; op <= kNumOperations; ++op) {
+    auto m = RunBaselineOperation(engine_, op);
+    EXPECT_TRUE(m.ok) << "O" << op << ": " << m.error;
+    EXPECT_GT(m.root_bytes, 0u) << "O" << op;
+  }
+}
+
+TEST_F(OperationsTest, HillviewRootBytesAreDisplaySizedForSorts) {
+  // O1: a 20-row table page; summaries must be a few KB regardless of data.
+  auto m = RunHillviewOperation(sheet_, 1);
+  ASSERT_TRUE(m.ok);
+  EXPECT_LT(m.root_bytes, 64 * 1024u);
+}
+
+class QuestionSweep : public OperationsTest,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(QuestionSweep, ScriptRunsAndCountsActions) {
+  int q = GetParam();
+  auto outcome = AnswerQuestion(sheet_, q);
+  EXPECT_TRUE(outcome.ok) << "Q" << q << ": " << outcome.error;
+  EXPECT_GT(outcome.actions, 0) << "Q" << q;
+  EXPECT_LE(outcome.actions, 8) << "Q" << q;  // paper range: 1..6
+  EXPECT_FALSE(outcome.answer.empty());
+  if (q == 20) {
+    // The paper's unanswerable question must stay unanswerable.
+    EXPECT_FALSE(outcome.answered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQuestions, QuestionSweep,
+                         ::testing::Range(1, kNumQuestions + 1));
+
+TEST_F(OperationsTest, QuestionTextsAreStable) {
+  EXPECT_NE(std::string(workload::QuestionText(1)).find("UA or AA"),
+            std::string::npos);
+  EXPECT_NE(std::string(workload::QuestionText(20)).find("never landed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hillview

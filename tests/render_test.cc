@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/chart.h"
+#include "render/plan.h"
+#include "render/screen.h"
+#include "sketch/sample_size.h"
+#include "test_util.h"
+
+namespace hillview {
+namespace {
+
+using testing::MakeDoubleTable;
+using testing::UniformDoubles;
+
+TEST(Screen, BucketCountsFollowGeometry) {
+  ScreenResolution screen{600, 400};
+  EXPECT_EQ(HistogramBucketCount(screen), 100);  // capped
+  EXPECT_EQ(HistogramBucketCount({200, 100}), 50);
+  EXPECT_EQ(HeatMapBucketsX(screen), 200);
+  EXPECT_EQ(HeatMapBucketsY(screen), 133);
+  EXPECT_GE(HistogramBucketCount({1, 1}), 1);
+}
+
+TEST(RenderHistogramTest, TallestBarFillsHeight) {
+  HistogramResult r;
+  r.counts = {10, 40, 20};
+  HistogramPlot plot = RenderHistogram(r, {300, 200});
+  EXPECT_EQ(plot.bar_heights[1], 200);
+  EXPECT_EQ(plot.bar_heights[0], 50);
+  EXPECT_EQ(plot.bar_heights[2], 100);
+  EXPECT_EQ(plot.max_estimated_count, 40);
+}
+
+TEST(RenderHistogramTest, EmptyHistogram) {
+  HistogramResult r;
+  r.counts = {0, 0};
+  HistogramPlot plot = RenderHistogram(r, {100, 100});
+  EXPECT_EQ(plot.bar_heights[0], 0);
+  EXPECT_EQ(plot.max_estimated_count, 0);
+}
+
+TEST(RenderHistogramTest, SampledCountsAreScaled) {
+  HistogramResult r;
+  r.counts = {5, 10};
+  r.sample_rate = 0.1;  // estimates 50 and 100
+  HistogramPlot plot = RenderHistogram(r, {100, 100});
+  EXPECT_EQ(plot.bar_heights[1], 100);
+  EXPECT_EQ(plot.bar_heights[0], 50);
+  EXPECT_DOUBLE_EQ(plot.max_estimated_count, 100);
+}
+
+// The paper's headline guarantee (Fig 3a): rendered bars are within 1 pixel
+// of the ideal rendering with high probability, using the theorem's sample
+// size.
+class PixelAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PixelAccuracyTest, SampledHistogramWithinOnePixel) {
+  uint64_t seed = GetParam();
+  // Screen small enough that the theorem sample size is below the row count,
+  // so the sampled path (not a degenerate full scan) is what's tested.
+  const ScreenResolution screen{80, 50};
+  const int buckets = HistogramBucketCount(screen);
+  // Mixed-density data: exercises tall and short bars.
+  auto values = UniformDoubles(300000, 0, 1, seed);
+  auto extra = UniformDoubles(100000, 0.4, 0.6, seed + 1000);
+  values.insert(values.end(), extra.begin(), extra.end());
+  TablePtr t = MakeDoubleTable("x", values);
+
+  Buckets b(NumericBuckets(0, 1, buckets));
+  StreamingHistogramSketch exact("x", b);
+  HistogramPlot ideal = RenderHistogram(exact.Summarize(*t, 0), screen);
+
+  double rate = SampleRateForSize(
+      HistogramSampleSize(screen.height, buckets), values.size());
+  SampledHistogramSketch sampled("x", b, rate);
+  HistogramPlot approx =
+      RenderHistogram(sampled.Summarize(*t, seed * 13 + 7), screen);
+
+  int violations = 0;
+  for (int i = 0; i < buckets; ++i) {
+    if (std::abs(approx.bar_heights[i] - ideal.bar_heights[i]) > 1) {
+      ++violations;
+    }
+  }
+  // δ = 1% per bar; allow a small number of 2-pixel excursions.
+  EXPECT_LE(violations, buckets / 20 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PixelAccuracyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RenderCdfTest, MonotoneAndEndsAtTop) {
+  HistogramResult r;
+  r.counts = {10, 0, 30, 10};
+  CdfPlot plot = RenderCdf(r, {4, 100});
+  ASSERT_EQ(plot.pixel_y.size(), 4u);
+  for (size_t i = 1; i < plot.pixel_y.size(); ++i) {
+    EXPECT_GE(plot.pixel_y[i], plot.pixel_y[i - 1]);
+  }
+  EXPECT_EQ(plot.pixel_y.back(), 100);
+  EXPECT_EQ(plot.pixel_y[0], 20);  // 10/50 of 100
+}
+
+TEST(RenderCdfTest, SampledCdfWithinPixelOfExact) {
+  const ScreenResolution screen{200, 40};
+  auto values = UniformDoubles(500000, 0, 1, 31);
+  TablePtr t = MakeDoubleTable("x", values);
+  Buckets b(NumericBuckets(0, 1, screen.width));
+
+  CdfPlot ideal =
+      RenderCdf(StreamingHistogramSketch("x", b).Summarize(*t, 0), screen);
+  double rate =
+      SampleRateForSize(CdfSampleSize(screen.height), values.size());
+  CdfPlot approx = RenderCdf(
+      SampledHistogramSketch("x", b, rate).Summarize(*t, 999), screen);
+  int violations = 0;
+  for (int i = 0; i < screen.width; ++i) {
+    if (std::abs(approx.pixel_y[i] - ideal.pixel_y[i]) > 1) ++violations;
+  }
+  EXPECT_LE(violations, 2);
+}
+
+TEST(RenderStackedTest, SegmentsSumNearBar) {
+  Histogram2DResult r;
+  r.x_buckets = 2;
+  r.y_buckets = 2;
+  r.xy = {30, 10, 5, 15};
+  r.x_counts = {40, 20};
+  StackedHistogramPlot plot = RenderStackedHistogram(r, {100, 100}, false);
+  EXPECT_EQ(plot.bar_heights[0], 100);  // max bar fills height
+  EXPECT_EQ(plot.segment_heights[0][0] + plot.segment_heights[0][1], 100);
+  EXPECT_EQ(plot.bar_heights[1], 50);
+}
+
+TEST(RenderStackedTest, NormalizedBarsFillHeight) {
+  Histogram2DResult r;
+  r.x_buckets = 2;
+  r.y_buckets = 2;
+  r.xy = {30, 10, 5, 15};
+  r.x_counts = {40, 20};
+  StackedHistogramPlot plot = RenderStackedHistogram(r, {100, 100}, true);
+  EXPECT_EQ(plot.bar_heights[0], 100);
+  EXPECT_EQ(plot.bar_heights[1], 100);  // normalized: every bar is full
+  EXPECT_EQ(plot.segment_heights[1][0], 25);
+  EXPECT_EQ(plot.segment_heights[1][1], 75);
+}
+
+TEST(RenderHeatMapTest, ColorZeroMeansEmpty) {
+  Histogram2DResult r;
+  r.x_buckets = 2;
+  r.y_buckets = 2;
+  r.xy = {0, 10, 5, 20};
+  HeatMapPlot plot = RenderHeatMap(r);
+  EXPECT_EQ(plot.ColorAt(0, 0), 0);
+  EXPECT_GT(plot.ColorAt(0, 1), 0);
+  EXPECT_EQ(plot.ColorAt(1, 1), plot.colors - 1);  // densest = last shade
+}
+
+TEST(RenderHeatMapTest, SampledWithinOneColorShade) {
+  // "the error is at most one color shade with high probability" (Fig 3b).
+  auto xs = UniformDoubles(400000, 0, 1, 61);
+  auto ys = UniformDoubles(400000, 0, 1, 62);
+  ColumnBuilder bx(DataKind::kDouble), by(DataKind::kDouble);
+  for (double v : xs) bx.AppendDouble(v);
+  for (double v : ys) by.AppendDouble(v);
+  TablePtr t = Table::Create(
+      Schema({{"x", DataKind::kDouble}, {"y", DataKind::kDouble}}),
+      {bx.Finish(), by.Finish()});
+
+  const int bins = 20, colors = 8;
+  Buckets b(NumericBuckets(0, 1, bins));
+  Histogram2DResult exact =
+      Histogram2DSketch("x", b, "y", b).Summarize(*t, 0);
+  double rate = SampleRateForSize(
+      HeatMapSampleSize(bins, bins, colors, /*delta=*/0.1), xs.size());
+  Histogram2DResult approx =
+      Histogram2DSketch("x", b, "y", b, rate).Summarize(*t, 77);
+
+  HeatMapPlot ideal = RenderHeatMap(exact, colors);
+  HeatMapPlot sampled = RenderHeatMap(approx, colors);
+  int violations = 0;
+  for (int x = 0; x < bins; ++x) {
+    for (int y = 0; y < bins; ++y) {
+      if (std::abs(sampled.ColorAt(x, y) - ideal.ColorAt(x, y)) > 1) {
+        ++violations;
+      }
+    }
+  }
+  EXPECT_LE(violations, bins * bins / 50 + 1);
+}
+
+TEST(RenderHeatMapTest, LogScaleSpreadsSmallDensities) {
+  Histogram2DResult r;
+  r.x_buckets = 3;
+  r.y_buckets = 1;
+  r.xy = {1, 10, 1000};
+  HeatMapPlot linear = RenderHeatMap(r, 20, false);
+  HeatMapPlot log = RenderHeatMap(r, 20, true);
+  // On a linear scale 1 and 10 are indistinguishable next to 1000; on a log
+  // scale they are separated.
+  EXPECT_EQ(linear.ColorAt(0, 0), linear.ColorAt(1, 0));
+  EXPECT_LT(log.ColorAt(0, 0), log.ColorAt(1, 0));
+}
+
+TEST(RenderTrellisTest, RendersEachGroup) {
+  TrellisResult r;
+  r.groups.resize(2);
+  for (auto& g : r.groups) {
+    g.x_buckets = 1;
+    g.y_buckets = 1;
+    g.xy = {5};
+  }
+  TrellisPlot plot = RenderTrellis(r);
+  EXPECT_EQ(plot.plots.size(), 2u);
+}
+
+TEST(Ascii, SmokeRenderings) {
+  HistogramResult r;
+  r.counts = {1, 5, 3};
+  HistogramPlot plot = RenderHistogram(r, {3, 10});
+  std::string art = AsciiHistogram(plot, 5);
+  EXPECT_NE(art.find('#'), std::string::npos);
+
+  CdfPlot cdf = RenderCdf(r, {3, 10});
+  EXPECT_FALSE(AsciiCdf(cdf, 5).empty());
+
+  Histogram2DResult h2;
+  h2.x_buckets = 2;
+  h2.y_buckets = 2;
+  h2.xy = {0, 1, 2, 3};
+  EXPECT_FALSE(AsciiHeatMap(RenderHeatMap(h2)).empty());
+}
+
+TEST(Plan, NumericBucketsWidenDegenerateRange) {
+  RangeResult range;
+  range.min = range.max = 5;
+  range.present_count = 10;
+  NumericBuckets b = PlanNumericBuckets(range, 4);
+  EXPECT_GT(b.max(), b.min());
+  EXPECT_GE(b.IndexOf(5), 0);
+}
+
+TEST(Plan, HistogramPlanSampleRateShrinksWithData) {
+  RangeResult small, big;
+  small.min = big.min = 0;
+  small.max = big.max = 1;
+  small.present_count = 10000;
+  big.present_count = 100000000;
+  ScreenResolution screen{400, 200};
+  auto plan_small = PlanHistogram(small, screen);
+  auto plan_big = PlanHistogram(big, screen);
+  EXPECT_EQ(plan_small.sample_size, plan_big.sample_size);
+  EXPECT_GT(plan_small.sample_rate, plan_big.sample_rate);
+}
+
+TEST(Plan, ExactPlanDisablesSampling) {
+  RangeResult range;
+  range.min = 0;
+  range.max = 1;
+  range.present_count = 1000000;
+  auto plan = PlanHistogram(range, {400, 200}, /*exact=*/true);
+  EXPECT_EQ(plan.sample_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace hillview

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sketch/histogram2d.h"
+#include "test_util.h"
+#include "util/serialize.h"
+
+namespace hillview {
+namespace {
+
+using testing::UniformDoubles;
+
+TablePtr MakeXyTable(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  ColumnBuilder bx(DataKind::kDouble), by(DataKind::kDouble);
+  for (double v : xs) bx.AppendDouble(v);
+  for (double v : ys) by.AppendDouble(v);
+  return Table::Create(
+      Schema({{"x", DataKind::kDouble}, {"y", DataKind::kDouble}}),
+      {bx.Finish(), by.Finish()});
+}
+
+TEST(Histogram2D, ExactJointCounts) {
+  TablePtr t = MakeXyTable({0.5, 0.5, 1.5, 1.5}, {0.5, 1.5, 0.5, 0.5});
+  Histogram2DSketch sketch("x", Buckets(NumericBuckets(0, 2, 2)), "y",
+                           Buckets(NumericBuckets(0, 2, 2)));
+  Histogram2DResult r = sketch.Summarize(*t, 0);
+  EXPECT_EQ(r.Count(0, 0), 1);
+  EXPECT_EQ(r.Count(0, 1), 1);
+  EXPECT_EQ(r.Count(1, 0), 2);
+  EXPECT_EQ(r.Count(1, 1), 0);
+  EXPECT_EQ(r.x_counts[0], 2);
+  EXPECT_EQ(r.x_counts[1], 2);
+}
+
+TEST(Histogram2D, MissingYCountsInBarTotal) {
+  ColumnBuilder bx(DataKind::kDouble), by(DataKind::kDouble);
+  bx.AppendDouble(0.5);
+  bx.AppendDouble(0.5);
+  by.AppendDouble(0.5);
+  by.AppendMissing();
+  TablePtr t = Table::Create(
+      Schema({{"x", DataKind::kDouble}, {"y", DataKind::kDouble}}),
+      {bx.Finish(), by.Finish()});
+  Histogram2DSketch sketch("x", Buckets(NumericBuckets(0, 1, 1)), "y",
+                           Buckets(NumericBuckets(0, 1, 1)));
+  Histogram2DResult r = sketch.Summarize(*t, 0);
+  EXPECT_EQ(r.x_counts[0], 2);  // both rows have X
+  EXPECT_EQ(r.Count(0, 0), 1);  // only one has Y
+  EXPECT_EQ(r.missing_y, 1);
+}
+
+TEST(Histogram2D, MissingXIgnoresY) {
+  ColumnBuilder bx(DataKind::kDouble), by(DataKind::kDouble);
+  bx.AppendMissing();
+  by.AppendDouble(0.5);
+  TablePtr t = Table::Create(
+      Schema({{"x", DataKind::kDouble}, {"y", DataKind::kDouble}}),
+      {bx.Finish(), by.Finish()});
+  Histogram2DSketch sketch("x", Buckets(NumericBuckets(0, 1, 1)), "y",
+                           Buckets(NumericBuckets(0, 1, 1)));
+  Histogram2DResult r = sketch.Summarize(*t, 0);
+  EXPECT_EQ(r.missing_x, 1);
+  EXPECT_EQ(r.x_counts[0], 0);
+}
+
+class Histogram2DMergeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Histogram2DMergeTest, MergeMatchesWholeDataset) {
+  int parts = GetParam();
+  auto xs = UniformDoubles(4000, 0, 10, 51);
+  auto ys = UniformDoubles(4000, -5, 5, 52);
+  Histogram2DSketch sketch("x", Buckets(NumericBuckets(0, 10, 7)), "y",
+                           Buckets(NumericBuckets(-5, 5, 5)));
+  Histogram2DResult whole = sketch.Summarize(*MakeXyTable(xs, ys), 0);
+  Histogram2DResult merged = sketch.Zero();
+  for (int p = 0; p < parts; ++p) {
+    std::vector<double> cx, cy;
+    for (size_t i = p; i < xs.size(); i += parts) {
+      cx.push_back(xs[i]);
+      cy.push_back(ys[i]);
+    }
+    merged = sketch.Merge(merged, sketch.Summarize(*MakeXyTable(cx, cy), 0));
+  }
+  EXPECT_EQ(merged.xy, whole.xy);
+  EXPECT_EQ(merged.x_counts, whole.x_counts);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, Histogram2DMergeTest,
+                         ::testing::Values(2, 5, 13));
+
+TEST(Histogram2D, SampledApproximatesExact) {
+  auto xs = UniformDoubles(200000, 0, 1, 53);
+  auto ys = UniformDoubles(200000, 0, 1, 54);
+  TablePtr t = MakeXyTable(xs, ys);
+  Buckets bx(NumericBuckets(0, 1, 10)), by(NumericBuckets(0, 1, 10));
+  Histogram2DResult exact = Histogram2DSketch("x", bx, "y", by).Summarize(*t, 0);
+  Histogram2DResult approx =
+      Histogram2DSketch("x", bx, "y", by, 0.1).Summarize(*t, 7);
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      // Binomial sampling noise: sd of the estimate is sqrt(count/rate);
+      // allow 4.5 sd for the max over 100 cells.
+      double sd = std::sqrt(exact.Count(x, y) / 0.1);
+      EXPECT_NEAR(approx.EstimatedCount(x, y),
+                  static_cast<double>(exact.Count(x, y)), 4.5 * sd + 20);
+    }
+  }
+}
+
+TEST(Histogram2D, SerializationRoundTrip) {
+  auto xs = UniformDoubles(500, 0, 1, 55);
+  auto ys = UniformDoubles(500, 0, 1, 56);
+  Histogram2DSketch sketch("x", Buckets(NumericBuckets(0, 1, 4)), "y",
+                           Buckets(NumericBuckets(0, 1, 3)));
+  Histogram2DResult r = sketch.Summarize(*MakeXyTable(xs, ys), 0);
+  ByteWriter w;
+  r.Serialize(&w);
+  ByteReader reader(w.bytes());
+  Histogram2DResult back;
+  ASSERT_TRUE(Histogram2DResult::Deserialize(&reader, &back).ok());
+  EXPECT_EQ(back.xy, r.xy);
+  EXPECT_EQ(back.x_counts, r.x_counts);
+  EXPECT_EQ(back.x_buckets, 4);
+  EXPECT_EQ(back.y_buckets, 3);
+}
+
+TablePtr MakeWxyTable(const std::vector<double>& ws,
+                      const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  ColumnBuilder bw(DataKind::kDouble), bx(DataKind::kDouble),
+      by(DataKind::kDouble);
+  for (double v : ws) bw.AppendDouble(v);
+  for (double v : xs) bx.AppendDouble(v);
+  for (double v : ys) by.AppendDouble(v);
+  return Table::Create(Schema({{"w", DataKind::kDouble},
+                               {"x", DataKind::kDouble},
+                               {"y", DataKind::kDouble}}),
+                       {bw.Finish(), bx.Finish(), by.Finish()});
+}
+
+TEST(Trellis, GroupsByW) {
+  TablePtr t = MakeWxyTable({0.5, 0.5, 1.5}, {0.1, 0.9, 0.1}, {0.1, 0.1, 0.9});
+  TrellisSketch sketch("w", Buckets(NumericBuckets(0, 2, 2)), "x",
+                       Buckets(NumericBuckets(0, 1, 2)), "y",
+                       Buckets(NumericBuckets(0, 1, 2)));
+  TrellisResult r = sketch.Summarize(*t, 0);
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.groups[0].Count(0, 0), 1);
+  EXPECT_EQ(r.groups[0].Count(1, 0), 1);
+  EXPECT_EQ(r.groups[1].Count(0, 1), 1);
+}
+
+TEST(Trellis, MergeMatchesWhole) {
+  auto ws = UniformDoubles(3000, 0, 4, 57);
+  auto xs = UniformDoubles(3000, 0, 1, 58);
+  auto ys = UniformDoubles(3000, 0, 1, 59);
+  TrellisSketch sketch("w", Buckets(NumericBuckets(0, 4, 4)), "x",
+                       Buckets(NumericBuckets(0, 1, 3)), "y",
+                       Buckets(NumericBuckets(0, 1, 3)));
+  TrellisResult whole = sketch.Summarize(*MakeWxyTable(ws, xs, ys), 0);
+  TrellisResult merged = sketch.Zero();
+  for (int p = 0; p < 3; ++p) {
+    std::vector<double> cw, cx, cy;
+    for (size_t i = p; i < ws.size(); i += 3) {
+      cw.push_back(ws[i]);
+      cx.push_back(xs[i]);
+      cy.push_back(ys[i]);
+    }
+    merged =
+        sketch.Merge(merged, sketch.Summarize(*MakeWxyTable(cw, cx, cy), 0));
+  }
+  ASSERT_EQ(merged.groups.size(), whole.groups.size());
+  for (size_t g = 0; g < whole.groups.size(); ++g) {
+    EXPECT_EQ(merged.groups[g].xy, whole.groups[g].xy);
+  }
+}
+
+TEST(Trellis, SerializationRoundTrip) {
+  auto ws = UniformDoubles(200, 0, 2, 60);
+  auto xs = UniformDoubles(200, 0, 1, 61);
+  auto ys = UniformDoubles(200, 0, 1, 62);
+  TrellisSketch sketch("w", Buckets(NumericBuckets(0, 2, 2)), "x",
+                       Buckets(NumericBuckets(0, 1, 2)), "y",
+                       Buckets(NumericBuckets(0, 1, 2)));
+  TrellisResult r = sketch.Summarize(*MakeWxyTable(ws, xs, ys), 0);
+  ByteWriter w;
+  r.Serialize(&w);
+  ByteReader reader(w.bytes());
+  TrellisResult back;
+  ASSERT_TRUE(TrellisResult::Deserialize(&reader, &back).ok());
+  ASSERT_EQ(back.groups.size(), r.groups.size());
+  EXPECT_EQ(back.groups[0].xy, r.groups[0].xy);
+  EXPECT_EQ(back.groups[1].xy, r.groups[1].xy);
+}
+
+}  // namespace
+}  // namespace hillview

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sketch/histogram2d.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/pca.h"
+#include "sketch/quantile.h"
+#include "sketch/range_moments.h"
+#include "sketch/sample_size.h"
+#include "sketch/save_as.h"
+#include "sketch/string_quantiles.h"
+#include "storage/columnar_file.h"
+#include "test_util.h"
+
+namespace hillview {
+namespace {
+
+using testing::MakeDoubleTable;
+using testing::MakeStringTable;
+using testing::SplitValues;
+using testing::UniformDoubles;
+
+// --- RangeSketch -------------------------------------------------------------
+
+TEST(RangeSketch, MinMaxCountMoments) {
+  TablePtr t = MakeDoubleTable("x", {2, 4, 6, 8});
+  RangeSketch sketch("x", 2);
+  RangeResult r = sketch.Summarize(*t, 0);
+  EXPECT_EQ(r.min, 2);
+  EXPECT_EQ(r.max, 8);
+  EXPECT_EQ(r.present_count, 4);
+  EXPECT_DOUBLE_EQ(r.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(r.Variance(), 5.0);  // E[x²]=30, mean²=25
+}
+
+TEST(RangeSketch, CountsMissing) {
+  ColumnBuilder b(DataKind::kDouble);
+  b.AppendDouble(1);
+  b.AppendMissing();
+  b.AppendMissing();
+  TablePtr t = Table::Create(Schema({{"x", DataKind::kDouble}}), {b.Finish()});
+  RangeResult r = RangeSketch("x").Summarize(*t, 0);
+  EXPECT_EQ(r.present_count, 1);
+  EXPECT_EQ(r.missing_count, 2);
+  EXPECT_EQ(r.TotalRows(), 3);
+}
+
+TEST(RangeSketch, StringRange) {
+  TablePtr t = MakeStringTable("s", {"pear", "apple", "zebra", "fig"});
+  RangeResult r = RangeSketch("s").Summarize(*t, 0);
+  EXPECT_TRUE(r.is_string);
+  EXPECT_EQ(r.min_string, "apple");
+  EXPECT_EQ(r.max_string, "zebra");
+}
+
+TEST(RangeSketch, MergeMatchesWhole) {
+  auto values = UniformDoubles(2000, -50, 50, 3);
+  RangeSketch sketch("x");
+  RangeResult whole = sketch.Summarize(*MakeDoubleTable("x", values), 0);
+  RangeResult merged = sketch.Zero();
+  for (const auto& chunk : SplitValues(values, 5)) {
+    merged = sketch.Merge(merged,
+                          sketch.Summarize(*MakeDoubleTable("x", chunk), 0));
+  }
+  EXPECT_DOUBLE_EQ(merged.min, whole.min);
+  EXPECT_DOUBLE_EQ(merged.max, whole.max);
+  EXPECT_EQ(merged.present_count, whole.present_count);
+  EXPECT_NEAR(merged.moments[0], whole.moments[0], 1e-6);
+}
+
+// --- HyperLogLog --------------------------------------------------------------
+
+TEST(HyperLogLog, AccurateOnKnownCardinality) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 50000; ++i) {
+    values.push_back("value-" + std::to_string(i % 10000));
+  }
+  TablePtr t = MakeStringTable("s", values);
+  HllResult r = HyperLogLogSketch("s", 12).Summarize(*t, 0);
+  EXPECT_NEAR(r.Estimate(), 10000, 10000 * 0.05);
+}
+
+TEST(HyperLogLog, SmallRangeLinearCounting) {
+  TablePtr t = MakeStringTable("s", {"a", "b", "c", "a", "b"});
+  HllResult r = HyperLogLogSketch("s", 10).Summarize(*t, 0);
+  EXPECT_NEAR(r.Estimate(), 3.0, 0.5);
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  std::vector<std::string> a, b;
+  for (int i = 0; i < 5000; ++i) a.push_back("k" + std::to_string(i));
+  for (int i = 2500; i < 7500; ++i) b.push_back("k" + std::to_string(i));
+  HyperLogLogSketch sketch("s", 12);
+  HllResult ra = sketch.Summarize(*MakeStringTable("s", a), 0);
+  HllResult rb = sketch.Summarize(*MakeStringTable("s", b), 0);
+  HllResult merged = sketch.Merge(ra, rb);
+  EXPECT_NEAR(merged.Estimate(), 7500, 7500 * 0.05);
+
+  // Merge must equal the summary of the union.
+  std::vector<std::string> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  HllResult whole = sketch.Summarize(*MakeStringTable("s", both), 0);
+  EXPECT_EQ(merged.registers, whole.registers);
+}
+
+// --- Bottom-k distinct strings -------------------------------------------------
+
+TEST(BottomK, CompleteWhenFewDistinct) {
+  TablePtr t = MakeStringTable("s", {"b", "a", "c", "a", "b"});
+  BottomKResult r = BottomKStringsSketch("s", 100).Summarize(*t, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.items.size(), 3u);
+}
+
+TEST(BottomK, TruncatesAndMergesLikeUnion) {
+  std::vector<std::string> a, b;
+  for (int i = 0; i < 500; ++i) a.push_back("s" + std::to_string(i));
+  for (int i = 400; i < 900; ++i) b.push_back("s" + std::to_string(i));
+  BottomKStringsSketch sketch("s", 64);
+  auto ra = sketch.Summarize(*MakeStringTable("s", a), 0);
+  auto rb = sketch.Summarize(*MakeStringTable("s", b), 0);
+  auto merged = sketch.Merge(ra, rb);
+  EXPECT_EQ(merged.items.size(), 64u);
+  EXPECT_FALSE(merged.complete);
+
+  std::vector<std::string> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  auto whole = sketch.Summarize(*MakeStringTable("s", both), 0);
+  ASSERT_EQ(whole.items.size(), merged.items.size());
+  for (size_t i = 0; i < whole.items.size(); ++i) {
+    EXPECT_EQ(whole.items[i], merged.items[i]);
+  }
+}
+
+TEST(BottomK, BucketsOnePerValueWhenFew) {
+  TablePtr t = MakeStringTable("s", {"b", "a", "c"});
+  auto r = BottomKStringsSketch("s").Summarize(*t, 0);
+  StringBuckets buckets = StringBucketsFromBottomK(r, 50, "c");
+  EXPECT_EQ(buckets.count(), 3);
+  EXPECT_EQ(buckets.boundaries()[0], "a");
+}
+
+TEST(BottomK, QuantileBucketsWhenMany) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 2000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "v%05d", i);
+    values.push_back(buf);
+  }
+  auto r = BottomKStringsSketch("s", 1024).Summarize(
+      *MakeStringTable("s", values), 0);
+  StringBuckets buckets = StringBucketsFromBottomK(r, 50, values.back());
+  EXPECT_LE(buckets.count(), 50);
+  EXPECT_GE(buckets.count(), 40);  // roughly even quantiles
+  EXPECT_TRUE(std::is_sorted(buckets.boundaries().begin(),
+                             buckets.boundaries().end()));
+}
+
+// --- Quantile ------------------------------------------------------------------
+
+TEST(Quantile, MedianWithinTheoremAccuracy) {
+  const int kV = 100;  // scrollbar pixels
+  auto values = UniformDoubles(200000, 0, 1, 21);
+  TablePtr t = MakeDoubleTable("x", values);
+  uint64_t n = QuantileSampleSize(kV);
+  double rate = SampleRateForSize(n, values.size());
+  QuantileSketch sketch(RecordOrder({{"x", true}}), rate,
+                        static_cast<int>(4 * n));
+  QuantileResult r = sketch.Summarize(*t, 77);
+  const auto* key = r.KeyAtQuantile(0.5);
+  ASSERT_NE(key, nullptr);
+  double median = std::get<double>((*key)[0]);
+  // True median of U(0,1) is 0.5; Theorem 2 accuracy is ε = 1/(2V).
+  EXPECT_NEAR(median, 0.5, 3.0 / (2 * kV));
+}
+
+TEST(Quantile, MergePreservesRanks) {
+  auto values = UniformDoubles(50000, 0, 100, 22);
+  QuantileSketch sketch(RecordOrder({{"x", true}}), 0.02, 4000);
+  QuantileResult merged = sketch.Zero();
+  int part = 0;
+  for (const auto& chunk : SplitValues(values, 4)) {
+    merged = sketch.Merge(
+        merged, sketch.Summarize(*MakeDoubleTable("x", chunk), part++));
+  }
+  ASSERT_FALSE(merged.keys.empty());
+  // Keys sorted and quantiles roughly linear for uniform data.
+  for (size_t i = 1; i < merged.keys.size(); ++i) {
+    EXPECT_LE(std::get<double>(merged.keys[i - 1][0]),
+              std::get<double>(merged.keys[i][0]));
+  }
+  EXPECT_NEAR(std::get<double>((*merged.KeyAtQuantile(0.25))[0]), 25.0, 5.0);
+  EXPECT_NEAR(std::get<double>((*merged.KeyAtQuantile(0.75))[0]), 75.0, 5.0);
+}
+
+TEST(Quantile, DecimationCapsSummary) {
+  auto values = UniformDoubles(50000, 0, 1, 23);
+  QuantileSketch sketch(RecordOrder({{"x", true}}), 0.5, 1000);
+  QuantileResult merged = sketch.Zero();
+  for (const auto& chunk : SplitValues(values, 4)) {
+    merged = sketch.Merge(merged,
+                          sketch.Summarize(*MakeDoubleTable("x", chunk), 1));
+  }
+  EXPECT_LE(merged.keys.size(), 1000u);
+}
+
+// --- PCA -----------------------------------------------------------------------
+
+TEST(Pca, CorrelationOfLinearlyRelatedColumns) {
+  Random rng(31);
+  ColumnBuilder a(DataKind::kDouble), b(DataKind::kDouble),
+      c(DataKind::kDouble);
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.NextGaussian();
+    a.AppendDouble(x);
+    b.AppendDouble(2 * x + 0.01 * rng.NextGaussian());  // ~perfectly corr.
+    c.AppendDouble(rng.NextGaussian());                 // independent
+  }
+  TablePtr t = Table::Create(Schema({{"a", DataKind::kDouble},
+                                     {"b", DataKind::kDouble},
+                                     {"c", DataKind::kDouble}}),
+                             {a.Finish(), b.Finish(), c.Finish()});
+  CorrelationResult r = CorrelationSketch({"a", "b", "c"}).Summarize(*t, 0);
+  auto corr = r.CorrelationMatrix();
+  EXPECT_NEAR(corr[0 * 3 + 1], 1.0, 0.01);
+  EXPECT_NEAR(corr[0 * 3 + 2], 0.0, 0.05);
+  EXPECT_DOUBLE_EQ(corr[0], 1.0);
+}
+
+TEST(Pca, MergeMatchesWhole) {
+  Random rng(32);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back(rng.NextGaussian());
+    ys.push_back(xs.back() + rng.NextGaussian());
+  }
+  auto make = [&](size_t lo, size_t hi) {
+    ColumnBuilder a(DataKind::kDouble), b(DataKind::kDouble);
+    for (size_t i = lo; i < hi; ++i) {
+      a.AppendDouble(xs[i]);
+      b.AppendDouble(ys[i]);
+    }
+    return Table::Create(
+        Schema({{"x", DataKind::kDouble}, {"y", DataKind::kDouble}}),
+        {a.Finish(), b.Finish()});
+  };
+  CorrelationSketch sketch({"x", "y"});
+  auto whole = sketch.Summarize(*make(0, 3000), 0);
+  auto merged = sketch.Merge(sketch.Summarize(*make(0, 1000), 0),
+                             sketch.Summarize(*make(1000, 3000), 0));
+  EXPECT_EQ(merged.count, whole.count);
+  for (size_t i = 0; i < whole.products.size(); ++i) {
+    EXPECT_NEAR(merged.products[i], whole.products[i], 1e-6);
+  }
+}
+
+TEST(Pca, JacobiRecoversKnownEigensystem) {
+  // diag(3, 1) rotated by 45°: eigenvalues 3 and 1, eigenvectors (1,1)/√2
+  // and (1,-1)/√2.
+  std::vector<double> m = {2, 1, 1, 2};
+  EigenDecomposition e = JacobiEigen(m, 2);
+  ASSERT_EQ(e.eigenvalues.size(), 2u);
+  EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-9);
+  EXPECT_NEAR(e.eigenvalues[1], 1.0, 1e-9);
+  double v0 = e.eigenvectors[0][0], v1 = e.eigenvectors[0][1];
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(v0, v1, 1e-9);
+}
+
+TEST(Pca, BasisFindsDominantDirection) {
+  Random rng(33);
+  ColumnBuilder a(DataKind::kDouble), b(DataKind::kDouble);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextGaussian();
+    a.AppendDouble(x);
+    b.AppendDouble(x + 0.1 * rng.NextGaussian());
+  }
+  TablePtr t = Table::Create(
+      Schema({{"x", DataKind::kDouble}, {"y", DataKind::kDouble}}),
+      {a.Finish(), b.Finish()});
+  auto corr = CorrelationSketch({"x", "y"}).Summarize(*t, 0);
+  auto basis = PcaBasis(corr, 1);
+  ASSERT_EQ(basis.size(), 1u);
+  // Dominant direction ~ (1,1)/√2 (up to sign).
+  EXPECT_NEAR(std::fabs(basis[0][0]), std::sqrt(0.5), 0.05);
+  EXPECT_NEAR(std::fabs(basis[0][1]), std::sqrt(0.5), 0.05);
+}
+
+// --- SaveAs -------------------------------------------------------------------
+
+TEST(SaveAs, WritesPartitionAndMergesErrors) {
+  std::string dir = ::testing::TempDir();
+  TablePtr t = MakeDoubleTable("x", {1, 2, 3});
+  SaveAsSketch sketch(dir, "save_test");
+  SaveResult r1 = sketch.Summarize(*t, 0xABC);
+  EXPECT_TRUE(r1.ok());
+  EXPECT_EQ(r1.partitions_written, 1);
+  EXPECT_EQ(r1.rows_written, 3);
+
+  SaveAsSketch bad("/nonexistent-dir-zzz", "save_test");
+  SaveResult r2 = bad.Summarize(*t, 0xDEF);
+  EXPECT_FALSE(r2.ok());
+
+  SaveResult merged = sketch.Merge(r1, r2);
+  EXPECT_EQ(merged.partitions_written, 1);
+  EXPECT_EQ(merged.errors.size(), 1u);
+
+  auto back = ReadTableFile(dir + "/save_test-0000000000000abc.hvcf");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()->num_rows(), 3u);
+}
+
+// --- Sample size formulas -------------------------------------------------------
+
+TEST(SampleSize, IndependentOfDataSize) {
+  // The core scaling property: none of the formulas involve n.
+  EXPECT_EQ(HistogramSampleSize(200, 25), HistogramSampleSize(200, 25));
+  EXPECT_GT(HistogramSampleSize(400, 25), HistogramSampleSize(200, 25));
+  EXPECT_GT(CdfSampleSize(400), CdfSampleSize(200));
+  EXPECT_GT(HeavyHittersSampleSize(200), HeavyHittersSampleSize(100));
+}
+
+TEST(SampleSize, RateClampsToOne) {
+  EXPECT_EQ(SampleRateForSize(1000, 10), 1.0);
+  EXPECT_NEAR(SampleRateForSize(1000, 100000), 0.01, 1e-12);
+  EXPECT_EQ(SampleRateForSize(5, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace hillview

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sketch/find_text.h"
+#include "sketch/heavy_hitters.h"
+#include "sketch/next_items.h"
+#include "sketch/sample_size.h"
+#include "test_util.h"
+
+namespace hillview {
+namespace {
+
+using testing::MakeIntTable;
+using testing::MakeStringTable;
+
+// --- Next items ---------------------------------------------------------------
+
+TEST(NextItems, FirstPageFromStart) {
+  TablePtr t = MakeIntTable("n", {5, 3, 9, 1, 7});
+  NextItemsSketch sketch(RecordOrder({{"n", true}}), {}, std::nullopt, 3);
+  NextItemsResult r = sketch.Summarize(*t, 0);
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].values[0], Value(int64_t{1}));
+  EXPECT_EQ(r.rows[1].values[0], Value(int64_t{3}));
+  EXPECT_EQ(r.rows[2].values[0], Value(int64_t{5}));
+  EXPECT_EQ(r.rows_before, 0);
+}
+
+TEST(NextItems, StartKeyIsExclusive) {
+  TablePtr t = MakeIntTable("n", {5, 3, 9, 1, 7});
+  NextItemsSketch sketch(RecordOrder({{"n", true}}), {},
+                         std::vector<Value>{Value(int64_t{5})}, 3);
+  NextItemsResult r = sketch.Summarize(*t, 0);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].values[0], Value(int64_t{7}));
+  EXPECT_EQ(r.rows[1].values[0], Value(int64_t{9}));
+  EXPECT_EQ(r.rows_before, 3);  // 1, 3, 5
+}
+
+TEST(NextItems, AggregatesDuplicatesWithCounts) {
+  TablePtr t = MakeIntTable("n", {2, 2, 2, 1, 3, 1});
+  NextItemsSketch sketch(RecordOrder({{"n", true}}), {}, std::nullopt, 2);
+  NextItemsResult r = sketch.Summarize(*t, 0);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].values[0], Value(int64_t{1}));
+  EXPECT_EQ(r.rows[0].count, 2);
+  EXPECT_EQ(r.rows[1].values[0], Value(int64_t{2}));
+  EXPECT_EQ(r.rows[1].count, 3);
+}
+
+TEST(NextItems, DescendingOrder) {
+  TablePtr t = MakeIntTable("n", {5, 3, 9});
+  NextItemsSketch sketch(RecordOrder({{"n", false}}), {}, std::nullopt, 2);
+  NextItemsResult r = sketch.Summarize(*t, 0);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].values[0], Value(int64_t{9}));
+  EXPECT_EQ(r.rows[1].values[0], Value(int64_t{5}));
+}
+
+TEST(NextItems, DisplayColumnsAreCarried) {
+  ColumnBuilder n(DataKind::kInt), s(DataKind::kString);
+  n.AppendInt(2);
+  n.AppendInt(1);
+  s.AppendString("two");
+  s.AppendString("one");
+  TablePtr t =
+      Table::Create(Schema({{"n", DataKind::kInt}, {"s", DataKind::kString}}),
+                    {n.Finish(), s.Finish()});
+  NextItemsSketch sketch(RecordOrder({{"n", true}}), {"s"}, std::nullopt, 1);
+  NextItemsResult r = sketch.Summarize(*t, 0);
+  ASSERT_EQ(r.rows.size(), 1u);
+  ASSERT_EQ(r.rows[0].values.size(), 2u);
+  EXPECT_EQ(r.rows[0].values[1], Value(std::string("one")));
+}
+
+TEST(NextItems, MergeMatchesWholeDataset) {
+  std::vector<int32_t> all;
+  Random rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    all.push_back(static_cast<int32_t>(rng.NextUint64(50)));
+  }
+  NextItemsSketch sketch(RecordOrder({{"n", true}}), {}, std::nullopt, 10);
+  NextItemsResult whole = sketch.Summarize(*MakeIntTable("n", all), 0);
+
+  NextItemsResult merged = sketch.Zero();
+  for (int part = 0; part < 4; ++part) {
+    std::vector<int32_t> chunk;
+    for (size_t i = part; i < all.size(); i += 4) chunk.push_back(all[i]);
+    merged =
+        sketch.Merge(merged, sketch.Summarize(*MakeIntTable("n", chunk), 0));
+  }
+  ASSERT_EQ(merged.rows.size(), whole.rows.size());
+  for (size_t i = 0; i < whole.rows.size(); ++i) {
+    EXPECT_EQ(merged.rows[i].values, whole.rows[i].values);
+    EXPECT_EQ(merged.rows[i].count, whole.rows[i].count);
+  }
+}
+
+TEST(NextItems, MissingValuesSortLast) {
+  ColumnBuilder b(DataKind::kInt);
+  b.AppendMissing();
+  b.AppendInt(1);
+  b.AppendInt(2);
+  TablePtr t = Table::Create(Schema({{"n", DataKind::kInt}}), {b.Finish()});
+  NextItemsSketch sketch(RecordOrder({{"n", true}}), {}, std::nullopt, 3);
+  NextItemsResult r = sketch.Summarize(*t, 0);
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[2].values[0], Value(std::monostate{}));
+}
+
+// --- Find text -----------------------------------------------------------------
+
+TEST(FindText, SubstringCaseInsensitiveByDefault) {
+  TablePtr t = MakeStringTable("s", {"Gandalf", "frodo", "GANDALF the grey"});
+  StringFilter filter;
+  filter.text = "gandalf";
+  FindTextSketch sketch(RecordOrder({{"s", true}}), {"s"}, filter,
+                        std::nullopt);
+  FindResult r = sketch.Summarize(*t, 0);
+  EXPECT_EQ(r.match_count, 2);
+  ASSERT_TRUE(r.first_match.has_value());
+  EXPECT_EQ((*r.first_match)[0], Value(std::string("GANDALF the grey")));
+}
+
+TEST(FindText, CaseSensitiveExact) {
+  TablePtr t = MakeStringTable("s", {"abc", "ABC", "abcd"});
+  StringFilter filter;
+  filter.text = "abc";
+  filter.mode = StringFilter::Mode::kExact;
+  filter.case_sensitive = true;
+  FindTextSketch sketch(RecordOrder({{"s", true}}), {"s"}, filter,
+                        std::nullopt);
+  FindResult r = sketch.Summarize(*t, 0);
+  EXPECT_EQ(r.match_count, 1);
+}
+
+TEST(FindText, Regex) {
+  TablePtr t = MakeStringTable("s", {"flight-123", "flight-9", "train-55"});
+  StringFilter filter;
+  filter.text = "^flight-[0-9]{3}$";
+  filter.mode = StringFilter::Mode::kRegex;
+  FindTextSketch sketch(RecordOrder({{"s", true}}), {"s"}, filter,
+                        std::nullopt);
+  EXPECT_EQ(sketch.Summarize(*t, 0).match_count, 1);
+}
+
+TEST(FindText, NextAfterStartKey) {
+  TablePtr t = MakeStringTable("s", {"apple", "apricot", "banana", "avocado"});
+  StringFilter filter;
+  filter.text = "a";  // substring: everything with an 'a'
+  FindTextSketch sketch(RecordOrder({{"s", true}}), {"s"}, filter,
+                        std::vector<Value>{Value(std::string("apple"))});
+  FindResult r = sketch.Summarize(*t, 0);
+  EXPECT_EQ(r.match_count, 4);
+  EXPECT_EQ(r.matches_before, 1);  // "apple" itself
+  ASSERT_TRUE(r.first_match.has_value());
+  EXPECT_EQ((*r.first_match)[0], Value(std::string("apricot")));
+}
+
+TEST(FindText, MergePicksEarliestMatch) {
+  StringFilter filter;
+  filter.text = "x";
+  FindTextSketch sketch(RecordOrder({{"s", true}}), {"s"}, filter,
+                        std::nullopt);
+  auto r1 = sketch.Summarize(*MakeStringTable("s", {"xylophone"}), 0);
+  auto r2 = sketch.Summarize(*MakeStringTable("s", {"axe", "box"}), 0);
+  FindResult merged = sketch.Merge(r1, r2);
+  EXPECT_EQ(merged.match_count, 3);
+  EXPECT_EQ((*merged.first_match)[0], Value(std::string("axe")));
+}
+
+// --- Heavy hitters ---------------------------------------------------------------
+
+std::vector<std::string> SkewedStrings(int n, uint64_t seed) {
+  // "heavy" appears 30%, "medium" 10%, the rest are near-unique.
+  Random rng(seed);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    if (u < 0.30) {
+      out.push_back("heavy");
+    } else if (u < 0.40) {
+      out.push_back("medium");
+    } else {
+      out.push_back("rare-" + std::to_string(rng.NextUint64(100000)));
+    }
+  }
+  return out;
+}
+
+TEST(MisraGries, FindsHeavyElements) {
+  auto values = SkewedStrings(50000, 41);
+  MisraGriesSketch sketch("s", 10);
+  HeavyHittersResult r = sketch.Summarize(*MakeStringTable("s", values), 0);
+  auto selected = r.Select(1.0 / 20);
+  ASSERT_GE(selected.size(), 2u);
+  EXPECT_EQ(selected[0].value, Value(std::string("heavy")));
+  EXPECT_EQ(selected[1].value, Value(std::string("medium")));
+}
+
+TEST(MisraGries, UndercountBound) {
+  // MG guarantee: true_count - N/(K+1) <= count <= true_count.
+  auto values = SkewedStrings(20000, 42);
+  std::map<std::string, int64_t> truth;
+  for (const auto& v : values) ++truth[v];
+  const int k = 20;
+  MisraGriesSketch sketch("s", k);
+  HeavyHittersResult r = sketch.Summarize(*MakeStringTable("s", values), 0);
+  for (const auto& item : r.items) {
+    int64_t true_count = truth[std::get<std::string>(item.value)];
+    EXPECT_LE(item.count, true_count);
+    EXPECT_GE(item.count, true_count - static_cast<int64_t>(values.size()) / k);
+  }
+}
+
+TEST(MisraGries, MergePreservesHeavyElements) {
+  auto a = SkewedStrings(20000, 43);
+  auto b = SkewedStrings(20000, 44);
+  MisraGriesSketch sketch("s", 10);
+  auto ra = sketch.Summarize(*MakeStringTable("s", a), 0);
+  auto rb = sketch.Summarize(*MakeStringTable("s", b), 0);
+  auto merged = sketch.Merge(ra, rb);
+  EXPECT_LE(merged.items.size(), 10u);
+  auto selected = merged.Select(1.0 / 20);
+  ASSERT_FALSE(selected.empty());
+  EXPECT_EQ(selected[0].value, Value(std::string("heavy")));
+}
+
+TEST(SampledHeavyHitters, Theorem4Guarantees) {
+  const int k = 10;
+  const double delta = 0.01;
+  auto values = SkewedStrings(200000, 45);
+  uint64_t n = HeavyHittersSampleSize(k, delta);
+  double rate = SampleRateForSize(n, values.size());
+  SampledHeavyHittersSketch sketch("s", k, rate);
+  HeavyHittersResult r = sketch.Summarize(*MakeStringTable("s", values), 99);
+  auto selected = r.Select(3.0 / (4 * k));
+  // All elements above 1/K must be found ("heavy" 30%, "medium" 10%).
+  std::set<std::string> names;
+  for (const auto& item : selected) {
+    names.insert(std::get<std::string>(item.value));
+  }
+  EXPECT_TRUE(names.count("heavy"));
+  EXPECT_TRUE(names.count("medium"));
+  // Nothing below 1/(4K) = 2.5% may appear; every "rare-*" is ~0.001%.
+  for (const auto& name : names) {
+    EXPECT_TRUE(name == "heavy" || name == "medium") << name;
+  }
+}
+
+TEST(SampledHeavyHitters, MergeAddsSampleCounts) {
+  SampledHeavyHittersSketch sketch("s", 5, 0.5);
+  auto a = sketch.Summarize(*MakeStringTable("s", {"x", "x", "y"}), 1);
+  auto b = sketch.Summarize(*MakeStringTable("s", {"x", "z"}), 2);
+  auto merged = sketch.Merge(a, b);
+  EXPECT_EQ(merged.rows_counted, a.rows_counted + b.rows_counted);
+}
+
+TEST(HeavyHittersResult, SelectSortsByCount) {
+  HeavyHittersResult r;
+  r.max_size = 3;
+  r.rows_counted = 100;
+  r.items = {{Value(std::string("b")), 30},
+             {Value(std::string("a")), 50},
+             {Value(std::string("c")), 5}};
+  auto selected = r.Select(0.1);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].value, Value(std::string("a")));
+  EXPECT_EQ(selected[1].value, Value(std::string("b")));
+}
+
+}  // namespace
+}  // namespace hillview

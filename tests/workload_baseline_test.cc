@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/indexed_db.h"
+#include "baseline/row_engine.h"
+#include "sketch/histogram.h"
+#include "sketch/next_items.h"
+#include "test_util.h"
+#include "workload/flights.h"
+#include "workload/logs.h"
+
+namespace hillview {
+namespace {
+
+using baseline::IndexedDb;
+using baseline::RowEngine;
+using workload::FlightsOptions;
+using workload::GenerateFlights;
+using workload::GenerateLogs;
+
+// --- Flights generator -----------------------------------------------------
+
+TEST(Flights, DeterministicInSeed) {
+  TablePtr a = GenerateFlights(1000, 7);
+  TablePtr b = GenerateFlights(1000, 7);
+  TablePtr c = GenerateFlights(1000, 8);
+  for (uint32_t r = 0; r < 1000; r += 111) {
+    EXPECT_EQ(a->GetRow(r, {"Airline", "DepDelay", "FlightDate"}),
+              b->GetRow(r, {"Airline", "DepDelay", "FlightDate"}));
+  }
+  EXPECT_NE(a->GetRow(0, {"FlightNumber", "Origin", "CrsDepTime"}),
+            c->GetRow(0, {"FlightNumber", "Origin", "CrsDepTime"}));
+}
+
+TEST(Flights, SchemaHasPaperColumnKinds) {
+  Schema schema = workload::FlightsSchema();
+  EXPECT_EQ(schema.Find("FlightDate")->kind, DataKind::kDate);
+  EXPECT_EQ(schema.Find("Airline")->kind, DataKind::kCategory);
+  EXPECT_EQ(schema.Find("DepDelay")->kind, DataKind::kDouble);
+  EXPECT_EQ(schema.Find("Cancelled")->kind, DataKind::kInt);
+  FlightsOptions options;
+  options.filler_columns = 89;
+  EXPECT_EQ(workload::FlightsSchema(options).num_columns(), 110);
+}
+
+TEST(Flights, CancelledFlightsHaveMissingDelays) {
+  TablePtr t = GenerateFlights(50000, 11);
+  ColumnPtr cancelled = t->GetColumnOrNull("Cancelled");
+  ColumnPtr dep_delay = t->GetColumnOrNull("DepDelay");
+  int cancelled_count = 0;
+  for (uint32_t r = 0; r < t->num_rows(); ++r) {
+    if (cancelled->GetDouble(r) == 1.0) {
+      ++cancelled_count;
+      EXPECT_TRUE(dep_delay->IsMissing(r));
+    } else {
+      EXPECT_FALSE(dep_delay->IsMissing(r));
+    }
+  }
+  // ~1.8% cancellation rate.
+  EXPECT_NEAR(cancelled_count, 900, 300);
+}
+
+TEST(Flights, AirlineDistributionIsSkewed) {
+  TablePtr t = GenerateFlights(50000, 12);
+  ColumnPtr airline = t->GetColumnOrNull("Airline");
+  std::map<std::string, int> counts;
+  for (uint32_t r = 0; r < t->num_rows(); ++r) {
+    ++counts[airline->GetString(r)];
+  }
+  EXPECT_GE(counts.size(), 15u);
+  int max = 0, min = INT32_MAX;
+  for (const auto& [name, c] : counts) {
+    max = std::max(max, c);
+    min = std::min(min, c);
+  }
+  EXPECT_GT(max, 3 * min);  // Zipf skew
+}
+
+TEST(Flights, LoadersCoverRequestedRows) {
+  auto loaders = workload::FlightsLoaders(25000, 10000, 1);
+  ASSERT_EQ(loaders.size(), 3u);
+  uint64_t total = 0;
+  for (auto& loader : loaders) {
+    auto t = loader();
+    ASSERT_TRUE(t.ok());
+    total += t.value()->num_rows();
+  }
+  EXPECT_EQ(total, 25000u);
+}
+
+TEST(Logs, GeneratorBasics) {
+  TablePtr t = GenerateLogs(10000, 5);
+  EXPECT_EQ(t->num_rows(), 10000u);
+  ColumnPtr level = t->GetColumnOrNull("Level");
+  ASSERT_NE(level, nullptr);
+  std::map<std::string, int> counts;
+  for (uint32_t r = 0; r < t->num_rows(); ++r) ++counts[level->GetString(r)];
+  EXPECT_GT(counts["INFO"], counts["ERROR"]);  // level skew
+  EXPECT_GT(counts["ERROR"], 0);
+  ColumnPtr server = t->GetColumnOrNull("Server");
+  EXPECT_EQ(server->kind(), DataKind::kCategory);
+}
+
+// --- RowEngine (Spark stand-in) ----------------------------------------------
+
+class RowEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    partitions_.push_back(GenerateFlights(5000, 21));
+    partitions_.push_back(GenerateFlights(5000, 22));
+    engine_ = std::make_unique<RowEngine>(partitions_, 2);
+  }
+
+  std::vector<TablePtr> partitions_;
+  std::unique_ptr<RowEngine> engine_;
+};
+
+TEST_F(RowEngineTest, RowCountMatches) {
+  EXPECT_EQ(engine_->num_rows(), 10000u);
+}
+
+TEST_F(RowEngineTest, GroupByCountMatchesColumnarTruth) {
+  uint64_t bytes = 0;
+  auto groups = engine_->GroupByCount("Airline", &bytes);
+  EXPECT_GT(bytes, 0u);
+
+  std::map<std::string, int64_t> truth;
+  for (const auto& t : partitions_) {
+    ColumnPtr col = t->GetColumnOrNull("Airline");
+    for (uint32_t r = 0; r < t->num_rows(); ++r) ++truth[col->GetString(r)];
+  }
+  ASSERT_EQ(groups.size(), truth.size());
+  for (const auto& [value, count] : groups) {
+    EXPECT_EQ(count, truth[std::get<std::string>(value)]);
+  }
+}
+
+TEST_F(RowEngineTest, SortTopKMatchesNextItems) {
+  RecordOrder order({{"Distance", true}});
+  uint64_t bytes = 0;
+  auto top = engine_->SortTopK(order, 5, &bytes);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_GT(bytes, 0u);
+
+  // Cross-check against the vizketch on the same data.
+  NextItemsSketch sketch(order, {}, std::nullopt, 5);
+  NextItemsResult merged = sketch.Zero();
+  for (const auto& t : partitions_) {
+    merged = sketch.Merge(merged, sketch.Summarize(*t, 0));
+  }
+  int dist_index = engine_->ColumnIndex("Distance");
+  for (size_t i = 0; i < 5 && i < merged.rows.size(); ++i) {
+    EXPECT_EQ(CompareValues(top[i][dist_index], merged.rows[i].values[0]), 0);
+  }
+}
+
+TEST_F(RowEngineTest, QuantileMatchesSortedTruth) {
+  uint64_t bytes = 0;
+  auto median = engine_->Quantile(RecordOrder({{"Distance", true}}), 0.5,
+                                  &bytes);
+  ASSERT_EQ(median.size(), 1u);
+  // The full-shuffle plan ships every key: bytes ~ 9B * 10k rows.
+  EXPECT_GT(bytes, 80000u);
+
+  std::vector<double> all;
+  for (const auto& t : partitions_) {
+    ColumnPtr col = t->GetColumnOrNull("Distance");
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      all.push_back(col->GetDouble(r));
+    }
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_NEAR(std::get<double>(median[0]), all[all.size() / 2], 1e-9);
+}
+
+TEST_F(RowEngineTest, DistinctCountExact) {
+  uint64_t bytes = 0;
+  int64_t distinct = engine_->DistinctCount("Airline", &bytes);
+  EXPECT_EQ(distinct, 18);
+}
+
+TEST_F(RowEngineTest, FilterThenCount) {
+  int idx = engine_->ColumnIndex("Airline");
+  auto filtered = engine_->Filter([idx](const std::vector<Value>& row) {
+    return row[idx] == Value(std::string("AA"));
+  });
+  EXPECT_GT(filtered->num_rows(), 0u);
+  EXPECT_LT(filtered->num_rows(), engine_->num_rows());
+  auto groups = filtered->GroupByCount("Airline", nullptr);
+  EXPECT_EQ(groups.size(), 1u);
+}
+
+TEST_F(RowEngineTest, GroupBy2DMatchesPairTruth) {
+  uint64_t bytes = 0;
+  auto groups = engine_->GroupByCount2D("Airline", "DayOfWeek", &bytes);
+  int64_t total = 0;
+  for (const auto& [key, count] : groups) total += count;
+  EXPECT_EQ(total, 10000);
+  EXPECT_LE(groups.size(), 18u * 7u);
+}
+
+// --- IndexedDb (commercial in-memory DB stand-in) ------------------------------
+
+TEST(IndexedDbTest, HistogramMatchesVizketchOnLiveRows) {
+  TablePtr t = testing::MakeDoubleTable(
+      "x", testing::UniformDoubles(50000, 0, 100, 91));
+  IndexedDb db(*t, "x");
+  EXPECT_EQ(db.num_rows(), 50000u);
+
+  auto idx_counts = db.HistogramQuery(0, 100, 10);
+  auto seq_counts = db.HistogramQuerySeqScan(0, 100, 10);
+  // Index scan and seq scan must agree with each other.
+  EXPECT_EQ(idx_counts, seq_counts);
+
+  // And be close to the vizketch truth (the DB hides ~2% dead tuples).
+  StreamingHistogramSketch sketch("x", Buckets(NumericBuckets(0, 100, 10)));
+  HistogramResult truth = sketch.Summarize(*t, 0);
+  int64_t db_total = 0, true_total = 0;
+  for (int b = 0; b < 10; ++b) {
+    db_total += idx_counts[b];
+    true_total += truth.counts[b];
+  }
+  EXPECT_LT(db_total, true_total);
+  EXPECT_GT(db_total, true_total * 0.95);
+}
+
+}  // namespace
+}  // namespace hillview
