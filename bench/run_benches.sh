@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary under <build-dir>/bench and emits one
+# BENCH_<name>.json per bench into <out-dir>, so perf results accumulate as
+# machine-readable artifacts from PR to PR.
+#
+#   bench/run_benches.sh [build-dir] [out-dir]
+#
+#   build-dir  defaults to ./build
+#   out-dir    defaults to ./bench-results
+#
+# Environment:
+#   BENCH_ONLY            substring filter: run only matching benches
+#   BENCH_TIMEOUT         per-bench timeout in seconds (default 900)
+#   HILLVIEW_BENCH_SCALE  dataset scale multiplier, forwarded to the benches
+#
+# Google-Benchmark-based binaries (bench_single_thread) emit their native
+# JSON via --benchmark_out; the self-driving main() benches are wrapped in a
+# JSON envelope carrying exit code, wall time, scale and captured stdout.
+
+set -u
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench-results}
+ONLY=${BENCH_ONLY:-}
+TIMEOUT=${BENCH_TIMEOUT:-900}
+
+BENCH_BIN_DIR="$BUILD_DIR/bench"
+if [ ! -d "$BENCH_BIN_DIR" ]; then
+  echo "error: '$BENCH_BIN_DIR' not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 2
+fi
+
+mkdir -p "$OUT_DIR"
+
+# Wraps a finished bench run (stdout file + metadata) into a JSON envelope.
+wrap_json() {
+  python3 - "$@" <<'EOF'
+import json, sys
+name, exit_code, seconds, scale, stdout_path, out_path = sys.argv[1:7]
+with open(stdout_path, encoding="utf-8", errors="replace") as f:
+    lines = f.read().splitlines()
+doc = {
+    "bench": name,
+    "exit_code": int(exit_code),
+    "wall_seconds": float(seconds),
+    "scale": float(scale),
+    "stdout": lines,
+}
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+}
+
+scale=${HILLVIEW_BENCH_SCALE:-1}
+failures=0
+ran=0
+
+for bin in "$BENCH_BIN_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  if [ -n "$ONLY" ] && [[ "$name" != *"$ONLY"* ]]; then
+    continue
+  fi
+  out_json="$OUT_DIR/BENCH_${name}.json"
+  echo "== $name"
+  ran=$((ran + 1))
+
+  # Probing the file (flag strings when statically linked, the DT_NEEDED
+  # entry when shared) avoids executing a self-driving bench just to detect
+  # its kind.
+  if grep -q benchmark_out "$bin" || \
+     ldd "$bin" 2>/dev/null | grep -q libbenchmark; then
+    # Native Google Benchmark JSON.
+    if ! timeout "$TIMEOUT" "$bin" \
+        --benchmark_out="$out_json" --benchmark_out_format=json; then
+      echo "   FAILED: $name" >&2
+      failures=$((failures + 1))
+    fi
+    continue
+  fi
+
+  stdout_tmp=$(mktemp)
+  start=$(date +%s.%N)
+  timeout "$TIMEOUT" "$bin" >"$stdout_tmp" 2>&1
+  code=$?
+  end=$(date +%s.%N)
+  seconds=$(python3 -c "print(f'{$end - $start:.3f}')")
+  sed 's/^/   /' "$stdout_tmp" | tail -5
+  wrap_json "$name" "$code" "$seconds" "$scale" "$stdout_tmp" "$out_json"
+  rm -f "$stdout_tmp"
+  if [ "$code" -ne 0 ]; then
+    echo "   FAILED: $name (exit $code)" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "ran $ran benches; $failures failed; JSON in $OUT_DIR/"
+[ "$failures" -eq 0 ] && [ "$ran" -gt 0 ]

@@ -1,0 +1,28 @@
+# Interface targets carrying the warning policy.
+#
+#   hillview::warnings        -Wall -Wextra (+ -Werror when HILLVIEW_WERROR)
+#                             — applied to every library under src/.
+#   hillview::warnings_relaxed -Wall -Wextra without -Werror — applied to
+#                             tests, benches and examples so a new compiler's
+#                             pickier diagnostics in harness code never block
+#                             the tier-1 build.
+
+add_library(hillview_warnings INTERFACE)
+add_library(hillview::warnings ALIAS hillview_warnings)
+
+add_library(hillview_warnings_relaxed INTERFACE)
+add_library(hillview::warnings_relaxed ALIAS hillview_warnings_relaxed)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(hillview_warnings INTERFACE -Wall -Wextra)
+  target_compile_options(hillview_warnings_relaxed INTERFACE -Wall -Wextra)
+  if(HILLVIEW_WERROR)
+    target_compile_options(hillview_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(hillview_warnings INTERFACE /W4)
+  target_compile_options(hillview_warnings_relaxed INTERFACE /W4)
+  if(HILLVIEW_WERROR)
+    target_compile_options(hillview_warnings INTERFACE /WX)
+  endif()
+endif()

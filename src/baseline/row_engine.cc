@@ -209,8 +209,6 @@ std::vector<Value> RowEngine::Quantile(const RecordOrder& order, double q,
     idx.push_back(schema_.IndexOf(o.column));
     asc.push_back(o.ascending);
   }
-  RowLess less{&idx, &asc};
-
   // General-purpose exact plan: every partition ships its *entire sorted key
   // column* to the master, which merges and indexes. (This is what a naive
   // orderBy + collect does; it is the workload where the paper's baseline

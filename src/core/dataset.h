@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -74,10 +75,15 @@ StreamPtr<PartialResult<R>> RunTypedSketch(IDataSet& dataset,
   auto typed = std::make_shared<Stream<PartialResult<R>>>();
   auto erased = dataset.RunSketch(AnySketch::Wrap<R>(std::move(sketch)),
                                   options);
+  // Progress-only partials (empty summary) must still reach subscribers:
+  // progress bars advance on every tick, not only on ticks that happen to
+  // carry a merged summary. An empty tick re-emits the last summary seen
+  // (or the zero summary R{} before any arrives).
+  auto last_value = std::make_shared<R>();
   erased->Subscribe(
-      [typed](const PartialResult<AnySummary>& p) {
-        if (p.value.empty()) return;
-        typed->OnNext(PartialResult<R>{p.progress, p.value.As<R>()});
+      [typed, last_value](const PartialResult<AnySummary>& p) {
+        if (!p.value.empty()) *last_value = p.value.As<R>();
+        typed->OnNext(PartialResult<R>{p.progress, *last_value});
       },
       [typed](const Status& s) { typed->OnComplete(s); });
   return typed;
@@ -88,12 +94,23 @@ StreamPtr<PartialResult<R>> RunTypedSketch(IDataSet& dataset,
 template <typename R>
 Result<R> SketchAndWait(IDataSet& dataset, SketchPtr<R> sketch,
                         const SketchOptions& options = {}) {
-  auto stream = RunTypedSketch<R>(dataset, std::move(sketch), options);
-  auto last = stream->BlockingLast();
-  Status status = stream->final_status();
+  auto erased = dataset.RunSketch(AnySketch::Wrap<R>(std::move(sketch)),
+                                  options);
+  // Track the last real summary ourselves (not via RunTypedSketch, which
+  // substitutes R{} on progress-only ticks): a stream that completes OK
+  // without ever carrying a summary must stay distinguishable from one
+  // whose final summary happens to equal R{}.
+  auto last_summary = std::make_shared<std::optional<R>>();
+  erased->Subscribe([last_summary](const PartialResult<AnySummary>& p) {
+    if (!p.value.empty()) *last_summary = p.value.As<R>();
+  });
+  (void)erased->BlockingLast();
+  Status status = erased->final_status();
   if (!status.ok()) return status;
-  if (!last.has_value()) return Status::Internal("sketch produced no result");
-  return last->value;
+  if (!last_summary->has_value()) {
+    return Status::Internal("sketch produced no result");
+  }
+  return **last_summary;
 }
 
 /// A single partition with reconstructible contents. The loader runs on

@@ -67,6 +67,43 @@ class LineParser {
     return false;
   }
 
+  // Appends the UTF-8 encoding of `code` (any Unicode scalar value).
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  // Reads the four hex digits of a \uXXXX escape; pos_ is already past the
+  // 'u'. Fails on truncation or non-hex characters.
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > s_.size()) return Error("bad \\u escape");
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = s_[pos_ + i];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= c - '0';
+      else if (c >= 'a' && c <= 'f') code |= c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') code |= c - 'A' + 10;
+      else return Error("bad \\u escape");
+    }
+    pos_ += 4;
+    *out = code;
+    return Status::OK();
+  }
+
   Status ParseString(std::string* out) {
     if (!Consume('"')) return Error("expected '\"'");
     out->clear();
@@ -86,12 +123,26 @@ class LineParser {
           case '\\': out->push_back('\\'); break;
           case '"': out->push_back('"'); break;
           case 'u': {
-            // Basic \uXXXX support: Latin-1 subset decodes; others pass
-            // through as '?' (log formats rarely need more).
-            if (pos_ + 4 > s_.size()) return Error("bad \\u escape");
-            unsigned code = std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
-            pos_ += 4;
-            out->push_back(code < 256 ? static_cast<char>(code) : '?');
+            uint32_t code = 0;
+            HV_RETURN_IF_ERROR(ParseHex4(&code));
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: a low surrogate escape must follow to form
+              // one non-BMP code point (RFC 8259 §7).
+              if (pos_ + 6 > s_.size() || s_[pos_] != '\\' ||
+                  s_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate in \\u escape");
+              }
+              pos_ += 2;
+              uint32_t low = 0;
+              HV_RETURN_IF_ERROR(ParseHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("invalid low surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Error("unpaired low surrogate in \\u escape");
+            }
+            AppendUtf8(out, code);
             break;
           }
           default:

@@ -51,6 +51,30 @@ TEST(Jsonl, DecodesEscapes) {
             Value(std::string("a\"b\\c\ndA")));
 }
 
+TEST(Jsonl, DecodesUnicodeEscapesToUtf8) {
+  // Non-Latin-1 log lines: Cyrillic (2-byte UTF-8), CJK (3-byte), and an
+  // emoji written as a surrogate pair (4-byte). Regression for the decoder
+  // that emitted raw Latin-1 bytes below U+0100 and '?' above.
+  auto t = ReadJsonlText(
+      "{\"msg\":\"\\u00e9\\u0416\\u4e16\\ud83d\\ude00\"}\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->GetRow(0, {"msg"})[0],
+            Value(std::string("\xC3\xA9"            // é U+00E9
+                              "\xD0\x96"            // Ж U+0416
+                              "\xE4\xB8\x96"        // 世 U+4E16
+                              "\xF0\x9F\x98\x80")));  // 😀 U+1F600
+}
+
+TEST(Jsonl, RejectsBrokenSurrogatePairs) {
+  // High surrogate with no continuation, with a non-surrogate follower, and
+  // a bare low surrogate are all malformed JSON text.
+  EXPECT_FALSE(ReadJsonlText("{\"s\":\"\\ud83d\"}\n").ok());
+  EXPECT_FALSE(ReadJsonlText("{\"s\":\"\\ud83dx\"}\n").ok());
+  EXPECT_FALSE(ReadJsonlText("{\"s\":\"\\ud83d\\u0041\"}\n").ok());
+  EXPECT_FALSE(ReadJsonlText("{\"s\":\"\\ude00\"}\n").ok());
+  EXPECT_FALSE(ReadJsonlText("{\"s\":\"\\u00ZZ\"}\n").ok());
+}
+
 TEST(Jsonl, RejectsNestedStructures) {
   auto t = ReadJsonlText("{\"a\":{\"nested\":1}}\n");
   EXPECT_FALSE(t.ok());

@@ -143,7 +143,9 @@ TEST(Membership, IterationIsInOrder) {
   uint32_t prev = 0;
   bool first = true;
   ForEachRow(*filtered, [&](uint32_t r) {
-    if (!first) EXPECT_GT(r, prev);
+    if (!first) {
+      EXPECT_GT(r, prev);
+    }
     prev = r;
     first = false;
     EXPECT_EQ(r % 7, 3u);
