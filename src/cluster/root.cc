@@ -67,7 +67,7 @@ DataSetPtr RootSession::GetRootDataSet(const std::string& dataset_id) {
 Result<AnySummary> RootSession::RunErased(const std::string& dataset_id,
                                           const AnySketch& sketch,
                                           uint64_t seed, bool cacheable) {
-  std::string cache_key = ComputationCache::Key(dataset_id, sketch.name());
+  std::string cache_key = ComputationCache::Key(dataset_id, sketch.name(), seed);
   if (cacheable) {
     if (auto hit = cache_.Get(cache_key)) return *hit;
   }

@@ -1,6 +1,7 @@
 #ifndef HILLVIEW_CORE_COMPUTATION_CACHE_H_
 #define HILLVIEW_CORE_COMPUTATION_CACHE_H_
 
+#include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -21,9 +22,12 @@ class ComputationCache {
   explicit ComputationCache(size_t max_entries = 4096)
       : max_entries_(max_entries) {}
 
+  /// Cache key for one seeded run. Sketch names do not always encode the
+  /// seed (e.g. SampledHistogramSketch), so the seed must be part of the key
+  /// or a cached randomized summary could be served for a different seed.
   static std::string Key(const std::string& dataset_id,
-                         const std::string& sketch_name) {
-    return dataset_id + "#" + sketch_name;
+                         const std::string& sketch_name, uint64_t seed) {
+    return dataset_id + "#" + sketch_name + "@" + std::to_string(seed);
   }
 
   std::optional<AnySummary> Get(const std::string& key) {

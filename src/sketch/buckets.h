@@ -2,6 +2,7 @@
 #define HILLVIEW_SKETCH_BUCKETS_H_
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,10 @@ class NumericBuckets {
   }
 
   int IndexOf(double v) const {
+    // NaN compares false against both bounds, so without this check it would
+    // reach the cast below with an undefined result; the scan layer treats
+    // NaN as missing before bucketing, this guards every other caller.
+    if (std::isnan(v)) return -1;
     if (v < min_ || v > max_) return -1;
     if (v == max_) return count_ - 1;
     int idx = static_cast<int>((v - min_) / width_);

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <regex>
 
+#include "storage/scan.h"
+
 namespace hillview {
 
 std::string StringFilter::ToString() const {
@@ -114,24 +116,27 @@ FindResult FindTextSketch::Summarize(const Table& table,
   if (cols.empty()) return result;
 
   // Precompute dictionary match bits per column: each distinct string is
-  // tested once, then rows reduce to a code lookup.
+  // tested once, then rows reduce to a code lookup. The code arrays are
+  // bound once too, so the row loop performs no virtual calls.
   std::vector<std::vector<uint8_t>> dict_match(cols.size());
+  std::vector<const uint32_t*> codes(cols.size());
   for (size_t i = 0; i < cols.size(); ++i) {
     const auto& dict = cols[i]->Dictionary();
     dict_match[i].resize(dict.size());
     for (size_t d = 0; d < dict.size(); ++d) {
       dict_match[i][d] = matcher.Matches(dict[d]) ? 1 : 0;
     }
+    codes[i] = cols[i]->RawCodes();
   }
 
   std::vector<std::string> names = order_.ColumnNames();
   std::optional<uint32_t> best_row;
   RowComparator comparator(table, order_);
 
-  ForEachRow(*table.members(), [&](uint32_t row) {
+  ScanRows(*table.members(), 1.0, 0, [&](uint32_t row) {
     bool matches = false;
     for (size_t i = 0; i < cols.size(); ++i) {
-      uint32_t code = cols[i]->RawCodes()[row];
+      uint32_t code = codes[i][row];
       if (code != StringColumn::kMissingCode && dict_match[i][code]) {
         matches = true;
         break;

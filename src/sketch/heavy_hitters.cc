@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "storage/scan.h"
+
 namespace hillview {
 
 namespace {
@@ -24,9 +26,13 @@ std::vector<HeavyHittersResult::Item> ReduceToK(const CountMap& counts,
   items.reserve(counts.size());
   for (const auto& [value, count] : counts) items.push_back({value, count});
   if (static_cast<int>(items.size()) <= k) return items;
-  std::nth_element(items.begin(), items.begin() + k, items.end(),
-                   [](const auto& a, const auto& b) { return a.count > b.count; });
-  int64_t pivot = items[k].count;
+  // Select the pivot over plain counts; the items themselves stay in place.
+  std::vector<int64_t> by_count;
+  by_count.reserve(items.size());
+  for (const auto& item : items) by_count.push_back(item.count);
+  std::nth_element(by_count.begin(), by_count.begin() + k, by_count.end(),
+                   std::greater<int64_t>());
+  int64_t pivot = by_count[k];
   std::vector<HeavyHittersResult::Item> kept;
   kept.reserve(k);
   for (auto& item : items) {
@@ -37,6 +43,65 @@ std::vector<HeavyHittersResult::Item> ReduceToK(const CountMap& counts,
   }
   return kept;
 }
+
+// Exact per-code counting for dictionary columns; the dictionary already
+// materializes the distinct values, so a count is one array slot per code.
+struct CodeCountTally {
+  int64_t* code_counts;
+  int64_t* rows_counted;
+  int64_t* missing;
+
+  void OnValue(uint32_t /*row*/, uint32_t code) {
+    ++*rows_counted;
+    ++code_counts[code];
+  }
+  void OnMissing(uint32_t /*row*/) {
+    ++*rows_counted;
+    ++*missing;
+  }
+};
+
+// Bounded Misra-Gries counting with k counters over native numeric values
+// (the scan layer filters NaN into OnMissing).
+struct MisraGriesTally {
+  CountMap* counts;
+  int k;
+  int64_t* rows_counted;
+  int64_t* missing;
+
+  template <typename T>
+  void OnValue(uint32_t /*row*/, T value) {
+    ++*rows_counted;
+    Value v;
+    if constexpr (std::is_same_v<T, double>) {
+      v = value;
+    } else {
+      v = static_cast<int64_t>(value);
+    }
+    auto it = counts->find(v);
+    if (it != counts->end()) {
+      ++it->second;
+      return;
+    }
+    if (static_cast<int>(counts->size()) < k) {
+      counts->emplace(std::move(v), 1);
+      return;
+    }
+    // Decrement step: all counters drop by one; zeros are evicted.
+    for (auto iter = counts->begin(); iter != counts->end();) {
+      if (--iter->second == 0) {
+        iter = counts->erase(iter);
+      } else {
+        ++iter;
+      }
+    }
+  }
+
+  void OnMissing(uint32_t /*row*/) {
+    ++*rows_counted;
+    ++*missing;
+  }
+};
 
 // Counts values of `column` over the member rows. For string columns the
 // count runs over dictionary codes (one array slot per distinct value); for
@@ -49,61 +114,19 @@ CountMap CountColumn(const Table& table, const std::string& column, int k,
   if (col == nullptr) return counts;
   const IColumn& c = *col;
 
-  if (const uint32_t* codes = c.RawCodes()) {
-    // Exact per-code counting; the dictionary is already materialized.
+  if (c.RawCodes() != nullptr) {
     const auto& dict = c.Dictionary();
     std::vector<int64_t> code_counts(dict.size(), 0);
-    auto tally = [&](uint32_t row) {
-      ++*rows_counted;
-      uint32_t code = codes[row];
-      if (code == StringColumn::kMissingCode) {
-        ++*missing;
-        return;
-      }
-      ++code_counts[code];
-    };
-    if (rate >= 1.0) {
-      ForEachRow(*table.members(), tally);
-    } else {
-      SampleRows(*table.members(), rate, seed, tally);
-    }
+    CodeCountTally tally{code_counts.data(), rows_counted, missing};
+    ScanColumn(c, *table.members(), rate, seed, tally);
     for (size_t code = 0; code < code_counts.size(); ++code) {
       if (code_counts[code] > 0) counts[Value(dict[code])] = code_counts[code];
     }
     return counts;
   }
 
-  // Generic path: bounded Misra-Gries counting with k counters.
-  auto tally = [&](uint32_t row) {
-    ++*rows_counted;
-    if (c.IsMissing(row)) {
-      ++*missing;
-      return;
-    }
-    Value v = c.GetValue(row);
-    auto it = counts.find(v);
-    if (it != counts.end()) {
-      ++it->second;
-      return;
-    }
-    if (static_cast<int>(counts.size()) < k) {
-      counts.emplace(std::move(v), 1);
-      return;
-    }
-    // Decrement step: all counters drop by one; zeros are evicted.
-    for (auto iter = counts.begin(); iter != counts.end();) {
-      if (--iter->second == 0) {
-        iter = counts.erase(iter);
-      } else {
-        ++iter;
-      }
-    }
-  };
-  if (rate >= 1.0) {
-    ForEachRow(*table.members(), tally);
-  } else {
-    SampleRows(*table.members(), rate, seed, tally);
-  }
+  MisraGriesTally tally{&counts, k, rows_counted, missing};
+  ScanColumn(c, *table.members(), rate, seed, tally);
   return counts;
 }
 

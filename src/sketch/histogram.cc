@@ -1,7 +1,10 @@
 #include "sketch/histogram.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
+
+#include "storage/scan.h"
 
 namespace hillview {
 
@@ -44,133 +47,88 @@ HistogramResult MergeHistograms(const HistogramResult& left,
 
 namespace {
 
-// Tight tally loop over a raw numeric array with full membership: the fast
-// path for the single-thread microbenchmark (§7.2.1).
-template <typename T>
-void TallyRawFull(const T* data, uint32_t n, const NullMask& nulls,
-                  const NumericBuckets& buckets, HistogramResult* result) {
-  const double min = buckets.min();
-  const double max = buckets.max();
-  const int count = buckets.count();
-  const double scale = count / (max - min);
-  int64_t* counts = result->counts.data();
-  if (nulls.empty()) {
-    for (uint32_t r = 0; r < n; ++r) {
-      double v = static_cast<double>(data[r]);
-      if (v < min || v > max) {
-        ++result->out_of_range;
-        continue;
-      }
-      int idx = static_cast<int>((v - min) * scale);
-      if (idx >= count) idx = count - 1;
-      ++counts[idx];
-    }
-  } else {
-    for (uint32_t r = 0; r < n; ++r) {
-      if (nulls.IsMissing(r)) {
-        ++result->missing;
-        continue;
-      }
-      double v = static_cast<double>(data[r]);
-      if (v < min || v > max) {
-        ++result->out_of_range;
-        continue;
-      }
-      int idx = static_cast<int>((v - min) * scale);
-      if (idx >= count) idx = count - 1;
-      ++counts[idx];
-    }
-  }
-  result->rows_scanned += n;
-}
-
-// Sampled tally over a raw numeric array with full membership: geometric
-// skips straight over the array, no virtual dispatch. This path is what
-// makes sampling beat streaming once the rate is low (§7.2.1).
-template <typename T>
-void TallySampledRawFull(const T* data, uint32_t n, const NullMask& nulls,
-                         const NumericBuckets& buckets, double rate,
-                         uint64_t seed, HistogramResult* result) {
-  const double min = buckets.min();
-  const double max = buckets.max();
-  const int count = buckets.count();
-  const double scale = count / (max - min);
-  int64_t* counts = result->counts.data();
-  Random rng(seed);
-  GeometricSkipper skipper(&rng, rate);
-  bool check_nulls = !nulls.empty();
-
-  // Sampling a large column is DRAM-latency-bound: consecutive samples are
-  // ~1/rate rows apart, so each touch is a cache miss. Generating a batch of
-  // sample positions first and prefetching them overlaps those misses.
-  constexpr int kBatch = 32;
-  uint32_t pending[kBatch];
-  uint64_t r = skipper.Next();
-  while (r < n) {
-    int filled = 0;
-    while (filled < kBatch && r < n) {
-      pending[filled++] = static_cast<uint32_t>(r);
-      __builtin_prefetch(data + r);
-      r += 1 + skipper.Next();
-    }
-    result->rows_scanned += filled;
-    for (int i = 0; i < filled; ++i) {
-      uint32_t row = pending[i];
-      if (check_nulls && nulls.IsMissing(row)) {
-        ++result->missing;
-        continue;
-      }
-      double v = static_cast<double>(data[row]);
-      if (v < min || v > max) {
-        ++result->out_of_range;
-        continue;
-      }
-      int idx = static_cast<int>((v - min) * scale);
-      if (idx >= count) idx = count - 1;
-      ++counts[idx];
-    }
-  }
-}
-
-// Generic per-row tally used by both sampled and filtered paths.
+// Equi-width tally over native numeric values. The scan layer never forwards
+// NaN (it counts as missing), so OnValue only sees orderable doubles; ±inf
+// clamps out and lands in the out-of-range slot.
+//
+// The hot loop is branchless: the value is clamped into [min, max] (minsd /
+// maxsd), the bucket index comes from one multiply, and out-of-range rows
+// select a trailing overflow slot via cmov, so every row ends as exactly one
+// unconditional `++slots[i]`. Missing accumulates in a visitor-local field;
+// everything is flushed into the result once after the scan.
 struct NumericTally {
-  const IColumn* col;
-  const NumericBuckets* buckets;
-  HistogramResult* result;
+  double min;
+  double max;
+  double scale;  // buckets / width, 0 for degenerate [min, min] ranges
+  int count;
+  std::vector<int64_t> slots;  // [0, count) buckets, [count] out-of-range
+  int64_t* slot = nullptr;     // cached slots.data(): keeps the loop in registers
+  int64_t missing = 0;
 
-  void operator()(uint32_t row) const {
-    ++result->rows_scanned;
-    if (col->IsMissing(row)) {
-      ++result->missing;
-      return;
+  explicit NumericTally(const NumericBuckets& buckets)
+      : min(buckets.min()),
+        max(buckets.max()),
+        scale(buckets.max() > buckets.min()
+                  ? buckets.count() / (buckets.max() - buckets.min())
+                  : 0.0),
+        count(buckets.count()),
+        slots(static_cast<size_t>(buckets.count()) + 1, 0),
+        slot(slots.data()) {}
+
+  template <typename T>
+  void OnValue(uint32_t /*row*/, T value) {
+    double v = static_cast<double>(value);
+    double clamped = std::min(std::max(v, min), max);
+    int idx = static_cast<int>((clamped - min) * scale);
+    if (idx >= count) idx = count - 1;  // v == max lands in the top bucket
+    bool in_range = (v >= min) & (v <= max);
+    ++slot[in_range ? idx : count];
+  }
+
+  void OnMissing(uint32_t /*row*/) { ++missing; }
+
+  // Every visited row landed in exactly one slot or in `missing`.
+  void Flush(HistogramResult* result) const {
+    int64_t tallied = 0;
+    for (int b = 0; b < count; ++b) {
+      result->counts[b] += slots[b];
+      tallied += slots[b];
     }
-    int idx = buckets->IndexOf(col->GetDouble(row));
-    if (idx < 0) {
-      ++result->out_of_range;
-      return;
-    }
-    ++result->counts[idx];
+    result->out_of_range += slots[count];
+    result->missing += missing;
+    result->rows_scanned += tallied + slots[count] + missing;
   }
 };
 
+// Tally over dictionary codes. The code -> slot map is precomputed with
+// out-of-range codes pointing at a trailing overflow slot, so the per-row
+// work is one load and one unconditional increment.
 struct StringTally {
-  const uint32_t* codes;
-  const std::vector<int>* code_to_bucket;
-  HistogramResult* result;
+  const uint32_t* code_to_slot;
+  int count;
+  std::vector<int64_t> slots;  // [0, count) buckets, [count] out-of-range
+  int64_t* slot;               // cached slots.data()
+  int64_t missing = 0;
 
-  void operator()(uint32_t row) const {
-    ++result->rows_scanned;
-    uint32_t code = codes[row];
-    if (code == StringColumn::kMissingCode) {
-      ++result->missing;
-      return;
+  StringTally(const uint32_t* code_to_slot, int count)
+      : code_to_slot(code_to_slot),
+        count(count),
+        slots(static_cast<size_t>(count) + 1, 0),
+        slot(slots.data()) {}
+
+  void OnValue(uint32_t /*row*/, uint32_t code) { ++slot[code_to_slot[code]]; }
+
+  void OnMissing(uint32_t /*row*/) { ++missing; }
+
+  void Flush(HistogramResult* result) const {
+    int64_t tallied = 0;
+    for (int b = 0; b < count; ++b) {
+      result->counts[b] += slots[b];
+      tallied += slots[b];
     }
-    int idx = (*code_to_bucket)[code];
-    if (idx < 0) {
-      ++result->out_of_range;
-      return;
-    }
-    ++result->counts[idx];
+    result->out_of_range += slots[count];
+    result->missing += missing;
+    result->rows_scanned += tallied + slots[count] + missing;
   }
 };
 
@@ -186,59 +144,27 @@ void TallyHistogram(const Table& table, const std::string& column,
   const IMembershipSet& members = *table.members();
 
   if (buckets.is_numeric()) {
-    const NumericBuckets& nb = buckets.numeric();
-    bool full_scan = rate >= 1.0;
-    bool full_membership = members.kind() == IMembershipSet::Kind::kFull;
-    if (full_membership) {
-      if (const double* raw = col->RawDouble()) {
-        if (full_scan) {
-          TallyRawFull(raw, members.size(), col->null_mask(), nb, result);
-        } else {
-          TallySampledRawFull(raw, members.size(), col->null_mask(), nb,
-                              rate, seed, result);
-        }
-        return;
-      }
-      if (const int32_t* raw = col->RawInt()) {
-        if (full_scan) {
-          TallyRawFull(raw, members.size(), col->null_mask(), nb, result);
-        } else {
-          TallySampledRawFull(raw, members.size(), col->null_mask(), nb,
-                              rate, seed, result);
-        }
-        return;
-      }
-      if (const int64_t* raw = col->RawDate()) {
-        if (full_scan) {
-          TallyRawFull(raw, members.size(), col->null_mask(), nb, result);
-        } else {
-          TallySampledRawFull(raw, members.size(), col->null_mask(), nb,
-                              rate, seed, result);
-        }
-        return;
-      }
-    }
-    NumericTally tally{col.get(), &nb, result};
-    if (full_scan) {
-      ForEachRow(members, tally);
-    } else {
-      SampleRows(members, rate, seed, tally);
-    }
+    NumericTally tally(buckets.numeric());
+    ScanColumn(*col, members, rate, seed, tally);
+    tally.Flush(result);
     return;
   }
 
   // String buckets: map each dictionary code to its bucket once, then scan
   // the code array.
-  const StringBuckets& sb = buckets.string();
-  const uint32_t* codes = col->RawCodes();
-  if (codes == nullptr) return;  // Numeric column with string buckets: zero.
-  std::vector<int> code_to_bucket = sb.MapDictionary(*col);
-  StringTally tally{codes, &code_to_bucket, result};
-  if (rate >= 1.0) {
-    ForEachRow(members, tally);
-  } else {
-    SampleRows(members, rate, seed, tally);
+  if (col->RawCodes() == nullptr) {
+    return;  // Numeric column with string buckets: zero.
   }
+  std::vector<int> code_to_bucket = buckets.string().MapDictionary(*col);
+  std::vector<uint32_t> code_to_slot(code_to_bucket.size());
+  for (size_t i = 0; i < code_to_bucket.size(); ++i) {
+    code_to_slot[i] = code_to_bucket[i] < 0
+                          ? static_cast<uint32_t>(buckets.count())
+                          : static_cast<uint32_t>(code_to_bucket[i]);
+  }
+  StringTally tally(code_to_slot.data(), buckets.count());
+  ScanColumn(*col, members, rate, seed, tally);
+  tally.Flush(result);
 }
 
 std::string StreamingHistogramSketch::name() const {

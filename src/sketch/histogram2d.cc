@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sketch/bucket_mapper.h"
+#include "storage/scan.h"
 
 namespace hillview {
 
@@ -108,11 +109,7 @@ Histogram2DResult Histogram2DSketch::Summarize(const Table& table,
     ++result.rows_scanned;
     TallyPair(x_map.BucketOf(row), y_map.BucketOf(row), &result);
   };
-  if (rate_ >= 1.0) {
-    ForEachRow(*table.members(), tally);
-  } else {
-    SampleRows(*table.members(), rate_, seed, tally);
-  }
+  ScanRows(*table.members(), rate_, seed, tally);
   return result;
 }
 
@@ -177,11 +174,7 @@ TrellisResult TrellisSketch::Summarize(const Table& table,
     ++g.rows_scanned;
     TallyPair(x_map.BucketOf(row), y_map.BucketOf(row), &g);
   };
-  if (rate_ >= 1.0) {
-    ForEachRow(*table.members(), tally);
-  } else {
-    SampleRows(*table.members(), rate_, seed, tally);
-  }
+  ScanRows(*table.members(), rate_, seed, tally);
   return result;
 }
 

@@ -1,8 +1,61 @@
 #include "sketch/hyperloglog.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "storage/scan.h"
 
 namespace hillview {
+
+namespace {
+
+// Shared register-update core: one max per hashed value.
+struct HllRegisters {
+  uint8_t* registers;
+  int precision;
+  int shift;
+
+  void Add(uint64_t h) {
+    size_t reg = h >> shift;
+    uint64_t rest = (h << precision) | (uint64_t{1} << (precision - 1));
+    uint8_t rank = static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+    if (rank > registers[reg]) registers[reg] = rank;
+  }
+};
+
+// Hashes native numeric values inline, mirroring IColumn::HashRow (double
+// hashes its bit pattern, integers their widened value). NaN arrives via
+// OnMissing under the scan layer's central policy.
+struct HllNumericTally {
+  HllRegisters regs;
+  uint64_t hash_seed;
+  int64_t* missing;
+
+  void OnValue(uint32_t /*row*/, double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    regs.Add(MixSeed(hash_seed, bits));
+  }
+  template <typename T>  // int32/int64 layouts; widened like HashRow
+  void OnValue(uint32_t /*row*/, T v) {
+    regs.Add(MixSeed(hash_seed, static_cast<uint64_t>(v)));
+  }
+  void OnMissing(uint32_t /*row*/) { ++*missing; }
+};
+
+// Dictionary columns hash each distinct string once (per-code table), then
+// rows reduce to one array load per row.
+struct HllCodesTally {
+  HllRegisters regs;
+  const uint64_t* code_hashes;
+  int64_t* missing;
+
+  void OnValue(uint32_t /*row*/, uint32_t code) { regs.Add(code_hashes[code]); }
+  void OnMissing(uint32_t /*row*/) { ++*missing; }
+};
+
+}  // namespace
 
 double HllResult::Estimate() const {
   if (registers.empty()) return 0.0;
@@ -45,19 +98,21 @@ HllResult HyperLogLogSketch::Summarize(const Table& table,
   ColumnPtr col = table.GetColumnOrNull(column_);
   if (col == nullptr) return result;
   const IColumn& c = *col;
-  const int shift = 64 - precision_;
+  HllRegisters regs{result.registers.data(), precision_, 64 - precision_};
 
-  ForEachRow(*table.members(), [&](uint32_t row) {
-    if (c.IsMissing(row)) {
-      ++result.missing;
-      return;
+  if (c.RawCodes() != nullptr) {
+    const auto& dict = c.Dictionary();
+    std::vector<uint64_t> code_hashes(dict.size());
+    for (size_t i = 0; i < dict.size(); ++i) {
+      code_hashes[i] = HashBytes(dict[i].data(), dict[i].size(), hash_seed_);
     }
-    uint64_t h = c.HashRow(row, hash_seed_);
-    size_t reg = h >> shift;
-    uint64_t rest = (h << precision_) | (uint64_t{1} << (precision_ - 1));
-    uint8_t rank = static_cast<uint8_t>(__builtin_clzll(rest) + 1);
-    if (rank > result.registers[reg]) result.registers[reg] = rank;
-  });
+    HllCodesTally tally{regs, code_hashes.data(), &result.missing};
+    ScanColumn(c, *table.members(), 1.0, 0, tally);
+    return result;
+  }
+
+  HllNumericTally tally{regs, hash_seed_, &result.missing};
+  ScanColumn(c, *table.members(), 1.0, 0, tally);
   return result;
 }
 

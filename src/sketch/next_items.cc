@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/scan.h"
+
 namespace hillview {
 
 void SerializeValue(const Value& v, ByteWriter* w) {
@@ -115,7 +117,7 @@ NextItemsResult NextItemsSketch::Summarize(const Table& table,
   reps.reserve(k_ + 1);
   counts.reserve(k_ + 1);
 
-  ForEachRow(*table.members(), [&](uint32_t row) {
+  ScanRows(*table.members(), 1.0, 0, [&](uint32_t row) {
     if (start_key_.has_value() &&
         CompareRowToKey(table, order_, row, *start_key_) <= 0) {
       ++result.rows_before;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "storage/scan.h"
+
 namespace hillview {
 
 std::vector<double> CorrelationResult::CorrelationMatrix() const {
@@ -64,22 +66,22 @@ CorrelationResult CorrelationSketch::Summarize(const Table& table,
   result.sums.assign(result.m, 0.0);
   result.products.assign(static_cast<size_t>(result.m) * result.m, 0.0);
 
-  std::vector<const IColumn*> cols;
+  std::vector<RawCursor> cols;
   for (const auto& name : columns_) {
     ColumnPtr c = table.GetColumnOrNull(name);
     if (c == nullptr || !IsNumericKind(c->kind())) return result;
-    cols.push_back(c.get());
+    cols.emplace_back(c.get());
   }
   const int m = result.m;
   std::vector<double> row_values(m);
 
   auto tally = [&](uint32_t row) {
     for (int i = 0; i < m; ++i) {
-      if (cols[i]->IsMissing(row)) {
+      if (cols[i].IsMissing(row)) {
         ++result.skipped;
         return;
       }
-      row_values[i] = cols[i]->GetDouble(row);
+      row_values[i] = cols[i].AsDouble(row);
     }
     ++result.count;
     for (int i = 0; i < m; ++i) {
@@ -89,11 +91,7 @@ CorrelationResult CorrelationSketch::Summarize(const Table& table,
       }
     }
   };
-  if (rate_ >= 1.0) {
-    ForEachRow(*table.members(), tally);
-  } else {
-    SampleRows(*table.members(), rate_, seed, tally);
-  }
+  ScanRows(*table.members(), rate_, seed, tally);
   // Mirror the upper triangle.
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < i; ++j) {

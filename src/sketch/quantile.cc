@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/scan.h"
+
 namespace hillview {
 
 const std::vector<Value>* QuantileResult::KeyAtQuantile(double q) const {
@@ -66,8 +68,8 @@ QuantileResult QuantileSketch::Summarize(const Table& table,
   std::vector<std::string> names = order_.ColumnNames();
 
   std::vector<uint32_t> sampled;
-  SampleRows(*table.members(), rate_, seed,
-             [&](uint32_t row) { sampled.push_back(row); });
+  ScanRows(*table.members(), rate_, seed,
+           [&](uint32_t row) { sampled.push_back(row); });
   RowComparator comparator(table, order_);
   std::sort(sampled.begin(), sampled.end(),
             [&](uint32_t a, uint32_t b) { return comparator.Less(a, b); });

@@ -2,7 +2,60 @@
 
 #include <algorithm>
 
+#include "storage/scan.h"
+
 namespace hillview {
+
+namespace {
+
+// Min/max over dictionary codes; code order equals alphabetical order.
+struct CodeRangeTally {
+  RangeResult* result;
+  uint32_t min_code = 0;
+  uint32_t max_code = 0;
+  bool first = true;
+
+  void OnValue(uint32_t /*row*/, uint32_t code) {
+    ++result->present_count;
+    if (first) {
+      min_code = max_code = code;
+      first = false;
+    } else {
+      min_code = std::min(min_code, code);
+      max_code = std::max(max_code, code);
+    }
+  }
+  void OnMissing(uint32_t /*row*/) { ++result->missing_count; }
+};
+
+// Min/max plus power sums over native numeric values; NaN never reaches
+// OnValue, so the running min/max and moments cannot be poisoned.
+struct NumericRangeTally {
+  RangeResult* result;
+  int num_moments;
+  bool first = true;
+
+  template <typename T>
+  void OnValue(uint32_t /*row*/, T value) {
+    double v = static_cast<double>(value);
+    ++result->present_count;
+    if (first) {
+      result->min = result->max = v;
+      first = false;
+    } else {
+      result->min = std::min(result->min, v);
+      result->max = std::max(result->max, v);
+    }
+    double power = v;
+    for (int m = 0; m < num_moments; ++m) {
+      result->moments[m] += power;
+      power *= v;
+    }
+  }
+  void OnMissing(uint32_t /*row*/) { ++result->missing_count; }
+};
+
+}  // namespace
 
 void RangeResult::Serialize(ByteWriter* w) const {
   w->WriteDouble(min);
@@ -38,54 +91,20 @@ RangeResult RangeSketch::Summarize(const Table& table, uint64_t seed) const {
   const IColumn& c = *col;
   result.is_string = IsStringKind(c.kind());
   result.is_integral = c.kind() == DataKind::kInt;
-  bool first = true;
 
   if (result.is_string) {
-    const uint32_t* codes = c.RawCodes();
     const auto& dict = c.Dictionary();
-    uint32_t min_code = 0, max_code = 0;
-    ForEachRow(*table.members(), [&](uint32_t row) {
-      uint32_t code = codes[row];
-      if (code == StringColumn::kMissingCode) {
-        ++result.missing_count;
-        return;
-      }
-      ++result.present_count;
-      if (first) {
-        min_code = max_code = code;
-        first = false;
-      } else {
-        min_code = std::min(min_code, code);
-        max_code = std::max(max_code, code);
-      }
-    });
-    if (!first) {
-      result.min_string = dict[min_code];
-      result.max_string = dict[max_code];
+    CodeRangeTally tally{&result};
+    ScanColumn(c, *table.members(), 1.0, 0, tally);
+    if (!tally.first) {
+      result.min_string = dict[tally.min_code];
+      result.max_string = dict[tally.max_code];
     }
     return result;
   }
 
-  ForEachRow(*table.members(), [&](uint32_t row) {
-    if (c.IsMissing(row)) {
-      ++result.missing_count;
-      return;
-    }
-    double v = c.GetDouble(row);
-    ++result.present_count;
-    if (first) {
-      result.min = result.max = v;
-      first = false;
-    } else {
-      result.min = std::min(result.min, v);
-      result.max = std::max(result.max, v);
-    }
-    double power = v;
-    for (int m = 0; m < num_moments_; ++m) {
-      result.moments[m] += power;
-      power *= v;
-    }
-  });
+  NumericRangeTally tally{&result, num_moments_};
+  ScanColumn(c, *table.members(), 1.0, 0, tally);
   return result;
 }
 

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "storage/scan.h"
+
 namespace hillview {
+
+namespace {
+
+// Marks which dictionary codes are referenced by member rows.
+struct UsedCodesTally {
+  uint8_t* used;
+  void OnValue(uint32_t /*row*/, uint32_t code) { used[code] = 1; }
+  void OnMissing(uint32_t /*row*/) {}
+};
+
+}  // namespace
 
 void BottomKResult::Serialize(ByteWriter* w) const {
   w->WriteU32(static_cast<uint32_t>(items.size()));
@@ -48,10 +61,8 @@ BottomKResult BottomKStringsSketch::Summarize(const Table& table,
     // Loaders only create dictionary entries for present values.
     std::fill(used.begin(), used.end(), 1);
   } else {
-    ForEachRow(*table.members(), [&](uint32_t row) {
-      uint32_t code = codes[row];
-      if (code != StringColumn::kMissingCode) used[code] = 1;
-    });
+    UsedCodesTally tally{used.data()};
+    ScanColumn(*col, *table.members(), 1.0, 0, tally);
   }
 
   for (size_t c = 0; c < dict.size(); ++c) {

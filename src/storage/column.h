@@ -20,12 +20,16 @@ class NullMask {
  public:
   NullMask() = default;
 
-  /// Marks `row` missing, growing the bitmap as needed.
+  /// Marks `row` missing, growing the bitmap as needed. Idempotent: marking
+  /// an already-missing row leaves count() unchanged.
   void SetMissing(uint32_t row) {
     size_t word = row >> 6;
     if (word >= words_.size()) words_.resize(word + 1, 0);
-    words_[word] |= (1ULL << (row & 63));
-    ++count_;
+    uint64_t bit = 1ULL << (row & 63);
+    if ((words_[word] & bit) == 0) {
+      words_[word] |= bit;
+      ++count_;
+    }
   }
 
   bool IsMissing(uint32_t row) const {
@@ -190,7 +194,14 @@ class StringColumn final : public IColumn {
 
   StringColumn(DataKind kind, std::vector<uint32_t> codes,
                std::vector<std::string> dictionary)
-      : kind_(kind), codes_(std::move(codes)), dict_(std::move(dictionary)) {}
+      : kind_(kind), codes_(std::move(codes)), dict_(std::move(dictionary)) {
+    // Missing rows are encoded in the code stream (kMissingCode); derive the
+    // bitmap once so generic null-mask consumers see the same missing rows
+    // as IsMissing().
+    for (uint32_t row = 0; row < codes_.size(); ++row) {
+      if (codes_[row] == kMissingCode) nulls_.SetMissing(row);
+    }
+  }
 
   DataKind kind() const override { return kind_; }
   uint32_t size() const override {
@@ -233,15 +244,12 @@ class StringColumn final : public IColumn {
   }
 
   size_t MemoryBytes() const override {
-    size_t bytes = codes_.size() * sizeof(uint32_t);
+    size_t bytes = codes_.size() * sizeof(uint32_t) + nulls_.MemoryBytes();
     for (const auto& s : dict_) bytes += s.size() + sizeof(std::string);
     return bytes;
   }
 
-  const NullMask& null_mask() const override {
-    static const NullMask kEmpty;
-    return kEmpty;
-  }
+  const NullMask& null_mask() const override { return nulls_; }
 
   const uint32_t* RawCodes() const override { return codes_.data(); }
   const std::vector<std::string>& Dictionary() const override { return dict_; }
@@ -252,6 +260,7 @@ class StringColumn final : public IColumn {
   DataKind kind_;
   std::vector<uint32_t> codes_;
   std::vector<std::string> dict_;
+  NullMask nulls_;
 };
 
 /// Appends values of any kind and produces an immutable column. Builders are

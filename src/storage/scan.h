@@ -1,0 +1,446 @@
+#ifndef HILLVIEW_STORAGE_SCAN_H_
+#define HILLVIEW_STORAGE_SCAN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/membership.h"
+#include "util/random.h"
+
+namespace hillview {
+
+/// Unified vectorized scan layer: the single entry point every vizketch
+/// summarize loop uses to walk a column (§6: scans over plain columnar
+/// arrays at hardware speed).
+///
+/// `ScanColumn` dispatches ONCE per scan on the full cross product
+///
+///   physical layout  (int32 | double | int64 | dictionary codes | generic)
+/// × membership kind  (full | dense bitmap | sparse row list)
+/// × null mask        (absent | present)
+/// × sampling rate    (streaming | geometric-skip sampling)
+///
+/// and then runs a tight template loop with no virtual calls. The visitor is
+/// a small struct the compiler inlines:
+///
+///   struct V {
+///     void OnValue(uint32_t row, T v);   // T is the column's native type
+///     void OnMissing(uint32_t row);
+///   };
+///
+/// Native types are int32_t / double / int64_t for numeric layouts and
+/// uint32_t (the dictionary code) for string layouts; a templated OnValue
+/// serves them all. Missing-value policy is defined centrally here:
+///
+///   - a set bit in the column's null mask is missing,
+///   - NaN in a double column is missing (never forwarded to OnValue, which
+///     is what makes unchecked bucket arithmetic downstream safe),
+///   - StringColumn::kMissingCode is missing.
+///
+/// Dense-bitmap iteration is word-at-a-time: each 64-row membership word is
+/// AND-ed with the corresponding null-mask word, so the null check costs one
+/// instruction per 64 rows instead of one per row. Sampling generalizes the
+/// batch-prefetch trick (§7.2.1): sampled positions are generated in batches
+/// of 32 and prefetched before the values are touched, overlapping the DRAM
+/// misses that dominate low-rate scans.
+
+namespace scan_internal {
+
+/// Forwards one present row to the visitor, applying the central NaN policy
+/// for floating-point layouts.
+template <typename T, typename Visitor>
+inline void Emit(Visitor& vis, uint32_t row, T value) {
+  if constexpr (std::is_floating_point_v<T>) {
+    if (std::isnan(value)) {
+      vis.OnMissing(row);
+      return;
+    }
+  }
+  vis.OnValue(row, value);
+}
+
+/// Null-mask word `w`, or 0 when the mask does not extend that far.
+inline uint64_t NullWord(const std::vector<uint64_t>& words, size_t w) {
+  return w < words.size() ? words[w] : 0;
+}
+
+// --- Streaming loops: one instantiation per membership representation. ---
+
+template <typename T, typename Visitor>
+void ScanFull(const T* data, uint32_t n, const NullMask& nulls, Visitor& vis) {
+  if (nulls.empty()) {
+    for (uint32_t r = 0; r < n; ++r) Emit(vis, r, data[r]);
+    return;
+  }
+  // Word-at-a-time: load each 64-row null word once; all-present blocks run
+  // a branchless inner loop.
+  const auto& words = nulls.words();
+  uint32_t full_words = n >> 6;
+  for (uint32_t w = 0; w < full_words; ++w) {
+    uint64_t null_word = NullWord(words, w);
+    uint32_t base = w << 6;
+    if (null_word == 0) {
+      for (uint32_t i = 0; i < 64; ++i) Emit(vis, base + i, data[base + i]);
+      continue;
+    }
+    uint64_t missing = null_word;
+    while (missing != 0) {
+      int bit = __builtin_ctzll(missing);
+      vis.OnMissing(base + bit);
+      missing &= missing - 1;
+    }
+    uint64_t present = ~null_word;
+    while (present != 0) {
+      int bit = __builtin_ctzll(present);
+      Emit(vis, base + bit, data[base + bit]);
+      present &= present - 1;
+    }
+  }
+  for (uint32_t r = full_words << 6; r < n; ++r) {
+    if (nulls.IsMissing(r)) {
+      vis.OnMissing(r);
+    } else {
+      Emit(vis, r, data[r]);
+    }
+  }
+}
+
+template <typename T, typename Visitor>
+void ScanDense(const T* data, const std::vector<uint64_t>& member_words,
+               const NullMask& nulls, Visitor& vis) {
+  const auto& null_words = nulls.words();
+  const bool check_nulls = !nulls.empty();
+  for (size_t w = 0; w < member_words.size(); ++w) {
+    uint64_t members = member_words[w];
+    if (members == 0) continue;
+    uint32_t base = static_cast<uint32_t>(w << 6);
+    // One AND per 64 rows splits the word into missing and present lanes.
+    uint64_t null_word = check_nulls ? NullWord(null_words, w) : 0;
+    if (members == ~0ULL && null_word == 0) {
+      // Fully-set word (common for run-structured filters like range
+      // zoom-ins): linear block, no bit juggling.
+      for (uint32_t i = 0; i < 64; ++i) Emit(vis, base + i, data[base + i]);
+      continue;
+    }
+    uint64_t missing = members & null_word;
+    uint64_t present = members & ~null_word;
+    while (missing != 0) {
+      int bit = __builtin_ctzll(missing);
+      vis.OnMissing(base + bit);
+      missing &= missing - 1;
+    }
+    while (present != 0) {
+      int bit = __builtin_ctzll(present);
+      Emit(vis, base + bit, data[base + bit]);
+      present &= present - 1;
+    }
+  }
+}
+
+template <typename T, typename Visitor>
+void ScanSparse(const T* data, const std::vector<uint32_t>& rows,
+                const NullMask& nulls, Visitor& vis) {
+  // Sparse member rows are far apart, so each value load is a likely cache
+  // miss; prefetching a fixed distance ahead overlaps them.
+  constexpr size_t kAhead = 16;
+  const size_t n = rows.size();
+  if (nulls.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kAhead < n) __builtin_prefetch(data + rows[i + kAhead]);
+      Emit(vis, rows[i], data[rows[i]]);
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) __builtin_prefetch(data + rows[i + kAhead]);
+    uint32_t r = rows[i];
+    if (nulls.IsMissing(r)) {
+      vis.OnMissing(r);
+    } else {
+      Emit(vis, r, data[r]);
+    }
+  }
+}
+
+// --- Sampled loops: geometric skips with batched prefetch. ---
+
+/// Drains a batch of sampled row positions through the visitor.
+template <typename T, typename Visitor>
+inline void DrainBatch(const T* data, const uint32_t* pending, int filled,
+                       const NullMask& nulls, bool check_nulls, Visitor& vis) {
+  for (int i = 0; i < filled; ++i) {
+    uint32_t row = pending[i];
+    if (check_nulls && nulls.IsMissing(row)) {
+      vis.OnMissing(row);
+      continue;
+    }
+    Emit(vis, row, data[row]);
+  }
+}
+
+inline constexpr int kSampleBatch = 32;
+
+template <typename T, typename Visitor>
+void ScanSampledFull(const T* data, uint32_t n, const NullMask& nulls,
+                     double rate, uint64_t seed, Visitor& vis) {
+  Random rng(seed);
+  GeometricSkipper skipper(&rng, rate);
+  const bool check_nulls = !nulls.empty();
+  uint32_t pending[kSampleBatch];
+  uint64_t r = skipper.Next();
+  while (r < n) {
+    int filled = 0;
+    while (filled < kSampleBatch && r < n) {
+      pending[filled++] = static_cast<uint32_t>(r);
+      __builtin_prefetch(data + r);
+      r += 1 + skipper.Next();
+    }
+    DrainBatch(data, pending, filled, nulls, check_nulls, vis);
+  }
+}
+
+template <typename T, typename Visitor>
+void ScanSampledDense(const T* data, const std::vector<uint64_t>& member_words,
+                      uint32_t universe, const NullMask& nulls, double rate,
+                      uint64_t seed, Visitor& vis) {
+  Random rng(seed);
+  GeometricSkipper skipper(&rng, rate);
+  const bool check_nulls = !nulls.empty();
+  uint32_t pending[kSampleBatch];
+  // Walk the universe with geometric skips and keep the rows that are
+  // members, so members are sampled at exactly `rate` (§5.6).
+  uint64_t r = skipper.Next();
+  while (r < universe) {
+    int filled = 0;
+    while (filled < kSampleBatch && r < universe) {
+      size_t w = r >> 6;
+      // Like DenseMembership::Contains, tolerate word vectors shorter than
+      // the universe (trailing non-member rows).
+      if (w < member_words.size() && ((member_words[w] >> (r & 63)) & 1)) {
+        pending[filled++] = static_cast<uint32_t>(r);
+        __builtin_prefetch(data + r);
+      }
+      r += 1 + skipper.Next();
+    }
+    DrainBatch(data, pending, filled, nulls, check_nulls, vis);
+  }
+}
+
+template <typename T, typename Visitor>
+void ScanSampledSparse(const T* data, const std::vector<uint32_t>& rows,
+                       const NullMask& nulls, double rate, uint64_t seed,
+                       Visitor& vis) {
+  Random rng(seed);
+  GeometricSkipper skipper(&rng, rate);
+  const bool check_nulls = !nulls.empty();
+  const uint64_t n = rows.size();
+  uint32_t pending[kSampleBatch];
+  uint64_t i = skipper.Next();
+  while (i < n) {
+    int filled = 0;
+    while (filled < kSampleBatch && i < n) {
+      uint32_t row = rows[i];
+      pending[filled++] = row;
+      __builtin_prefetch(data + row);
+      i += 1 + skipper.Next();
+    }
+    DrainBatch(data, pending, filled, nulls, check_nulls, vis);
+  }
+}
+
+/// Membership × nulls × sampling dispatch for one physical layout. This is
+/// the "dispatch once" point: everything below it is a tight template loop.
+template <typename T, typename Visitor>
+void ScanTyped(const T* data, const IMembershipSet& members,
+               const NullMask& nulls, double rate, uint64_t seed,
+               Visitor& vis) {
+  if (rate < 1.0) {
+    if (rate <= 0.0) return;
+    switch (members.kind()) {
+      case IMembershipSet::Kind::kFull:
+        ScanSampledFull(data, members.size(), nulls, rate, seed, vis);
+        return;
+      case IMembershipSet::Kind::kDense:
+        ScanSampledDense(data, members.bitmap_words(),
+                         members.universe_size(), nulls, rate, seed, vis);
+        return;
+      case IMembershipSet::Kind::kSparse:
+        ScanSampledSparse(data, members.sparse_rows(), nulls, rate, seed,
+                          vis);
+        return;
+    }
+    return;
+  }
+  switch (members.kind()) {
+    case IMembershipSet::Kind::kFull:
+      ScanFull(data, members.size(), nulls, vis);
+      return;
+    case IMembershipSet::Kind::kDense:
+      ScanDense(data, members.bitmap_words(), nulls, vis);
+      return;
+    case IMembershipSet::Kind::kSparse:
+      ScanSparse(data, members.sparse_rows(), nulls, vis);
+      return;
+  }
+}
+
+/// Visitor adapter for dictionary-code layouts: missing is encoded in the
+/// code stream itself (kMissingCode), not the null mask, so codes scan as a
+/// no-null layout and missing is peeled off here.
+template <typename Visitor>
+struct CodeFilter {
+  Visitor& vis;
+  void OnValue(uint32_t row, uint32_t code) {
+    if (code == StringColumn::kMissingCode) {
+      vis.OnMissing(row);
+    } else {
+      vis.OnValue(row, code);
+    }
+  }
+  void OnMissing(uint32_t row) { vis.OnMissing(row); }
+};
+
+}  // namespace scan_internal
+
+/// Calls `fn(row)` for each member row, sampled at `rate` (>= 1.0 streams
+/// every row). The membership × sampling dispatch happens once. Multi-column
+/// sketches use this together with RawCursor; single-column sketches should
+/// prefer ScanColumn, which also devirtualizes the value loads.
+template <typename Fn>
+void ScanRows(const IMembershipSet& members, double rate, uint64_t seed,
+              Fn&& fn) {
+  if (rate >= 1.0) {
+    ForEachRow(members, fn);
+  } else {
+    SampleRows(members, rate, seed, fn);
+  }
+}
+
+/// Scans `col` over `members` at `rate`, delivering native typed values (and
+/// the central missing policy) to `vis`. Dispatches once on layout ×
+/// membership × nulls × sampling; the selected loop has no virtual calls.
+template <typename Visitor>
+void ScanColumn(const IColumn& col, const IMembershipSet& members, double rate,
+                uint64_t seed, Visitor&& vis) {
+  using scan_internal::ScanTyped;
+  static const NullMask kNoNulls;
+  if (const double* raw = col.RawDouble()) {
+    ScanTyped(raw, members, col.null_mask(), rate, seed, vis);
+    return;
+  }
+  if (const int32_t* raw = col.RawInt()) {
+    ScanTyped(raw, members, col.null_mask(), rate, seed, vis);
+    return;
+  }
+  if (const int64_t* raw = col.RawDate()) {
+    ScanTyped(raw, members, col.null_mask(), rate, seed, vis);
+    return;
+  }
+  if (const uint32_t* raw = col.RawCodes()) {
+    scan_internal::CodeFilter<std::remove_reference_t<Visitor>> filter{vis};
+    ScanTyped(raw, members, kNoNulls, rate, seed, filter);
+    return;
+  }
+  // Generic fallback for layouts without a raw array (none in-tree today):
+  // per-row virtual accessors, same missing policy.
+  ScanRows(members, rate, seed, [&](uint32_t row) {
+    if (col.IsMissing(row)) {
+      vis.OnMissing(row);
+      return;
+    }
+    double v = col.GetDouble(row);
+    if (std::isnan(v)) {
+      vis.OnMissing(row);
+      return;
+    }
+    vis.OnValue(row, v);
+  });
+}
+
+/// Devirtualized per-row accessor for multi-column scans (2D histograms,
+/// trellis, correlation): binds the column's raw layout once, then answers
+/// per-row queries with an inlined switch on a small enum — predictable
+/// branches, no virtual dispatch. Shares the scan layer's missing policy
+/// (null-mask bit, NaN, kMissingCode).
+class RawCursor {
+ public:
+  explicit RawCursor(const IColumn* col) {
+    if (col == nullptr) return;
+    nulls_ = &col->null_mask();
+    if ((f64_ = col->RawDouble()) != nullptr) {
+      layout_ = Layout::kF64;
+    } else if ((i32_ = col->RawInt()) != nullptr) {
+      layout_ = Layout::kI32;
+    } else if ((i64_ = col->RawDate()) != nullptr) {
+      layout_ = Layout::kI64;
+    } else if ((codes_ = col->RawCodes()) != nullptr) {
+      layout_ = Layout::kCodes;
+    } else {
+      col_ = col;
+      layout_ = Layout::kGeneric;
+    }
+  }
+
+  bool valid() const { return layout_ != Layout::kNone; }
+  bool is_codes() const { return layout_ == Layout::kCodes; }
+
+  /// True when the row is missing under the central policy (including NaN
+  /// in double columns).
+  bool IsMissing(uint32_t row) const {
+    switch (layout_) {
+      case Layout::kF64:
+        return nulls_->IsMissing(row) || std::isnan(f64_[row]);
+      case Layout::kI32:
+      case Layout::kI64:
+        return nulls_->IsMissing(row);
+      case Layout::kCodes:
+        return codes_[row] == StringColumn::kMissingCode;
+      case Layout::kGeneric:
+        return col_->IsMissing(row);
+      case Layout::kNone:
+        return true;
+    }
+    return true;
+  }
+
+  /// Numeric view of a present row (dictionary code for string layouts,
+  /// mirroring IColumn::GetDouble). Only valid when !IsMissing(row).
+  double AsDouble(uint32_t row) const {
+    switch (layout_) {
+      case Layout::kF64:
+        return f64_[row];
+      case Layout::kI32:
+        return static_cast<double>(i32_[row]);
+      case Layout::kI64:
+        return static_cast<double>(i64_[row]);
+      case Layout::kCodes:
+        return static_cast<double>(codes_[row]);
+      case Layout::kGeneric:
+        return col_->GetDouble(row);
+      case Layout::kNone:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  /// Dictionary code of a row; only valid for code layouts.
+  uint32_t Code(uint32_t row) const { return codes_[row]; }
+
+ private:
+  enum class Layout { kNone, kF64, kI32, kI64, kCodes, kGeneric };
+
+  Layout layout_ = Layout::kNone;
+  const double* f64_ = nullptr;
+  const int32_t* i32_ = nullptr;
+  const int64_t* i64_ = nullptr;
+  const uint32_t* codes_ = nullptr;
+  const NullMask* nulls_ = nullptr;
+  const IColumn* col_ = nullptr;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_SCAN_H_

@@ -155,6 +155,38 @@ TEST(Cluster, ComputationCacheServesRepeatedQueries) {
   EXPECT_DOUBLE_EQ(r2.value().min, r1.value().min);
 }
 
+// Regression: the cache key used to be dataset + sketch name only, but
+// SampledHistogramSketch::name() omits the seed, so a cached summary computed
+// under one seed could be served for a different seed. The seed is now part
+// of the key: two seeds populate two entries, and only an exact
+// (dataset, sketch, seed) repeat hits.
+TEST(Cluster, CacheKeysRandomizedSketchesBySeed) {
+  auto values = UniformDoubles(20000, 0, 1, 90);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 4)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, 2, 2);
+  auto sketch = std::make_shared<SampledHistogramSketch>(
+      "x", Buckets(NumericBuckets(0, 1, 10)), 0.1);
+
+  auto r7 = tc->root->RunSketch<HistogramResult>("data", sketch, /*seed=*/7,
+                                                 /*cacheable=*/true);
+  ASSERT_TRUE(r7.ok());
+  auto r8 = tc->root->RunSketch<HistogramResult>("data", sketch, /*seed=*/8,
+                                                 /*cacheable=*/true);
+  ASSERT_TRUE(r8.ok());
+  EXPECT_EQ(tc->root->cache().size(), 2u);
+  EXPECT_EQ(tc->root->cache().hits(), 0);
+
+  // A repeat of seed 7 hits the cache and returns the seed-7 summary.
+  auto again = tc->root->RunSketch<HistogramResult>("data", sketch, /*seed=*/7,
+                                                    /*cacheable=*/true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(tc->root->cache().hits(), 1);
+  EXPECT_EQ(again.value().counts, r7.value().counts);
+}
+
 TEST(Cluster, EvictionIsTransparent) {
   // Cache eviction (unlike a crash) keeps dataset structure; queries just
   // reload lazily without replay.

@@ -276,9 +276,10 @@ TEST(ComputationCache, TypedRoundTrip) {
   ComputationCache cache;
   HistogramResult r;
   r.counts = {1, 2, 3};
-  cache.Put(ComputationCache::Key("ds", "hist"),
+  cache.Put(ComputationCache::Key("ds", "hist", /*seed=*/1),
             AnySummary::Wrap<HistogramResult>(r));
-  auto hit = cache.Get(ComputationCache::Key("ds", "hist"));
+  auto hit = cache.Get(ComputationCache::Key("ds", "hist", /*seed=*/1));
+  EXPECT_FALSE(cache.Get(ComputationCache::Key("ds", "hist", /*seed=*/2)));
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->As<HistogramResult>().counts, r.counts);
 }

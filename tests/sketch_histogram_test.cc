@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "sketch/histogram.h"
@@ -43,6 +44,62 @@ TEST(StreamingHistogram, MissingAndOutOfRange) {
   EXPECT_EQ(r.missing, 1);
   EXPECT_EQ(r.out_of_range, 2);
   EXPECT_EQ(r.TotalCount(), 1);
+}
+
+// Regression: NaN used to drive an unchecked static_cast<int> bucket index
+// (out-of-bounds write); the scan layer now counts NaN as missing, and ±inf
+// as out-of-range, for streaming and sampled histograms alike.
+TEST(StreamingHistogram, NaNCountsAsMissingInfAsOutOfRange) {
+  ColumnBuilder b(DataKind::kDouble);
+  b.AppendDouble(std::nan(""));
+  b.AppendDouble(std::numeric_limits<double>::quiet_NaN());
+  b.AppendDouble(std::numeric_limits<double>::infinity());
+  b.AppendDouble(-std::numeric_limits<double>::infinity());
+  b.AppendDouble(0.5);
+  b.AppendMissing();
+  TablePtr t = Table::Create(Schema({{"x", DataKind::kDouble}}), {b.Finish()});
+  StreamingHistogramSketch sketch("x", Buckets(NumericBuckets(0, 1, 4)));
+  HistogramResult r = sketch.Summarize(*t, 0);
+  EXPECT_EQ(r.missing, 3);       // two NaNs + one explicit missing
+  EXPECT_EQ(r.out_of_range, 2);  // ±inf
+  EXPECT_EQ(r.TotalCount(), 1);
+  EXPECT_EQ(r.rows_scanned, 6);
+}
+
+TEST(SampledHistogram, NaNCountsAsMissing) {
+  // Every row is NaN except a single in-range value: at rate ~1 the sampled
+  // path must visit NaNs without writing out of bounds.
+  ColumnBuilder b(DataKind::kDouble);
+  for (int i = 0; i < 1000; ++i) b.AppendDouble(std::nan(""));
+  b.AppendDouble(0.25);
+  TablePtr t = Table::Create(Schema({{"x", DataKind::kDouble}}), {b.Finish()});
+  SampledHistogramSketch sketch("x", Buckets(NumericBuckets(0, 1, 8)), 0.9);
+  HistogramResult r = sketch.Summarize(*t, 3);
+  EXPECT_EQ(r.out_of_range, 0);
+  EXPECT_GT(r.missing, 700);
+  EXPECT_EQ(r.TotalCount() + r.missing, r.rows_scanned);
+}
+
+TEST(StreamingHistogram, NaNCountsAsMissingOnFilteredTables) {
+  // Dense- and sparse-membership scans share the central NaN policy.
+  ColumnBuilder b(DataKind::kDouble);
+  for (int i = 0; i < 256; ++i) {
+    b.AppendDouble(i % 5 == 0 ? std::nan("") : 0.5);
+  }
+  TablePtr t = Table::Create(Schema({{"x", DataKind::kDouble}}), {b.Finish()});
+  StreamingHistogramSketch sketch("x", Buckets(NumericBuckets(0, 1, 4)));
+
+  TablePtr dense = t->Filter([](uint32_t r) { return r % 2 == 0; });
+  ASSERT_EQ(dense->members()->kind(), IMembershipSet::Kind::kDense);
+  HistogramResult rd = sketch.Summarize(*dense, 0);
+  EXPECT_EQ(rd.missing, 26);  // rows ≡ 0 (mod 10): 0,10,...,250
+  EXPECT_EQ(rd.TotalCount(), 102);
+
+  TablePtr sparse = t->Filter([](uint32_t r) { return r % 37 == 0; });
+  ASSERT_EQ(sparse->members()->kind(), IMembershipSet::Kind::kSparse);
+  HistogramResult rs = sketch.Summarize(*sparse, 0);
+  EXPECT_EQ(rs.missing, 2);  // rows 0 and 185 are NaN
+  EXPECT_EQ(rs.TotalCount(), 5);
 }
 
 TEST(StreamingHistogram, UnknownColumnYieldsZeroCounts) {

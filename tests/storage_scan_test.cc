@@ -1,0 +1,277 @@
+// Tests for the unified vectorized scan layer (storage/scan.h): every cell of
+// the dispatch matrix (layout × membership × nulls × sampling) must agree
+// with a reference scan built from the virtual per-row accessors, and the
+// central missing policy (null-mask bit, NaN, kMissingCode) must hold.
+
+#include "storage/scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/membership.h"
+#include "test_util.h"
+
+namespace hillview {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Collects everything a scan delivers. Rows may arrive slightly out of order
+// within a 64-row word (dense scans split each word into missing and present
+// lanes), so comparisons sort first.
+struct Collector {
+  std::vector<std::pair<uint32_t, double>> values;
+  std::vector<uint32_t> missing;
+
+  template <typename T>
+  void OnValue(uint32_t row, T v) {
+    values.emplace_back(row, static_cast<double>(v));
+  }
+  void OnMissing(uint32_t row) { missing.push_back(row); }
+
+  void Sort() {
+    std::sort(values.begin(), values.end());
+    std::sort(missing.begin(), missing.end());
+  }
+};
+
+// Reference scan: virtual accessors over IMembershipSet::Contains, with the
+// same missing policy the scan layer promises.
+Collector ReferenceScan(const IColumn& col, const IMembershipSet& members) {
+  Collector ref;
+  for (uint32_t row = 0; row < members.universe_size(); ++row) {
+    if (!members.Contains(row)) continue;
+    double v = col.GetDouble(row);
+    if (col.IsMissing(row) || std::isnan(v)) {
+      ref.missing.push_back(row);
+    } else {
+      ref.values.emplace_back(row, v);
+    }
+  }
+  ref.Sort();
+  return ref;
+}
+
+// A 200-row column of each physical layout, with missing rows straddling the
+// 64-row word boundaries (rows 63, 64, 127) plus a NaN for doubles (row 130).
+ColumnPtr MakeColumn(DataKind kind) {
+  ColumnBuilder b(kind);
+  for (uint32_t r = 0; r < 200; ++r) {
+    if (r == 63 || r == 64 || r == 127) {
+      b.AppendMissing();
+      continue;
+    }
+    switch (kind) {
+      case DataKind::kInt:
+        b.AppendInt(static_cast<int32_t>(r));
+        break;
+      case DataKind::kDouble:
+        b.AppendDouble(r == 130 ? kNaN : static_cast<double>(r));
+        break;
+      case DataKind::kDate:
+        b.AppendDate(static_cast<int64_t>(r) * 1000);
+        break;
+      case DataKind::kString:
+      case DataKind::kCategory:
+        b.AppendString("s" + std::to_string(r % 37));
+        break;
+    }
+  }
+  return b.Finish();
+}
+
+MembershipPtr MakeMembership(IMembershipSet::Kind kind, uint32_t universe) {
+  switch (kind) {
+    case IMembershipSet::Kind::kFull:
+      return std::make_shared<FullMembership>(universe);
+    case IMembershipSet::Kind::kDense: {
+      std::vector<uint64_t> words((universe + 63) / 64, 0);
+      for (uint32_t r = 0; r < universe; ++r) {
+        if (r % 3 != 1) words[r >> 6] |= 1ULL << (r & 63);
+      }
+      return std::make_shared<DenseMembership>(std::move(words), universe);
+    }
+    case IMembershipSet::Kind::kSparse: {
+      std::vector<uint32_t> rows;
+      for (uint32_t r = 0; r < universe; r += 7) rows.push_back(r);
+      return std::make_shared<SparseMembership>(std::move(rows), universe);
+    }
+  }
+  return nullptr;
+}
+
+class ScanMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<DataKind, IMembershipSet::Kind>> {};
+
+TEST_P(ScanMatrixTest, StreamingScanMatchesReference) {
+  auto [kind, mkind] = GetParam();
+  ColumnPtr col = MakeColumn(kind);
+  MembershipPtr members = MakeMembership(mkind, col->size());
+  Collector got;
+  ScanColumn(*col, *members, 1.0, 0, got);
+  got.Sort();
+  Collector ref = ReferenceScan(*col, *members);
+  EXPECT_EQ(got.values, ref.values);
+  EXPECT_EQ(got.missing, ref.missing);
+}
+
+TEST_P(ScanMatrixTest, SampledScanIsDeterministicAndVisitsOnlyMembers) {
+  auto [kind, mkind] = GetParam();
+  ColumnPtr col = MakeColumn(kind);
+  MembershipPtr members = MakeMembership(mkind, col->size());
+  Collector a, b;
+  ScanColumn(*col, *members, 0.5, 42, a);
+  ScanColumn(*col, *members, 0.5, 42, b);
+  a.Sort();
+  b.Sort();
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.missing, b.missing);
+  EXPECT_GT(a.values.size() + a.missing.size(), 0u);
+  EXPECT_LT(a.values.size() + a.missing.size(), members->size());
+  Collector ref = ReferenceScan(*col, *members);
+  for (const auto& [row, v] : a.values) {
+    EXPECT_TRUE(members->Contains(row));
+    auto it = std::lower_bound(ref.values.begin(), ref.values.end(),
+                               std::make_pair(row, v));
+    ASSERT_NE(it, ref.values.end());
+    EXPECT_EQ(it->second, v);
+  }
+  for (uint32_t row : a.missing) EXPECT_TRUE(members->Contains(row));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayoutsAllMemberships, ScanMatrixTest,
+    ::testing::Combine(::testing::Values(DataKind::kInt, DataKind::kDouble,
+                                         DataKind::kDate, DataKind::kString),
+                       ::testing::Values(IMembershipSet::Kind::kFull,
+                                         IMembershipSet::Kind::kDense,
+                                         IMembershipSet::Kind::kSparse)));
+
+TEST(Scan, NaNIsDeliveredAsMissing) {
+  ColumnBuilder b(DataKind::kDouble);
+  b.AppendDouble(1.0);
+  b.AppendDouble(kNaN);
+  b.AppendDouble(3.0);
+  b.AppendMissing();
+  ColumnPtr col = b.Finish();
+  FullMembership members(col->size());
+  Collector got;
+  ScanColumn(*col, members, 1.0, 0, got);
+  got.Sort();
+  ASSERT_EQ(got.values.size(), 2u);
+  EXPECT_EQ(got.values[0], (std::pair<uint32_t, double>{0, 1.0}));
+  EXPECT_EQ(got.values[1], (std::pair<uint32_t, double>{2, 3.0}));
+  EXPECT_EQ(got.missing, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(Scan, InfinitiesAreDeliveredAsValues) {
+  ColumnBuilder b(DataKind::kDouble);
+  b.AppendDouble(std::numeric_limits<double>::infinity());
+  b.AppendDouble(-std::numeric_limits<double>::infinity());
+  ColumnPtr col = b.Finish();
+  FullMembership members(col->size());
+  Collector got;
+  ScanColumn(*col, members, 1.0, 0, got);
+  EXPECT_EQ(got.values.size(), 2u);
+  EXPECT_TRUE(got.missing.empty());
+}
+
+TEST(Scan, ZeroRateScansNothing) {
+  ColumnPtr col = MakeColumn(DataKind::kDouble);
+  FullMembership members(col->size());
+  Collector got;
+  ScanColumn(*col, members, 0.0, 0, got);
+  EXPECT_TRUE(got.values.empty());
+  EXPECT_TRUE(got.missing.empty());
+}
+
+TEST(Scan, ScanRowsStreamsAndSamples) {
+  MembershipPtr members = MakeMembership(IMembershipSet::Kind::kDense, 200);
+  std::vector<uint32_t> all;
+  ScanRows(*members, 1.0, 0, [&](uint32_t r) { all.push_back(r); });
+  EXPECT_EQ(all.size(), members->size());
+  std::vector<uint32_t> sampled;
+  ScanRows(*members, 0.25, 7, [&](uint32_t r) { sampled.push_back(r); });
+  EXPECT_LT(sampled.size(), all.size());
+  for (uint32_t r : sampled) EXPECT_TRUE(members->Contains(r));
+}
+
+TEST(RawCursor, MissingPolicyAcrossLayouts) {
+  // Double: null bit and NaN are both missing.
+  ColumnBuilder d(DataKind::kDouble);
+  d.AppendDouble(1.5);
+  d.AppendMissing();
+  d.AppendDouble(kNaN);
+  ColumnPtr dc = d.Finish();
+  RawCursor dcur(dc.get());
+  ASSERT_TRUE(dcur.valid());
+  EXPECT_FALSE(dcur.IsMissing(0));
+  EXPECT_TRUE(dcur.IsMissing(1));
+  EXPECT_TRUE(dcur.IsMissing(2));
+  EXPECT_EQ(dcur.AsDouble(0), 1.5);
+
+  // Int: null bit only.
+  ColumnBuilder i(DataKind::kInt);
+  i.AppendInt(7);
+  i.AppendMissing();
+  ColumnPtr ic = i.Finish();
+  RawCursor icur(ic.get());
+  EXPECT_FALSE(icur.IsMissing(0));
+  EXPECT_TRUE(icur.IsMissing(1));
+  EXPECT_EQ(icur.AsDouble(0), 7.0);
+
+  // String: kMissingCode.
+  ColumnBuilder s(DataKind::kString);
+  s.AppendString("a");
+  s.AppendMissing();
+  ColumnPtr sc = s.Finish();
+  RawCursor scur(sc.get());
+  ASSERT_TRUE(scur.is_codes());
+  EXPECT_FALSE(scur.IsMissing(0));
+  EXPECT_TRUE(scur.IsMissing(1));
+  EXPECT_EQ(scur.Code(0), 0u);
+
+  RawCursor null_cursor(nullptr);
+  EXPECT_FALSE(null_cursor.valid());
+}
+
+TEST(NullMask, SetMissingIsIdempotent) {
+  NullMask mask;
+  mask.SetMissing(5);
+  mask.SetMissing(5);
+  mask.SetMissing(5);
+  EXPECT_EQ(mask.count(), 1u);
+  EXPECT_TRUE(mask.IsMissing(5));
+  mask.SetMissing(64);
+  mask.SetMissing(64);
+  EXPECT_EQ(mask.count(), 2u);
+}
+
+// The null mask must agree with IsMissing for every column kind, so generic
+// null-mask consumers (the scan layer's dense AND-loops in particular) see
+// the same missing rows as per-row accessors.
+TEST(NullMask, AgreesWithIsMissingAcrossAllColumnKinds) {
+  for (DataKind kind : {DataKind::kInt, DataKind::kDouble, DataKind::kDate,
+                        DataKind::kString, DataKind::kCategory}) {
+    ColumnPtr col = MakeColumn(kind);
+    uint64_t missing_rows = 0;
+    for (uint32_t r = 0; r < col->size(); ++r) {
+      bool is_missing = col->IsMissing(r);
+      EXPECT_EQ(col->null_mask().IsMissing(r), is_missing)
+          << "kind=" << static_cast<int>(kind) << " row=" << r;
+      if (is_missing) ++missing_rows;
+    }
+    EXPECT_EQ(col->null_mask().count(), missing_rows)
+        << "kind=" << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace hillview
