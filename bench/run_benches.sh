@@ -16,6 +16,10 @@
 # Google-Benchmark-based binaries (bench_single_thread) emit their native
 # JSON via --benchmark_out; the self-driving main() benches are wrapped in a
 # JSON envelope carrying exit code, wall time, scale and captured stdout.
+#
+# Every result is also appended as a dated copy under <out-dir>/history/
+# (<YYYY-MM-DD>_BENCH_<name>.json), so committing bench-results/ accumulates
+# the perf trajectory PR over PR instead of overwriting it.
 
 set -u
 
@@ -32,6 +36,15 @@ if [ ! -d "$BENCH_BIN_DIR" ]; then
 fi
 
 mkdir -p "$OUT_DIR"
+HISTORY_DIR="$OUT_DIR/history"
+STAMP=$(date +%Y-%m-%d)
+mkdir -p "$HISTORY_DIR"
+
+# Copies a finished BENCH json into the dated history folder.
+archive_json() {
+  local json=$1
+  [ -f "$json" ] && cp "$json" "$HISTORY_DIR/${STAMP}_$(basename "$json")"
+}
 
 # Wraps a finished bench run (stdout file + metadata) into a JSON envelope.
 wrap_json() {
@@ -78,6 +91,7 @@ for bin in "$BENCH_BIN_DIR"/bench_*; do
       echo "   FAILED: $name" >&2
       failures=$((failures + 1))
     fi
+    archive_json "$out_json"
     continue
   fi
 
@@ -89,6 +103,7 @@ for bin in "$BENCH_BIN_DIR"/bench_*; do
   seconds=$(python3 -c "print(f'{$end - $start:.3f}')")
   sed 's/^/   /' "$stdout_tmp" | tail -5
   wrap_json "$name" "$code" "$seconds" "$scale" "$stdout_tmp" "$out_json"
+  archive_json "$out_json"
   rm -f "$stdout_tmp"
   if [ "$code" -ne 0 ]; then
     echo "   FAILED: $name (exit $code)" >&2

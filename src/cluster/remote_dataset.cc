@@ -22,7 +22,17 @@ StreamPtr<PartialResult<AnySummary>> RemoteDataSet::RunSketch(
     out->OnComplete(dataset.status());
     return out;
   }
-  auto worker_stream = dataset.value()->RunSketch(sketch, options);
+  // This is the machine boundary: from here on the sketch runs on the
+  // worker, so hand it the worker's auxiliary pool for intra-partition
+  // helper work (find-text dictionary matching). Deliberately a provider:
+  // the aux pool's threads spawn only if a sketch actually asks. The
+  // capture is a raw pointer on purpose — the provider only runs inside
+  // Summarize on the worker's own pool, which the worker drains before
+  // dying, and a shared_ptr here could make a task closure the last owner
+  // and destroy the Worker from its own pool thread (a self-join).
+  SketchOptions worker_options = options;
+  worker_options.aux_pool = [w = worker_.get()] { return w->aux_pool(); };
+  auto worker_stream = dataset.value()->RunSketch(sketch, worker_options);
   SimulatedNetwork* network = network_;
   AnySketch sketch_copy = sketch;
   worker_stream->Subscribe(
@@ -43,8 +53,10 @@ DataSetPtr RemoteDataSet::Map(TableMap map, const std::string& op_name) {
   std::string new_id = dataset_id_ + "/" + op_name;
   Status s = worker_->ApplyMap(dataset_id_, new_id, std::move(map), op_name);
   // A failed remote map still returns a proxy; the error surfaces as
-  // Unavailable on first use and is healed by redo-log replay.
-  (void)s;
+  // Unavailable on first use and is healed by redo-log replay. The worker
+  // records the dropped status so fault-injection tests can assert this
+  // path fired instead of silently losing the failure.
+  if (!s.ok()) worker_->RecordDroppedMapFailure(s);
   return std::make_shared<RemoteDataSet>(worker_, new_id, network_);
 }
 

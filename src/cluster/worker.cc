@@ -59,5 +59,21 @@ int64_t Worker::restart_count() const {
   return restart_count_;
 }
 
+void Worker::RecordDroppedMapFailure(const Status& status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++dropped_map_failures_;
+  last_dropped_map_error_ = status.ToString();
+}
+
+int64_t Worker::dropped_map_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_map_failures_;
+}
+
+std::string Worker::last_dropped_map_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_dropped_map_error_;
+}
+
 }  // namespace cluster
 }  // namespace hillview

@@ -21,10 +21,22 @@ namespace cluster {
 class Worker {
  public:
   Worker(std::string name, int num_threads)
-      : name_(std::move(name)), pool_(num_threads) {}
+      : name_(std::move(name)), num_threads_(num_threads), pool_(num_threads) {}
 
   const std::string& name() const { return name_; }
   ThreadPool* pool() { return &pool_; }
+
+  /// Auxiliary pool for intra-sketch helper work (find-text dictionary
+  /// matching). Separate from pool(): partition summaries occupy pool()
+  /// threads and block on their helper chunks, so running those chunks on
+  /// the same pool would deadlock once every thread waits. Constructed
+  /// lazily so workers that never run sketches don't pay the extra threads.
+  ThreadPool* aux_pool() {
+    std::call_once(aux_pool_once_, [this] {
+      aux_pool_ = std::make_unique<ThreadPool>(num_threads_);
+    });
+    return aux_pool_.get();
+  }
 
   /// Registers the worker's share of a base (repository-backed) dataset.
   /// Partitions are micropartitions (§5.3); each becomes a leaf on this
@@ -53,12 +65,28 @@ class Worker {
 
   int64_t restart_count() const;
 
+  /// Records a map request whose failure status the caller had to drop
+  /// (fire-and-forget remote maps): the error is expected to resurface as
+  /// Unavailable on first use and heal via redo-log replay, and this counter
+  /// lets fault-injection tests assert that path actually fired.
+  void RecordDroppedMapFailure(const Status& status);
+  int64_t dropped_map_failures() const;
+  std::string last_dropped_map_error() const;
+
  private:
   std::string name_;
+  int num_threads_;
+  // Declared before pool_: destruction runs in reverse order, so the main
+  // pool joins its in-flight partition tasks (which may still be using the
+  // aux pool) before the aux pool is torn down.
+  std::once_flag aux_pool_once_;
+  std::unique_ptr<ThreadPool> aux_pool_;
   ThreadPool pool_;
   mutable std::mutex mutex_;
   std::map<std::string, DataSetPtr> datasets_;
   int64_t restart_count_ = 0;
+  int64_t dropped_map_failures_ = 0;
+  std::string last_dropped_map_error_;
 };
 
 using WorkerPtr = std::shared_ptr<Worker>;

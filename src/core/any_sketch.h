@@ -63,8 +63,9 @@ class AnySketch {
   const std::string& name() const { return impl_->name; }
 
   AnySummary Zero() const { return impl_->zero(); }
-  AnySummary Summarize(const Table& table, uint64_t seed) const {
-    return impl_->summarize(table, seed);
+  AnySummary Summarize(const Table& table, uint64_t seed,
+                       const SketchContext& context = {}) const {
+    return impl_->summarize(table, seed, context);
   }
   AnySummary Merge(const AnySummary& a, const AnySummary& b) const {
     return impl_->merge(a, b);
@@ -81,7 +82,8 @@ class AnySketch {
     std::string name;
     virtual ~ImplBase() = default;
     virtual AnySummary zero() const = 0;
-    virtual AnySummary summarize(const Table& t, uint64_t seed) const = 0;
+    virtual AnySummary summarize(const Table& t, uint64_t seed,
+                                 const SketchContext& context) const = 0;
     virtual AnySummary merge(const AnySummary& a,
                              const AnySummary& b) const = 0;
     virtual std::vector<uint8_t> serialize(const AnySummary& s) const = 0;
@@ -97,8 +99,9 @@ class AnySketch {
     AnySummary zero() const override {
       return AnySummary::Wrap<R>(sketch->Zero());
     }
-    AnySummary summarize(const Table& t, uint64_t seed) const override {
-      return AnySummary::Wrap<R>(sketch->Summarize(t, seed));
+    AnySummary summarize(const Table& t, uint64_t seed,
+                         const SketchContext& context) const override {
+      return AnySummary::Wrap<R>(sketch->Summarize(t, seed, context));
     }
     AnySummary merge(const AnySummary& a,
                      const AnySummary& b) const override {

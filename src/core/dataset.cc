@@ -54,7 +54,9 @@ StreamPtr<PartialResult<AnySummary>> LocalDataSet::RunSketch(
     stream->OnComplete(table.status());
     return stream;
   }
-  AnySummary summary = sketch.Summarize(*table.value(), options.seed);
+  AnySummary summary =
+      sketch.Summarize(*table.value(), options.seed,
+                       SketchContext{/*aux_pool=*/options.aux_pool});
   stream->OnNext(PartialResult<AnySummary>{1.0, std::move(summary)});
   stream->OnComplete(Status::OK());
   return stream;
@@ -203,24 +205,33 @@ StreamPtr<PartialResult<AnySummary>> ParallelDataSet::RunSketch(
       // checked when the task is dequeued: cancellation "removes" work that
       // has not started, while started work runs to completion.
       int child_index = static_cast<int>(i);
-      pool_->Submit([merger, leaf, sketch, child_options, child_index] {
-        if (child_options.cancellation != nullptr &&
-            child_options.cancellation->IsCancelled()) {
-          merger->Complete(child_index,
-                           Status::Cancelled("cancelled in queue"));
-          return;
-        }
-        auto table = leaf->GetTable();
-        if (!table.ok()) {
-          merger->Complete(child_index, table.status());
-          return;
-        }
-        AnySummary summary =
-            sketch.Summarize(*table.value(), child_options.seed);
-        merger->Update(child_index,
-                       PartialResult<AnySummary>{1.0, std::move(summary)});
-        merger->Complete(child_index, Status::OK());
-      });
+      bool submitted =
+          pool_->Submit([merger, leaf, sketch, child_options, child_index] {
+            if (child_options.cancellation != nullptr &&
+                child_options.cancellation->IsCancelled()) {
+              merger->Complete(child_index,
+                               Status::Cancelled("cancelled in queue"));
+              return;
+            }
+            auto table = leaf->GetTable();
+            if (!table.ok()) {
+              merger->Complete(child_index, table.status());
+              return;
+            }
+            AnySummary summary = sketch.Summarize(
+                *table.value(), child_options.seed,
+                SketchContext{/*aux_pool=*/child_options.aux_pool});
+            merger->Update(child_index,
+                           PartialResult<AnySummary>{1.0, std::move(summary)});
+            merger->Complete(child_index, Status::OK());
+          });
+      if (!submitted) {
+        // A shut-down pool drops the task; completing the child here keeps
+        // the stream from hanging forever (the worker is going away, so
+        // Unavailable tells the root to replay elsewhere).
+        merger->Complete(child_index,
+                         Status::Unavailable("worker pool shut down"));
+      }
       continue;
     }
     // Inner node (or no pool): recurse; the child stream is asynchronous.

@@ -30,6 +30,12 @@ struct SketchOptions {
   uint64_t seed = 0;
   /// Cooperative cancellation (§5.3). May be null.
   CancellationTokenPtr cancellation;
+  /// Worker-local auxiliary pool provider forwarded to sketches via
+  /// SketchContext (cluster::RemoteDataSet injects the receiving worker's
+  /// provider). A provider rather than a pointer, so the pool is created
+  /// only when a sketch asks for it. May be empty; sketches then run their
+  /// helper work inline.
+  std::function<ThreadPool*()> aux_pool;
 };
 
 /// A distributed dataset: the Partitioned Data Set abstraction from Sketch

@@ -110,7 +110,9 @@ class StringBuckets {
   }
   static Status Deserialize(ByteReader* r, StringBuckets* out) {
     uint32_t n = 0;
-    HV_RETURN_IF_ERROR(r->ReadU32(&n));
+    // Each boundary carries at least its length prefix; a corrupt count
+    // must not drive a giant allocation.
+    HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/4));
     std::vector<std::string> boundaries(n);
     for (auto& b : boundaries) HV_RETURN_IF_ERROR(r->ReadString(&b));
     std::string max;

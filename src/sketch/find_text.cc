@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <condition_variable>
+#include <mutex>
 #include <regex>
 
 #include "storage/scan.h"
+#include "util/thread_pool.h"
 
 namespace hillview {
 
@@ -40,8 +43,20 @@ StringMatcher::StringMatcher(const StringFilter& filter) : filter_(filter) {
   if (filter_.mode == StringFilter::Mode::kRegex) {
     auto flags = std::regex::ECMAScript | std::regex::optimize;
     if (!filter_.case_sensitive) flags |= std::regex::icase;
-    regex_ = std::make_shared<std::regex>(filter_.text, flags);
+    // A user-supplied pattern is untrusted input: compile failures become a
+    // Status (checked by the API surfaces before scanning), never an
+    // exception escaping into sketch execution.
+    try {
+      regex_ = std::make_shared<std::regex>(filter_.text, flags);
+    } catch (const std::regex_error& e) {
+      status_ = Status::InvalidArgument("invalid regex '" + filter_.text +
+                                        "': " + e.what());
+    }
   }
+}
+
+Status StringMatcher::Validate(const StringFilter& filter) {
+  return StringMatcher(filter).status();
 }
 
 bool StringMatcher::Matches(const std::string& s) const {
@@ -55,10 +70,52 @@ bool StringMatcher::Matches(const std::string& s) const {
       }
       return Lower(s).find(lowered_text_) != std::string::npos;
     case StringFilter::Mode::kRegex:
+      if (regex_ == nullptr) return false;  // failed compile matches nothing
       return std::regex_search(
           s, *static_cast<const std::regex*>(regex_.get()));
   }
   return false;
+}
+
+std::vector<uint8_t> MatchDictionary(const StringMatcher& matcher,
+                                     const std::vector<std::string>& dict,
+                                     ThreadPool* pool) {
+  std::vector<uint8_t> match(dict.size(), 0);
+  const size_t n = dict.size();
+  if (pool == nullptr || n < kParallelDictionaryThreshold) {
+    for (size_t d = 0; d < n; ++d) {
+      match[d] = matcher.Matches(dict[d]) ? 1 : 0;
+    }
+    return match;
+  }
+  // Chunk across the auxiliary pool. Chunks write disjoint byte ranges of
+  // `match`, so no synchronization is needed beyond the completion latch.
+  // Oversplit relative to the thread count so uneven string lengths (one
+  // chunk full of long log lines) still balance.
+  const size_t chunks =
+      std::min<size_t>(static_cast<size_t>(pool->num_threads()) * 4,
+                       (n + 511) / 512);
+  const size_t per_chunk = (n + chunks - 1) / chunks;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * per_chunk;
+    const size_t end = std::min(n, begin + per_chunk);
+    auto task = [&, begin, end] {
+      for (size_t d = begin; d < end; ++d) {
+        match[d] = matcher.Matches(dict[d]) ? 1 : 0;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done_cv.notify_all();
+    };
+    // A shut-down pool drops the task; run it inline so the latch always
+    // resolves (shutdown races only occur at worker teardown).
+    if (!pool->Submit(task)) task();
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  return match;
 }
 
 void FindResult::Serialize(ByteWriter* w) const {
@@ -78,7 +135,7 @@ Status FindResult::Deserialize(ByteReader* r, FindResult* out) {
   HV_RETURN_IF_ERROR(r->ReadBool(&has));
   if (has) {
     uint32_t n = 0;
-    HV_RETURN_IF_ERROR(r->ReadU32(&n));
+    HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/1));
     std::vector<Value> key(n);
     for (auto& v : key) HV_RETURN_IF_ERROR(DeserializeValue(r, &v));
     out->first_match = std::move(key);
@@ -101,11 +158,14 @@ int FindTextSketch::CompareKeys(const std::vector<Value>& a,
   return 0;
 }
 
-FindResult FindTextSketch::Summarize(const Table& table,
-                                     uint64_t seed) const {
+FindResult FindTextSketch::Summarize(const Table& table, uint64_t seed,
+                                     const SketchContext& context) const {
   (void)seed;
   FindResult result;
   StringMatcher matcher(filter_);
+  // Defense in depth: API surfaces validate the pattern before running the
+  // sketch; a matcher that still failed to compile matches nothing.
+  if (!matcher.status().ok()) return result;
 
   // Bind the searched string columns once.
   std::vector<const IColumn*> cols;
@@ -116,16 +176,20 @@ FindResult FindTextSketch::Summarize(const Table& table,
   if (cols.empty()) return result;
 
   // Precompute dictionary match bits per column: each distinct string is
-  // tested once, then rows reduce to a code lookup. The code arrays are
+  // tested once — chunked over the worker's auxiliary pool for huge
+  // dictionaries — then rows reduce to a code lookup. The code arrays are
   // bound once too, so the row loop performs no virtual calls.
   std::vector<std::vector<uint8_t>> dict_match(cols.size());
   std::vector<const uint32_t*> codes(cols.size());
   for (size_t i = 0; i < cols.size(); ++i) {
     const auto& dict = cols[i]->Dictionary();
-    dict_match[i].resize(dict.size());
-    for (size_t d = 0; d < dict.size(); ++d) {
-      dict_match[i][d] = matcher.Matches(dict[d]) ? 1 : 0;
-    }
+    // Only ask the provider for the pool when the dictionary is big enough
+    // to chunk: the provider creates the pool's threads on first use.
+    ThreadPool* pool = dict.size() >= kParallelDictionaryThreshold &&
+                               context.aux_pool
+                           ? context.aux_pool()
+                           : nullptr;
+    dict_match[i] = MatchDictionary(matcher, dict, pool);
     codes[i] = cols[i]->RawCodes();
   }
 

@@ -25,17 +25,45 @@ struct StringFilter {
 };
 
 /// Compiled matcher for a StringFilter (regexes compile once per partition
-/// scan, not per row).
+/// scan, not per row). An invalid user-supplied regex never throws out of
+/// the constructor: it surfaces as a non-OK status() — check it (or call
+/// Validate first) before trusting Matches, which reports false for every
+/// string under a failed compile.
 class StringMatcher {
  public:
   explicit StringMatcher(const StringFilter& filter);
   bool Matches(const std::string& s) const;
 
+  /// OK, or InvalidArgument describing the rejected pattern.
+  const Status& status() const { return status_; }
+
+  /// Validates a filter without keeping the compiled matcher: the up-front
+  /// check API surfaces (FindText, FilterMatches) run before scanning.
+  static Status Validate(const StringFilter& filter);
+
  private:
   StringFilter filter_;
   std::string lowered_text_;
   std::shared_ptr<const void> regex_;  // std::regex behind a type-erased ptr
+  Status status_;
 };
+
+/// Below this dictionary size the chunking overhead (task allocation, latch
+/// wakeups) exceeds the matching work; measured crossover is far lower, the
+/// margin keeps small partitions strictly on the fast inline path. Callers
+/// holding a lazy pool provider should consult this before asking for the
+/// pool at all, so small dictionaries never spawn its threads.
+inline constexpr size_t kParallelDictionaryThreshold = 4096;
+
+/// The memoized per-code verdict table: Matches() evaluated once per
+/// distinct dictionary entry. For large dictionaries (>=
+/// kParallelDictionaryThreshold) the work is chunked across `pool` (when
+/// non-null); entries are independent, so chunks write disjoint slots. This
+/// is what makes regex search O(distinct strings), not O(rows), and
+/// parallel on big dictionaries.
+std::vector<uint8_t> MatchDictionary(const StringMatcher& matcher,
+                                     const std::vector<std::string>& dict,
+                                     ThreadPool* pool = nullptr);
 
 /// The "Find text" vizketch (§B.2): the first row matching the criteria
 /// strictly after the start key in the sort order, plus match counts.
@@ -69,7 +97,11 @@ class FindTextSketch final : public Sketch<FindResult> {
 
   std::string name() const override;
   FindResult Zero() const override { return {}; }
-  FindResult Summarize(const Table& table, uint64_t seed) const override;
+  FindResult Summarize(const Table& table, uint64_t seed) const override {
+    return Summarize(table, seed, SketchContext{});
+  }
+  FindResult Summarize(const Table& table, uint64_t seed,
+                       const SketchContext& context) const override;
   FindResult Merge(const FindResult& left,
                    const FindResult& right) const override;
 

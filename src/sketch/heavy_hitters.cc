@@ -162,7 +162,8 @@ void HeavyHittersResult::Serialize(ByteWriter* w) const {
 Status HeavyHittersResult::Deserialize(ByteReader* r,
                                        HeavyHittersResult* out) {
   uint32_t n = 0;
-  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  // Each item is at least a value tag (u8) and a count (i64).
+  HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/9));
   out->items.resize(n);
   for (auto& item : out->items) {
     HV_RETURN_IF_ERROR(DeserializeValue(r, &item.value));

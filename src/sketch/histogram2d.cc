@@ -127,7 +127,9 @@ void TrellisResult::Serialize(ByteWriter* w) const {
 
 Status TrellisResult::Deserialize(ByteReader* r, TrellisResult* out) {
   uint32_t n = 0;
-  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  // Each group serializes two bucket counts, two vectors and five scalars —
+  // well above 16 bytes even when empty.
+  HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/16));
   out->groups.resize(n);
   for (auto& g : out->groups) {
     HV_RETURN_IF_ERROR(Histogram2DResult::Deserialize(r, &g));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "storage/scan.h"
+#include "storage/sort_key.h"
 
 namespace hillview {
 
@@ -59,7 +60,7 @@ void RowSnapshot::Serialize(ByteWriter* w) const {
 
 Status RowSnapshot::Deserialize(ByteReader* r, RowSnapshot* out) {
   uint32_t n = 0;
-  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/1));
   out->values.resize(n);
   for (auto& v : out->values) HV_RETURN_IF_ERROR(DeserializeValue(r, &v));
   return r->ReadI64(&out->count);
@@ -73,7 +74,9 @@ void NextItemsResult::Serialize(ByteWriter* w) const {
 
 Status NextItemsResult::Deserialize(ByteReader* r, NextItemsResult* out) {
   uint32_t n = 0;
-  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  // Each row carries at least a value count (u32) and a duplicate count
+  // (i64) on the wire.
+  HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/12));
   out->rows.resize(n);
   for (auto& row : out->rows) {
     HV_RETURN_IF_ERROR(RowSnapshot::Deserialize(r, &row));
@@ -87,7 +90,9 @@ std::string NextItemsSketch::name() const {
     n += o.column;
     n += o.ascending ? "+" : "-";
   }
-  n += "," + std::to_string(k_) + ")";
+  n += ',';
+  n += std::to_string(k_);
+  n += ')';
   return n;
 }
 
@@ -101,26 +106,34 @@ int NextItemsSketch::CompareKeys(const std::vector<Value>& a,
   return 0;
 }
 
-NextItemsResult NextItemsSketch::Summarize(const Table& table,
-                                           uint64_t seed) const {
-  (void)seed;
-  NextItemsResult result;
-  if (k_ <= 0) return result;
-  RowComparator comparator(table, order_);
+namespace {
 
-  // Distinct kept rows, sorted ascending under the order, with counts.
-  // Invariant: a row enters only while it is among the K smallest distinct
-  // rows seen so far; once evicted it can never re-enter, so the counts of
-  // the finally-kept rows are exact.
+/// Shared top-K state: distinct kept rows, sorted ascending under the order,
+/// with counts. Invariant: a row enters only while it is among the K smallest
+/// distinct rows seen so far; once evicted it can never re-enter, so the
+/// counts of the finally-kept rows are exact.
+struct TopKRows {
   std::vector<uint32_t> reps;
   std::vector<int64_t> counts;
-  reps.reserve(k_ + 1);
-  counts.reserve(k_ + 1);
 
+  explicit TopKRows(int k) {
+    reps.reserve(k + 1);
+    counts.reserve(k + 1);
+  }
+};
+
+/// The virtual-comparator fallback, used when the first order column has no
+/// raw layout to extract keys from.
+void TopKVirtual(const Table& table, const RecordOrder& order,
+                 const std::optional<std::vector<Value>>& start_key, int k,
+                 TopKRows* top, NextItemsResult* result) {
+  RowComparator comparator(table, order);
+  auto& reps = top->reps;
+  auto& counts = top->counts;
   ScanRows(*table.members(), 1.0, 0, [&](uint32_t row) {
-    if (start_key_.has_value() &&
-        CompareRowToKey(table, order_, row, *start_key_) <= 0) {
-      ++result.rows_before;
+    if (start_key.has_value() &&
+        CompareRowToKey(table, order, row, *start_key) <= 0) {
+      ++result->rows_before;
       return;
     }
     // Position of the first rep >= row.
@@ -132,7 +145,7 @@ NextItemsResult NextItemsSketch::Summarize(const Table& table,
       ++counts[pos];
       return;
     }
-    if (static_cast<int>(reps.size()) < k_) {
+    if (static_cast<int>(reps.size()) < k) {
       reps.insert(it, row);
       counts.insert(counts.begin() + pos, 1);
       return;
@@ -144,6 +157,109 @@ NextItemsResult NextItemsSketch::Summarize(const Table& table,
       counts.pop_back();
     }
   });
+}
+
+/// The devirtualized fast path: rows order by a materialized 64-bit key and
+/// most rows are rejected with one integer comparison against the largest
+/// kept key. Virtual comparisons run only on key ties (multi-column orders,
+/// saturated encodings) and on start-key boundary rows.
+void TopKKeyed(const Table& table, const RecordOrder& order,
+               const SortKeyPlan& plan,
+               const std::optional<std::vector<Value>>& start_key, int k,
+               TopKRows* top, NextItemsResult* result) {
+  KeyComparator cmp(table, plan);
+  const uint64_t* keys = plan.keys().data();
+  auto& reps = top->reps;
+  auto& counts = top->counts;
+  // Kept keys, parallel to reps, so the common reject/search paths touch a
+  // dense array instead of gathering through row ids.
+  std::vector<uint64_t> rep_keys;
+  rep_keys.reserve(k + 1);
+
+  // Start-key threshold: rows whose key is below it are before the start key
+  // with certainty; only key-equal rows need the full value comparison.
+  const bool have_start = start_key.has_value();
+  std::optional<uint64_t> threshold;
+  if (have_start) {
+    size_t idx = plan.first_column_index();
+    if (idx < start_key->size()) {
+      threshold = plan.EncodeStartCell((*start_key)[idx]);
+    }
+  }
+
+  ScanRows(*table.members(), 1.0, 0, [&](uint32_t row) {
+    uint64_t key = keys[row];
+    if (have_start) {
+      if (threshold.has_value()) {
+        if (key < *threshold) {
+          ++result->rows_before;
+          return;
+        }
+        if (key == *threshold &&
+            CompareRowToKey(table, order, row, *start_key) <= 0) {
+          ++result->rows_before;
+          return;
+        }
+      } else if (CompareRowToKey(table, order, row, *start_key) <= 0) {
+        ++result->rows_before;
+        return;
+      }
+    }
+    if (static_cast<int>(reps.size()) == k && key > rep_keys.back()) {
+      return;  // beyond the K smallest: the hot reject in a sorted scroll
+    }
+    // First rep whose key is >= this row's, then walk the (short) equal-key
+    // run with the tie comparator to find an exact match or the insert slot.
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(rep_keys.begin(), rep_keys.end(), key) -
+        rep_keys.begin());
+    while (pos < reps.size() && rep_keys[pos] == key) {
+      int c = cmp.Compare(reps[pos], row);
+      if (c == 0) {
+        ++counts[pos];
+        return;
+      }
+      if (c > 0) break;
+      ++pos;
+    }
+    if (static_cast<int>(reps.size()) == k && pos == reps.size()) return;
+    reps.insert(reps.begin() + pos, row);
+    rep_keys.insert(rep_keys.begin() + pos, key);
+    counts.insert(counts.begin() + pos, 1);
+    if (static_cast<int>(reps.size()) > k) {
+      reps.pop_back();
+      rep_keys.pop_back();
+      counts.pop_back();
+    }
+  });
+}
+
+}  // namespace
+
+NextItemsResult NextItemsSketch::Summarize(const Table& table,
+                                           uint64_t seed) const {
+  (void)seed;
+  NextItemsResult result;
+  if (k_ <= 0) return result;
+
+  TopKRows top(k_);
+  // The keyed path materializes keys for the whole universe; on a heavily
+  // filtered table (few member rows over a large universe) the virtual
+  // comparator over just the members is cheaper than the key pass.
+  bool dense_enough = table.num_rows() >= table.universe_size() / 16;
+  bool keyed = false;
+  if (dense_enough) {
+    SortKeyPlan plan(table, order_);
+    if (plan.valid()) {
+      TopKKeyed(table, order_, plan, start_key_, k_, &top, &result);
+      keyed = true;
+    }
+  }
+  if (!keyed) {
+    TopKVirtual(table, order_, start_key_, k_, &top, &result);
+  }
+  auto& reps = top.reps;
+  auto& counts = top.counts;
 
   // Materialize the kept rows.
   std::vector<std::string> all_columns = order_.ColumnNames();

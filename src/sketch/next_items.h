@@ -15,6 +15,11 @@ namespace hillview {
 /// (the comparison key) followed by any extra display columns, plus the
 /// number of duplicate rows it represents (§3.3: "Aggregate duplicates and
 /// show repetition counts").
+///
+/// Contract note: the key cells and the count are exact and shard-split
+/// invariant; the display cells come from *one representative* of the
+/// duplicate group (rows equal under the sort order may differ in display
+/// columns), and which representative survives depends on the merge order.
 struct RowSnapshot {
   std::vector<Value> values;
   int64_t count = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "storage/scan.h"
+#include "storage/sort_key.h"
 
 namespace hillview {
 
@@ -26,11 +27,11 @@ void QuantileResult::Serialize(ByteWriter* w) const {
 
 Status QuantileResult::Deserialize(ByteReader* r, QuantileResult* out) {
   uint32_t n = 0;
-  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/4));
   out->keys.resize(n);
   for (auto& key : out->keys) {
     uint32_t m = 0;
-    HV_RETURN_IF_ERROR(r->ReadU32(&m));
+    HV_RETURN_IF_ERROR(r->ReadCount(&m, /*min_element_bytes=*/1));
     key.resize(m);
     for (auto& v : key) HV_RETURN_IF_ERROR(DeserializeValue(r, &v));
   }
@@ -45,7 +46,9 @@ std::string QuantileSketch::name() const {
     n += o.column;
     n += o.ascending ? "+" : "-";
   }
-  n += "," + std::to_string(rate_) + ")";
+  n += ',';
+  n += std::to_string(rate_);
+  n += ')';
   return n;
 }
 
@@ -70,6 +73,39 @@ QuantileResult QuantileSketch::Summarize(const Table& table,
   std::vector<uint32_t> sampled;
   ScanRows(*table.members(), rate_, seed,
            [&](uint32_t row) { sampled.push_back(row); });
+
+  // The keyed sort pays an O(universe) key-materialization pass up front, so
+  // it only wins when the sample is a sizable fraction of the universe; a
+  // low-rate scroll-bar sample of a huge partition sorts faster through the
+  // virtual comparator than it could ever amortize full key extraction.
+  if (sampled.size() >= table.universe_size() / 16) {
+    SortKeyPlan plan(table, order_);
+    if (plan.valid()) {
+      // Devirtualized path: sort (normalized key, row) pairs — a plain
+      // integer sort when the key order is total; ties (multi-column
+      // orders) fall back to the virtual comparator within equal-key runs.
+      KeyComparator cmp(table, plan);
+      std::vector<std::pair<uint64_t, uint32_t>> keyed;
+      keyed.reserve(sampled.size());
+      for (uint32_t row : sampled) keyed.emplace_back(cmp.Key(row), row);
+      if (plan.TotalOrder()) {
+        std::sort(keyed.begin(), keyed.end());
+      } else {
+        std::sort(keyed.begin(), keyed.end(),
+                  [&](const std::pair<uint64_t, uint32_t>& a,
+                      const std::pair<uint64_t, uint32_t>& b) {
+                    if (a.first != b.first) return a.first < b.first;
+                    return cmp.Less(a.second, b.second);
+                  });
+      }
+      result.keys.reserve(keyed.size());
+      for (const auto& kr : keyed) {
+        result.keys.push_back(table.GetRow(kr.second, names));
+      }
+      return result;
+    }
+  }
+
   RowComparator comparator(table, order_);
   std::sort(sampled.begin(), sampled.end(),
             [&](uint32_t a, uint32_t b) { return comparator.Less(a, b); });

@@ -18,7 +18,8 @@ Status SaveResult::Deserialize(ByteReader* r, SaveResult* out) {
   HV_RETURN_IF_ERROR(r->ReadI64(&out->partitions_written));
   HV_RETURN_IF_ERROR(r->ReadI64(&out->rows_written));
   uint32_t n = 0;
-  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  // Each error carries at least its length prefix (u32).
+  HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/4));
   out->errors.resize(n);
   for (auto& e : out->errors) HV_RETURN_IF_ERROR(r->ReadString(&e));
   return Status::OK();

@@ -1,12 +1,27 @@
 #ifndef HILLVIEW_SKETCH_SKETCH_H_
 #define HILLVIEW_SKETCH_SKETCH_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "storage/table.h"
 
 namespace hillview {
+
+class ThreadPool;
+
+/// Optional worker-local resources handed to a sketch execution by the
+/// engine. `aux_pool` provides an auxiliary helper pool for intra-partition
+/// parallelism (e.g. find-text matching a huge dictionary); it is distinct
+/// from the pool that runs Summarize itself, so blocking on submitted chunks
+/// cannot deadlock the partition scheduler. It is a *provider*, not a
+/// pointer, so the pool's threads are only spawned when a sketch actually
+/// asks for them. May be empty (single-threaded callers: tests, benches,
+/// standalone examples).
+struct SketchContext {
+  std::function<ThreadPool*()> aux_pool;
+};
 
 /// A mergeable summarization method (§4.1): `Summarize` maps a dataset
 /// partition to a small summary; `Merge` combines two summaries such that
@@ -43,9 +58,19 @@ class Sketch {
 
   /// Computes the summary of one partition. `seed` is the partition-specific
   /// deterministic seed (already mixed from the root seed by the engine);
-  /// non-randomized sketches ignore it. Must be single-threaded and
-  /// side-effect free — the engine owns all concurrency (§5.5).
+  /// non-randomized sketches ignore it. Must be side-effect free and must
+  /// not spawn its own threads — the engine owns all concurrency (§5.5),
+  /// except through the context's auxiliary pool below.
   virtual R Summarize(const Table& table, uint64_t seed) const = 0;
+
+  /// Context-aware variant invoked by the engine; the default ignores the
+  /// context. Sketches that can exploit worker-local resources (the
+  /// auxiliary pool) override this one and route the plain overload here.
+  virtual R Summarize(const Table& table, uint64_t seed,
+                      const SketchContext& context) const {
+    (void)context;
+    return Summarize(table, seed);
+  }
 
   /// Combines two summaries. Must be associative with Zero() as identity,
   /// and commutative for all sketches in this library (partial results can

@@ -29,7 +29,8 @@ void BottomKResult::Serialize(ByteWriter* w) const {
 
 Status BottomKResult::Deserialize(ByteReader* r, BottomKResult* out) {
   uint32_t n = 0;
-  HV_RETURN_IF_ERROR(r->ReadU32(&n));
+  // Each item is at least a hash (u64) and a string length (u32).
+  HV_RETURN_IF_ERROR(r->ReadCount(&n, /*min_element_bytes=*/12));
   out->items.resize(n);
   for (auto& [hash, value] : out->items) {
     HV_RETURN_IF_ERROR(r->ReadU64(&hash));

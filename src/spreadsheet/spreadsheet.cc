@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "storage/scan.h"
+
 namespace hillview {
 
 namespace {
@@ -199,6 +201,9 @@ Result<FindResult> Spreadsheet::FindText(
     const RecordOrder& order, std::vector<std::string> search_columns,
     const StringFilter& filter,
     std::optional<std::vector<Value>> start_key) {
+  // An invalid user-supplied regex is a request error, not a scan error:
+  // reject it here instead of letting every partition match nothing.
+  HV_RETURN_IF_ERROR(StringMatcher::Validate(filter));
   return session_->RunSketch<FindResult>(
       dataset_id_,
       std::make_shared<FindTextSketch>(order, std::move(search_columns),
@@ -260,12 +265,10 @@ Result<Spreadsheet> Spreadsheet::FilterRange(const std::string& column,
     if (col == nullptr) {
       return Status::NotFound("no column named '" + column + "'");
     }
-    const IColumn* c = col.get();
-    return table->Filter([c, lo, hi](uint32_t row) {
-      if (c->IsMissing(row)) return false;
-      double v = c->GetDouble(row);
-      return v >= lo && v <= hi;
-    });
+    // Typed predicate loop: one scan-layer dispatch, word-at-a-time over
+    // dense membership, instead of a per-row virtual IsMissing/GetDouble.
+    return table->WithMembership(
+        FilterRangeMembership(*col, *table->members(), lo, hi));
   };
   HV_ASSIGN_OR_RETURN(std::string new_id,
                       session_->MapDataSet(dataset_id_, std::move(map),
@@ -284,15 +287,17 @@ Result<Spreadsheet> Spreadsheet::FilterEquals(const std::string& column,
     if (codes == nullptr) {
       return Status::InvalidArgument("'" + column + "' is not a string column");
     }
-    // One dictionary lookup, then the row test is a code compare.
+    // One dictionary lookup, then the row test is a typed code compare in
+    // the scan layer's dispatch-once loop.
     const auto& dict = col->Dictionary();
     auto it = std::lower_bound(dict.begin(), dict.end(), value);
     if (it == dict.end() || *it != value) {
-      return table->Filter([](uint32_t) { return false; });
+      return table->WithMembership(std::make_shared<SparseMembership>(
+          std::vector<uint32_t>{}, table->universe_size()));
     }
     uint32_t code = static_cast<uint32_t>(it - dict.begin());
-    return table->Filter(
-        [codes, code](uint32_t row) { return codes[row] == code; });
+    return table->WithMembership(
+        FilterEqualsCodeMembership(*col, *table->members(), code));
   };
   HV_ASSIGN_OR_RETURN(
       std::string new_id,
@@ -303,25 +308,23 @@ Result<Spreadsheet> Spreadsheet::FilterEquals(const std::string& column,
 
 Result<Spreadsheet> Spreadsheet::FilterMatches(const std::string& column,
                                                const StringFilter& filter) {
+  // Invalid patterns are request errors; reject before touching data.
+  HV_RETURN_IF_ERROR(StringMatcher::Validate(filter));
   TableMap map = [column, filter](const TablePtr& table) -> Result<TablePtr> {
     ColumnPtr col = table->GetColumnOrNull(column);
     if (col == nullptr) {
       return Status::NotFound("no column named '" + column + "'");
     }
-    const uint32_t* codes = col->RawCodes();
-    if (codes == nullptr) {
+    if (col->RawCodes() == nullptr) {
       return Status::InvalidArgument("'" + column + "' is not a string column");
     }
     StringMatcher matcher(filter);
-    const auto& dict = col->Dictionary();
-    std::vector<uint8_t> match(dict.size());
-    for (size_t d = 0; d < dict.size(); ++d) {
-      match[d] = matcher.Matches(dict[d]) ? 1 : 0;
-    }
-    return table->Filter([codes, match = std::move(match)](uint32_t row) {
-      uint32_t code = codes[row];
-      return code != StringColumn::kMissingCode && match[code];
-    });
+    HV_RETURN_IF_ERROR(matcher.status());
+    // Memoized per-code verdicts, then a typed code-lookup loop in the scan
+    // layer — the row test never re-runs the matcher.
+    std::vector<uint8_t> match = MatchDictionary(matcher, col->Dictionary());
+    return table->WithMembership(
+        FilterMatchedCodesMembership(*col, *table->members(), match));
   };
   HV_ASSIGN_OR_RETURN(
       std::string new_id,

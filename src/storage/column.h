@@ -1,6 +1,7 @@
 #ifndef HILLVIEW_STORAGE_COLUMN_H_
 #define HILLVIEW_STORAGE_COLUMN_H_
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -110,7 +111,18 @@ template <typename T, DataKind KIND>
 class NumericColumn final : public IColumn {
  public:
   NumericColumn(std::vector<T> data, NullMask nulls)
-      : data_(std::move(data)), nulls_(std::move(nulls)) {}
+      : data_(std::move(data)), nulls_(std::move(nulls)) {
+    // The central missing policy (storage/scan.h) treats NaN as missing.
+    // Folding NaN into the null mask at construction makes every consumer —
+    // scans, sort comparisons, Value materialization, file writers — agree,
+    // instead of each virtual accessor re-deciding; it also keeps
+    // CompareRows a strict weak ordering (raw NaN comparisons are not).
+    if constexpr (std::is_same_v<T, double>) {
+      for (uint32_t row = 0; row < data_.size(); ++row) {
+        if (std::isnan(data_[row])) nulls_.SetMissing(row);
+      }
+    }
+  }
 
   DataKind kind() const override { return KIND; }
   uint32_t size() const override { return static_cast<uint32_t>(data_.size()); }

@@ -113,7 +113,9 @@ Result<ColumnPtr> ReadColumnPayload(DataKind kind, ByteReader* r) {
     case DataKind::kString:
     case DataKind::kCategory: {
       uint32_t dict_size = 0;
-      HV_RETURN_IF_ERROR(r->ReadU32(&dict_size));
+      // Each dictionary entry carries at least its length prefix; a corrupt
+      // count must not drive a giant allocation.
+      HV_RETURN_IF_ERROR(r->ReadCount(&dict_size, /*min_element_bytes=*/4));
       std::vector<std::string> dict(dict_size);
       for (auto& s : dict) HV_RETURN_IF_ERROR(r->ReadString(&s));
       std::vector<uint32_t> codes;

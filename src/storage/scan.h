@@ -360,6 +360,203 @@ void ScanColumn(const IColumn& col, const IMembershipSet& members, double rate,
   });
 }
 
+namespace scan_internal {
+
+// --- Typed predicate-to-bitmap loops (the filter fast path). ---------------
+//
+// Each loop evaluates the predicate over raw values and assembles one 64-bit
+// membership word per 64-row block in a register: branchless on the
+// predicate outcome (the inner block loop vectorizes), with the null mask
+// applied word-at-a-time. Missing rows never match — NaN and kMissingCode
+// are folded into the null mask at column construction, so `bits & ~nulls`
+// is the complete missing policy here.
+
+template <typename T, typename Pred>
+inline uint64_t PredicateWord(const T* block, Pred& pred) {
+  uint64_t bits = 0;
+  for (uint32_t i = 0; i < 64; ++i) {
+    bits |= static_cast<uint64_t>(pred(block[i]) ? 1 : 0) << i;
+  }
+  return bits;
+}
+
+template <typename T, typename Pred>
+void FilterFullTyped(const T* data, uint32_t n, const NullMask& nulls,
+                     Pred& pred, std::vector<uint64_t>& words) {
+  const auto& null_words = nulls.words();
+  const bool check_nulls = !nulls.empty();
+  const uint32_t full_words = n >> 6;
+  for (uint32_t w = 0; w < full_words; ++w) {
+    uint64_t bits = PredicateWord(data + (static_cast<size_t>(w) << 6), pred);
+    if (check_nulls) bits &= ~NullWord(null_words, w);
+    words[w] = bits;
+  }
+  for (uint32_t r = full_words << 6; r < n; ++r) {
+    if (!nulls.IsMissing(r) && pred(data[r])) {
+      words[r >> 6] |= 1ULL << (r & 63);
+    }
+  }
+}
+
+template <typename T, typename Pred>
+void FilterDenseTyped(const T* data, const std::vector<uint64_t>& member_words,
+                      uint32_t universe, const NullMask& nulls, Pred& pred,
+                      std::vector<uint64_t>& words) {
+  const auto& null_words = nulls.words();
+  const bool check_nulls = !nulls.empty();
+  for (size_t w = 0; w < member_words.size(); ++w) {
+    uint64_t members = member_words[w];
+    if (members == 0) continue;
+    uint32_t base = static_cast<uint32_t>(w << 6);
+    if (members == ~0ULL && base + 64 <= universe) {
+      // Fully-set word (run-structured zoom-in filters): same branchless
+      // block as the full scan.
+      uint64_t bits = PredicateWord(data + base, pred);
+      if (check_nulls) bits &= ~NullWord(null_words, w);
+      words[w] = bits;
+      continue;
+    }
+    uint64_t present =
+        check_nulls ? members & ~NullWord(null_words, w) : members;
+    uint64_t bits = 0;
+    while (present != 0) {
+      int bit = __builtin_ctzll(present);
+      bits |= static_cast<uint64_t>(pred(data[base + bit]) ? 1 : 0) << bit;
+      present &= present - 1;
+    }
+    words[w] = bits;
+  }
+}
+
+template <typename T, typename Pred>
+void FilterSparseTyped(const T* data, const std::vector<uint32_t>& rows,
+                       const NullMask& nulls, Pred& pred,
+                       std::vector<uint64_t>& words) {
+  const bool check_nulls = !nulls.empty();
+  for (uint32_t r : rows) {
+    if (check_nulls && nulls.IsMissing(r)) continue;
+    if (pred(data[r])) words[r >> 6] |= 1ULL << (r & 63);
+  }
+}
+
+template <typename T, typename Pred>
+void FilterTyped(const T* data, const IMembershipSet& base,
+                 const NullMask& nulls, Pred& pred,
+                 std::vector<uint64_t>& words) {
+  switch (base.kind()) {
+    case IMembershipSet::Kind::kFull:
+      FilterFullTyped(data, base.size(), nulls, pred, words);
+      return;
+    case IMembershipSet::Kind::kDense:
+      FilterDenseTyped(data, base.bitmap_words(), base.universe_size(), nulls,
+                       pred, words);
+      return;
+    case IMembershipSet::Kind::kSparse:
+      FilterSparseTyped(data, base.sparse_rows(), nulls, pred, words);
+      return;
+  }
+}
+
+}  // namespace scan_internal
+
+/// Builds the membership set of `base` rows where `col` is present and
+/// `pred(native value)` holds: the typed filter path behind the
+/// spreadsheet's zoom-in / equality / regex gestures (§5.6). One dispatch on
+/// layout × membership selects a loop that assembles membership words 64
+/// rows at a time (branchless predicate, null mask ANDed per word) — no
+/// per-row std::function or virtual accessor calls — and the result picks
+/// the dense or sparse representation by the same density cutoff as
+/// FilterMembership.
+///
+/// `pred` must be callable with every native value type (int32_t, double,
+/// int64_t, uint32_t dictionary code); use a generic lambda, with
+/// `if constexpr` dispatch when only one layout is meaningful. It may be
+/// *evaluated* on missing cells (NaN, kMissingCode) inside a 64-row block —
+/// the result for those rows is discarded via the null-mask AND — so it must
+/// be a pure function that tolerates any representable input.
+template <typename Pred>
+MembershipPtr FilterColumnMembership(const IColumn& col,
+                                     const IMembershipSet& base, Pred&& pred) {
+  const uint32_t universe = base.universe_size();
+  std::vector<uint64_t> words((universe + 63) / 64, 0);
+  if (const double* raw = col.RawDouble()) {
+    scan_internal::FilterTyped(raw, base, col.null_mask(), pred, words);
+  } else if (const int32_t* raw32 = col.RawInt()) {
+    scan_internal::FilterTyped(raw32, base, col.null_mask(), pred, words);
+  } else if (const int64_t* raw64 = col.RawDate()) {
+    scan_internal::FilterTyped(raw64, base, col.null_mask(), pred, words);
+  } else if (const uint32_t* codes = col.RawCodes()) {
+    scan_internal::FilterTyped(codes, base, col.null_mask(), pred, words);
+  } else {
+    // Generic fallback for layouts without a raw array: per-row virtual
+    // accessors, same missing policy.
+    ScanRows(base, /*rate=*/1.0, /*seed=*/0, [&](uint32_t row) {
+      if (col.IsMissing(row)) return;
+      double v = col.GetDouble(row);
+      if (std::isnan(v)) return;
+      if (pred(v)) words[row >> 6] |= 1ULL << (row & 63);
+    });
+  }
+  uint64_t hits = 0;
+  for (uint64_t w : words) hits += static_cast<uint64_t>(__builtin_popcountll(w));
+  double density =
+      universe == 0 ? 0.0 : static_cast<double>(hits) / universe;
+  if (density < kSparseDensityCutoff) {
+    std::vector<uint32_t> rows;
+    rows.reserve(hits);
+    for (size_t w = 0; w < words.size(); ++w) {
+      uint64_t bits = words[w];
+      while (bits != 0) {
+        int bit = __builtin_ctzll(bits);
+        rows.push_back(static_cast<uint32_t>((w << 6) + bit));
+        bits &= bits - 1;
+      }
+    }
+    return std::make_shared<SparseMembership>(std::move(rows), universe);
+  }
+  return std::make_shared<DenseMembership>(std::move(words), universe);
+}
+
+/// Rows whose numeric view (GetDouble semantics: native value, or the
+/// dictionary code for string layouts) lies in [lo, hi].
+inline MembershipPtr FilterRangeMembership(const IColumn& col,
+                                           const IMembershipSet& base,
+                                           double lo, double hi) {
+  return FilterColumnMembership(col, base, [lo, hi](auto v) {
+    double d = static_cast<double>(v);
+    return d >= lo && d <= hi;
+  });
+}
+
+/// Rows of a dictionary-code column whose code equals `code`.
+inline MembershipPtr FilterEqualsCodeMembership(const IColumn& col,
+                                                const IMembershipSet& base,
+                                                uint32_t code) {
+  return FilterColumnMembership(col, base, [code](auto v) {
+    if constexpr (std::is_same_v<decltype(v), uint32_t>) {
+      return v == code;
+    } else {
+      (void)v;
+      return false;
+    }
+  });
+}
+
+/// Rows of a dictionary-code column whose code is marked in `match` (one
+/// byte per dictionary entry — the memoized per-code verdict table).
+inline MembershipPtr FilterMatchedCodesMembership(
+    const IColumn& col, const IMembershipSet& base,
+    const std::vector<uint8_t>& match) {
+  return FilterColumnMembership(col, base, [&match](auto v) {
+    if constexpr (std::is_same_v<decltype(v), uint32_t>) {
+      return v < match.size() && match[v] != 0;
+    } else {
+      (void)v;
+      return false;
+    }
+  });
+}
+
 /// Devirtualized per-row accessor for multi-column scans (2D histograms,
 /// trellis, correlation): binds the column's raw layout once, then answers
 /// per-row queries with an inlined switch on a small enum — predictable

@@ -1,0 +1,191 @@
+#include "storage/sort_key.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace hillview {
+
+namespace {
+
+constexpr uint64_t kMissingKey = std::numeric_limits<uint64_t>::max();
+constexpr uint64_t kSignBit = 1ULL << 63;
+
+/// Order-preserving bias for 32-bit integers, widened so present keys never
+/// reach kMissingKey.
+inline uint64_t EncodeI32(int32_t v) {
+  return static_cast<uint64_t>(static_cast<uint32_t>(v) ^ 0x80000000u) << 32;
+}
+
+/// Sign-bias for 64-bit integers. INT64_MAX maps to kMissingKey, which is
+/// reserved; callers saturate it to kMissingKey - 1 and record inexactness.
+inline uint64_t EncodeI64(int64_t v) {
+  return static_cast<uint64_t>(v) ^ kSignBit;
+}
+
+/// IEEE-754 total-order transform: monotone over all non-NaN doubles
+/// (including ±inf). -0.0 canonicalizes to +0.0 first, because CompareRows
+/// treats them as equal (operator==) and keys must not order equal values.
+/// NaN never reaches this (it is missing under the central scan policy).
+inline uint64_t EncodeF64(double d) {
+  if (d == 0.0) d = 0.0;  // collapse -0.0 onto +0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return (bits & kSignBit) ? ~bits : (bits | kSignBit);
+}
+
+}  // namespace
+
+SortKeyPlan::SortKeyPlan(const Table& table, const RecordOrder& order) {
+  // Bind the first order column that exists, mirroring RowComparator's
+  // skip-unknown policy; everything after it is the virtual tie-break tail.
+  const auto& orientations = order.orientations();
+  size_t i = 0;
+  ColumnPtr first;
+  for (; i < orientations.size(); ++i) {
+    first = table.GetColumnOrNull(orientations[i].column);
+    if (first != nullptr) break;
+  }
+  if (first == nullptr) return;
+  first_index_ = i;
+  ascending_ = orientations[i].ascending;
+  kind_ = first->kind();
+  column_ = first.get();
+  for (size_t j = i + 1; j < orientations.size(); ++j) {
+    if (table.GetColumnOrNull(orientations[j].column) != nullptr) {
+      tail_.push_back(orientations[j]);
+    }
+  }
+
+  const uint32_t n = first->size();
+  keys_.resize(n);
+  const NullMask& nulls = first->null_mask();
+  const bool check_nulls = !nulls.empty();
+
+  if (const double* raw = first->RawDouble()) {
+    for (uint32_t r = 0; r < n; ++r) {
+      double d = raw[r];
+      keys_[r] = (check_nulls && nulls.IsMissing(r)) || std::isnan(d)
+                     ? kMissingKey
+                     : EncodeF64(d);
+    }
+  } else if (const int32_t* raw32 = first->RawInt()) {
+    for (uint32_t r = 0; r < n; ++r) {
+      keys_[r] = (check_nulls && nulls.IsMissing(r)) ? kMissingKey
+                                                     : EncodeI32(raw32[r]);
+    }
+  } else if (const int64_t* raw64 = first->RawDate()) {
+    for (uint32_t r = 0; r < n; ++r) {
+      if (check_nulls && nulls.IsMissing(r)) {
+        keys_[r] = kMissingKey;
+        continue;
+      }
+      uint64_t k = EncodeI64(raw64[r]);
+      if (k == kMissingKey) {
+        // INT64_MAX collides with the missing key: saturate and let key ties
+        // re-compare the first column through the virtual path.
+        k = kMissingKey - 1;
+        exact_ = false;
+      }
+      keys_[r] = k;
+    }
+  } else if (const uint32_t* codes = first->RawCodes()) {
+    // Dictionary codes: missing is in the code stream (kMissingCode is the
+    // max uint32, strictly below kMissingKey after widening — but missing
+    // must map to the missing key explicitly so descending complements
+    // place it first).
+    for (uint32_t r = 0; r < n; ++r) {
+      uint32_t c = codes[r];
+      keys_[r] = c == StringColumn::kMissingCode
+                     ? kMissingKey
+                     : static_cast<uint64_t>(c);
+    }
+  } else {
+    // Generic layout: no raw array to encode from.
+    keys_.clear();
+    keys_.shrink_to_fit();
+    return;
+  }
+
+  if (!ascending_) {
+    // Complementing reverses the key order and sends the missing key to 0,
+    // exactly reproducing `ascending ? c : -c` over missing-last CompareRows.
+    for (auto& k : keys_) k = ~k;
+  }
+
+  if (exact_) {
+    tie_order_ = tail_;
+  } else {
+    tie_order_.reserve(tail_.size() + 1);
+    tie_order_.push_back(orientations[i]);
+    tie_order_.insert(tie_order_.end(), tail_.begin(), tail_.end());
+  }
+  valid_ = true;
+}
+
+std::optional<uint64_t> SortKeyPlan::EncodeStartCell(const Value& v) const {
+  if (!valid_) return std::nullopt;
+  uint64_t enc = 0;
+  if (std::holds_alternative<std::monostate>(v)) {
+    enc = kMissingKey;
+  } else if (IsStringKind(kind_)) {
+    const auto* s = std::get_if<std::string>(&v);
+    if (s == nullptr) return std::nullopt;
+    // The dictionary is sorted, so the insertion point partitions the codes:
+    // codes below it are lexicographically smaller than *s, codes at or
+    // above are >= — and the `==` case falls back to a full compare anyway.
+    const auto& dict = column_->Dictionary();
+    auto it = std::lower_bound(dict.begin(), dict.end(), *s);
+    enc = static_cast<uint64_t>(it - dict.begin());
+  } else {
+    // Numeric layouts: accept only values that embed exactly in the column's
+    // key space; anything else falls back to per-row virtual compares.
+    const auto* pi = std::get_if<int64_t>(&v);
+    const auto* pd = std::get_if<double>(&v);
+    if (pi == nullptr && pd == nullptr) return std::nullopt;
+    if (pd != nullptr && std::isnan(*pd)) return std::nullopt;
+    // The integer view of the value, when it has one that is exact.
+    std::optional<int64_t> i;
+    if (pi != nullptr) {
+      i = *pi;
+    } else if (*pd >= -9.2e18 && *pd <= 9.2e18 &&
+               static_cast<double>(static_cast<int64_t>(*pd)) == *pd) {
+      i = static_cast<int64_t>(*pd);
+    }
+    switch (kind_) {
+      case DataKind::kDouble: {
+        if (pi != nullptr && (*pi > (1LL << 53) || *pi < -(1LL << 53))) {
+          return std::nullopt;  // int64 that may not round-trip via double
+        }
+        enc = EncodeF64(pd != nullptr ? *pd : static_cast<double>(*pi));
+        break;
+      }
+      case DataKind::kInt:
+        if (!i.has_value()) return std::nullopt;
+        if (*i < std::numeric_limits<int32_t>::min() ||
+            *i > std::numeric_limits<int32_t>::max()) {
+          return std::nullopt;
+        }
+        enc = EncodeI32(static_cast<int32_t>(*i));
+        break;
+      case DataKind::kDate:
+        if (!i.has_value()) return std::nullopt;
+        // A double-derived view beyond 2^53 is lossy against int64 rows:
+        // CompareValues would compare as doubles, so the exact integer
+        // threshold could disagree with the fallback comparison.
+        if (pi == nullptr && (*i > (1LL << 53) || *i < -(1LL << 53))) {
+          return std::nullopt;
+        }
+        enc = EncodeI64(*i);
+        if (enc == kMissingKey) return std::nullopt;  // INT64_MAX saturates
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return ascending_ ? enc : ~enc;
+}
+
+}  // namespace hillview

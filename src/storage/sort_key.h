@@ -1,0 +1,123 @@
+#ifndef HILLVIEW_STORAGE_SORT_KEY_H_
+#define HILLVIEW_STORAGE_SORT_KEY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/row_order.h"
+#include "storage/table.h"
+
+namespace hillview {
+
+/// Typed sort-key extraction: turns the *first* column of a RecordOrder into
+/// fixed-width normalized keys so order-based sketches (next-items top-K,
+/// quantile sampling) compare rows with one integer comparison instead of a
+/// virtual RowComparator::Less per comparison.
+///
+/// The encoding is order-preserving per physical layout:
+///
+///   int32   (v ^ 0x80000000) << 32          (sign-bias, shifted to 64 bits)
+///   int64   v ^ 0x8000000000000000          (sign-bias; INT64_MAX saturates)
+///   double  IEEE-754 total-order trick: negative values complement all
+///           bits, positive values set the sign bit (NaN is missing)
+///   codes   the dictionary code (dictionaries are sorted, so code order is
+///           alphabetical order)
+///
+/// Missing values encode as UINT64_MAX, matching IColumn::CompareRows'
+/// missing-last contract; a descending orientation complements every key,
+/// which reverses the order and therefore places missing first — exactly what
+/// `ascending ? c : -c` does in RowComparator.
+///
+/// Key comparison is a *refinement gate*, not the full order: key(a) < key(b)
+/// implies row a precedes row b on the first order column; equal keys mean
+/// "tied on the first column" and the comparison falls back to the virtual
+/// path for the remaining order columns (and, for the rare saturated int64
+/// encoding, the first column itself). Single-column orders over exactly
+/// encodable layouts never take the fallback.
+class SortKeyPlan {
+ public:
+  /// Materializes keys for every universe row of `table` under `order`.
+  /// `valid()` is false when the first effective order column is absent or
+  /// has no raw layout; callers then use the virtual RowComparator path.
+  SortKeyPlan(const Table& table, const RecordOrder& order);
+
+  bool valid() const { return valid_; }
+  const std::vector<uint64_t>& keys() const { return keys_; }
+
+  /// True when equal keys imply equal first-column values (everything except
+  /// the saturated int64 edge), i.e. the tie-break may skip the first column.
+  bool exact() const { return exact_; }
+
+  /// True when key order (plus row-id tiebreak) is the complete record
+  /// order: a single effective order column with an exact encoding.
+  bool TotalOrder() const { return tie_order_.empty(); }
+
+  /// Encodes a materialized start-key cell (the first effective order
+  /// column's value) into the key space, such that
+  ///   keys()[r] <  *enc  =>  row r precedes the start key,
+  ///   keys()[r] >  *enc  =>  row r follows the start key,
+  /// and equality requires a full CompareRowToKey. Returns nullopt when the
+  /// value does not embed exactly (callers fall back to per-row compares).
+  std::optional<uint64_t> EncodeStartCell(const Value& v) const;
+
+  /// Index into the order's orientations of the first effective column
+  /// (orientations naming unknown columns are skipped, as in RowComparator).
+  size_t first_column_index() const { return first_index_; }
+
+  /// The orientations a key tie must still compare through the virtual path:
+  /// the columns after the first for exact encodings, or the whole effective
+  /// order when the first column's encoding saturated. Empty means key order
+  /// (plus row id) is the complete record order.
+  const std::vector<ColumnSortOrientation>& tie_order() const {
+    return tie_order_;
+  }
+
+ private:
+  bool valid_ = false;
+  bool exact_ = true;
+  bool ascending_ = true;
+  DataKind kind_ = DataKind::kDouble;
+  const IColumn* column_ = nullptr;  // first effective order column
+  size_t first_index_ = 0;
+  std::vector<uint64_t> keys_;
+  std::vector<ColumnSortOrientation> tail_;
+  std::vector<ColumnSortOrientation> tie_order_;
+};
+
+/// Row comparator over a SortKeyPlan: one integer comparison on the normal
+/// keys, then the virtual tie-break order only on key ties. Mirrors
+/// RowComparator's Compare/Less contract over the full record order.
+class KeyComparator {
+ public:
+  KeyComparator(const Table& table, const SortKeyPlan& plan)
+      : keys_(plan.keys().data()),
+        has_tie_(!plan.tie_order().empty()),
+        tie_(table, RecordOrder(plan.tie_order())) {}
+
+  /// Three-way comparison (no row-id tiebreaker), identical in result to
+  /// RowComparator::Compare over the full order.
+  int Compare(uint32_t a, uint32_t b) const {
+    uint64_t ka = keys_[a], kb = keys_[b];
+    if (ka != kb) return ka < kb ? -1 : 1;
+    return has_tie_ ? tie_.Compare(a, b) : 0;
+  }
+
+  /// Strict weak ordering with the row-id tiebreaker.
+  bool Less(uint32_t a, uint32_t b) const {
+    int c = Compare(a, b);
+    if (c != 0) return c < 0;
+    return a < b;
+  }
+
+  uint64_t Key(uint32_t row) const { return keys_[row]; }
+
+ private:
+  const uint64_t* keys_;
+  bool has_tie_;
+  RowComparator tie_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_SORT_KEY_H_

@@ -37,6 +37,11 @@ TablePtr Table::Filter(const std::function<bool(uint32_t)>& pred) const {
   return TablePtr(new Table(schema_, columns_, std::move(filtered)));
 }
 
+TablePtr Table::WithMembership(MembershipPtr members) const {
+  assert(members->universe_size() == universe_size());
+  return TablePtr(new Table(schema_, columns_, std::move(members)));
+}
+
 TablePtr Table::WithColumn(const ColumnDescription& desc,
                            ColumnPtr column) const {
   assert(column->size() == universe_size());

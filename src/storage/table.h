@@ -49,6 +49,12 @@ class Table {
   /// A derived table keeping only rows where `pred(row)` holds (§5.6).
   TablePtr Filter(const std::function<bool(uint32_t)>& pred) const;
 
+  /// A derived table sharing this table's columns with an explicitly
+  /// computed membership set (the typed filter path: see
+  /// FilterColumnMembership in storage/scan.h). `members` must cover the
+  /// same universe as this table.
+  TablePtr WithMembership(MembershipPtr members) const;
+
   /// A derived table with one extra column appended. The new column must
   /// cover the full universe (it is defined for non-member rows too).
   TablePtr WithColumn(const ColumnDescription& desc, ColumnPtr column) const;

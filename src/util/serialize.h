@@ -45,6 +45,7 @@ class ByteWriter {
 
  private:
   void Append(const void* data, size_t len) {
+    if (len == 0) return;  // an empty vector's data() may be null
     const auto* p = static_cast<const uint8_t*>(data);
     bytes_.insert(bytes_.end(), p, p + len);
   }
@@ -85,6 +86,18 @@ class ByteReader {
     return Status::OK();
   }
 
+  /// Reads an element count (written via WriteU32) and rejects counts that
+  /// cannot fit in the remaining bytes, assuming each element occupies at
+  /// least `min_element_bytes` on the wire. This keeps a corrupted or
+  /// bit-flipped count from driving a huge allocation before the per-element
+  /// reads would fail anyway.
+  Status ReadCount(uint32_t* out, size_t min_element_bytes = 1) {
+    HV_RETURN_IF_ERROR(ReadU32(out));
+    if (min_element_bytes == 0) min_element_bytes = 1;
+    if (*out > Remaining() / min_element_bytes) return Truncated();
+    return Status::OK();
+  }
+
   template <typename T>
   Status ReadPodVector(std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -93,7 +106,9 @@ class ByteReader {
     size_t bytes = static_cast<size_t>(n) * sizeof(T);
     if (bytes > Remaining()) return Truncated();
     out->resize(n);
-    std::memcpy(out->data(), data_ + pos_, bytes);
+    // n == 0 leaves out->data() null; memcpy with a null operand is UB even
+    // for zero lengths.
+    if (bytes > 0) std::memcpy(out->data(), data_ + pos_, bytes);
     pos_ += bytes;
     return Status::OK();
   }

@@ -31,14 +31,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task at normal priority. Tasks run FIFO.
-  void Submit(std::function<void()> task) {
+  /// Enqueues a task at normal priority. Tasks run FIFO. Returns false when
+  /// the pool is shut down and the task was dropped — callers coordinating
+  /// through completion latches must then run the task themselves.
+  bool Submit(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (shutdown_) return;
+      if (shutdown_) return false;
       queue_.push_back(std::move(task));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Enqueues a task ahead of all normal-priority work.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/root.h"
+#include "sketch/find_text.h"
 #include "sketch/histogram.h"
 #include "sketch/range_moments.h"
 #include "test_util.h"
@@ -13,6 +14,7 @@ using cluster::RootSession;
 using cluster::SimulatedNetwork;
 using cluster::Worker;
 using testing::MakeDoubleTable;
+using testing::MakeStringTable;
 using testing::SplitValues;
 using testing::TestCluster;
 using testing::UniformDoubles;
@@ -114,6 +116,88 @@ TEST(Cluster, WorkerRestartHealsViaRedoLogReplay) {
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   EXPECT_EQ(after.value().rows, before.value().rows);
   EXPECT_GE(tc->root->redo_log().Size(), 2);
+}
+
+TEST(Cluster, DroppedMapFailureIsRecordedOnWorkerAndHeals) {
+  auto values = UniformDoubles(8000, 0, 1, 93);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 4)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, 2, 2);
+
+  // Crash worker 0 first: the next fire-and-forget remote map (the dataset
+  // tree's Map edge) cannot find its parent there and drops an Unavailable
+  // status. The drop must be recorded on the worker — the observable proof
+  // that the "surface later, heal via replay" contract fired rather than
+  // the failure being silently lost.
+  tc->root->RestartWorker(0);
+  EXPECT_EQ(tc->workers[0]->dropped_map_failures(), 0);
+
+  DataSetPtr root_ds = tc->root->GetRootDataSet("data");
+  DataSetPtr derived = root_ds->Map(
+      [](const TablePtr& t) -> Result<TablePtr> {
+        return t->Filter(
+            [t](uint32_t r) { return t->column(0)->GetDouble(r) < 0.5; });
+      },
+      "lower");
+  ASSERT_NE(derived, nullptr);
+  EXPECT_GE(tc->workers[0]->dropped_map_failures(), 1);
+  EXPECT_NE(tc->workers[0]->last_dropped_map_error().find("Unavailable"),
+            std::string::npos)
+      << tc->workers[0]->last_dropped_map_error();
+  // The healthy worker saw no failure.
+  EXPECT_EQ(tc->workers[1]->dropped_map_failures(), 0);
+
+  // First use of the derived proxy surfaces the dropped failure.
+  auto broken = SketchAndWait<CountResult>(*derived,
+                                           std::make_shared<CountSketch>());
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kUnavailable);
+
+  // The root-session path heals the lost base data via redo-log replay.
+  auto count = tc->root->RunSketch<CountResult>(
+      "data", std::make_shared<CountSketch>());
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value().rows, static_cast<int64_t>(values.size()));
+}
+
+TEST(Cluster, FindTextParallelDictionaryAgreesWithInline) {
+  // Each partition's dictionary exceeds the parallel-matching threshold
+  // (4096 distinct strings), so on the cluster path MatchDictionary chunks
+  // across the worker's aux pool — the result must equal the inline
+  // (pool-less) single-table path bit for bit.
+  constexpr int kDistinct = 6000;
+  constexpr int kRowsPerPartition = 9000;
+  std::vector<std::string> all_values;
+  std::vector<TablePtr> partitions;
+  for (int p = 0; p < 2; ++p) {
+    std::vector<std::string> values;
+    for (int r = 0; r < kRowsPerPartition; ++r) {
+      values.push_back("v" + std::to_string((r * 7 + p) % kDistinct));
+    }
+    all_values.insert(all_values.end(), values.begin(), values.end());
+    partitions.push_back(MakeStringTable("s", values));
+  }
+  auto tc = TestCluster::Create(partitions, /*workers=*/2, /*threads=*/2);
+  ASSERT_NE(tc, nullptr);
+
+  StringFilter filter;
+  filter.text = "v12";
+  filter.mode = StringFilter::Mode::kSubstring;
+  filter.case_sensitive = true;
+  auto sketch = std::make_shared<FindTextSketch>(
+      RecordOrder({{"s", true}}), std::vector<std::string>{"s"}, filter,
+      std::nullopt);
+  auto clustered = tc->root->RunSketch<FindResult>("data", sketch);
+  ASSERT_TRUE(clustered.ok()) << clustered.status().ToString();
+
+  FindResult inline_result =
+      sketch->Summarize(*MakeStringTable("s", all_values), 0);
+  EXPECT_EQ(clustered.value().match_count, inline_result.match_count);
+  EXPECT_GT(clustered.value().match_count, 0);
+  ASSERT_TRUE(clustered.value().first_match.has_value());
+  EXPECT_EQ(*clustered.value().first_match, *inline_result.first_match);
 }
 
 TEST(Cluster, SampledSketchIsDeterministicAcrossRestart) {

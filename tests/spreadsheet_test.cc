@@ -201,6 +201,55 @@ TEST_F(SpreadsheetTest, FilterRangeIsZoomIn) {
   EXPECT_LE(zoom_range.value().max, hi);
 }
 
+TEST_F(SpreadsheetTest, FilterMatchesRegexNarrowsRows) {
+  StringFilter filter;
+  filter.text = "^A";  // airlines starting with A
+  filter.mode = StringFilter::Mode::kRegex;
+  filter.case_sensitive = true;
+  auto filtered = sheet_->FilterMatches("Airline", filter);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  auto rows = filtered.value().RowCount();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GT(rows.value(), 0);
+  EXPECT_LT(rows.value(), 80000);
+
+  // Cross-check the typed filter path against FilterEquals: an exact-match
+  // filter must keep exactly the rows the equality filter keeps.
+  StringFilter exact;
+  exact.text = "AA";
+  exact.mode = StringFilter::Mode::kExact;
+  exact.case_sensitive = true;
+  auto via_match = sheet_->FilterMatches("Airline", exact);
+  auto via_equals = sheet_->FilterEquals("Airline", "AA");
+  ASSERT_TRUE(via_match.ok());
+  ASSERT_TRUE(via_equals.ok());
+  EXPECT_EQ(via_match.value().RowCount().value_or(-1),
+            via_equals.value().RowCount().value_or(-2));
+}
+
+TEST_F(SpreadsheetTest, InvalidRegexSurfacesInvalidArgument) {
+  StringFilter bad;
+  bad.text = "[unclosed";
+  bad.mode = StringFilter::Mode::kRegex;
+
+  // Regression: this used to throw std::regex_error out of the sketch /
+  // table-map instead of returning a Status.
+  RecordOrder order({{"Airline", true}});
+  auto found = sheet_->FindText(order, {"Airline"}, bad, std::nullopt);
+  ASSERT_FALSE(found.ok());
+  EXPECT_EQ(found.status().code(), StatusCode::kInvalidArgument);
+
+  auto filtered = sheet_->FilterMatches("Airline", bad);
+  ASSERT_FALSE(filtered.ok());
+  EXPECT_EQ(filtered.status().code(), StatusCode::kInvalidArgument);
+
+  // Valid filters on the same surfaces still work afterwards.
+  StringFilter good;
+  good.text = "UA";
+  good.mode = StringFilter::Mode::kExact;
+  EXPECT_TRUE(sheet_->FindText(order, {"Airline"}, good, std::nullopt).ok());
+}
+
 TEST_F(SpreadsheetTest, WithColumnComputesRatio) {
   auto derived = sheet_->WithColumn(
       "SpeedMph", DataKind::kDouble, {"Distance", "AirTime"},

@@ -15,6 +15,7 @@
 
 #include "storage/column.h"
 #include "storage/membership.h"
+#include "storage/sort_key.h"
 #include "test_util.h"
 
 namespace hillview {
@@ -255,6 +256,257 @@ TEST(NullMask, SetMissingIsIdempotent) {
 }
 
 // The null mask must agree with IsMissing for every column kind, so generic
+// ---------------------------------------------------------------------------
+// Sort-key encoders (storage/sort_key.h): normalized keys must order rows
+// exactly like the virtual RowComparator, across the layout × null ×
+// direction matrix — the reference-scan pattern applied to ordering.
+
+/// One random column per layout, with nulls optionally present and the
+/// nasty values of that layout (NaN/±inf doubles, INT64_MAX dates,
+/// duplicate-heavy ints and strings).
+ColumnPtr MakeOrderColumn(DataKind kind, bool with_nulls, uint64_t seed,
+                          uint32_t n) {
+  Random rng(seed);
+  ColumnBuilder b(kind);
+  for (uint32_t r = 0; r < n; ++r) {
+    if (with_nulls && rng.NextUint64(7) == 0) {
+      b.AppendMissing();
+      continue;
+    }
+    switch (kind) {
+      case DataKind::kInt:
+        b.AppendInt(static_cast<int32_t>(rng.NextUint64(41)) - 20);
+        break;
+      case DataKind::kDouble: {
+        uint64_t roll = rng.NextUint64(20);
+        if (roll == 0) {
+          b.AppendDouble(kNaN);
+        } else if (roll == 1) {
+          b.AppendDouble(std::numeric_limits<double>::infinity());
+        } else if (roll == 2) {
+          b.AppendDouble(-std::numeric_limits<double>::infinity());
+        } else if (roll == 3) {
+          b.AppendDouble(0.0);
+        } else {
+          b.AppendDouble((rng.NextDouble() - 0.5) * 1e6);
+        }
+        break;
+      }
+      case DataKind::kDate: {
+        uint64_t roll = rng.NextUint64(16);
+        if (roll == 0) {
+          b.AppendDate(std::numeric_limits<int64_t>::max());  // saturates
+        } else if (roll == 1) {
+          b.AppendDate(std::numeric_limits<int64_t>::min());
+        } else {
+          b.AppendDate(static_cast<int64_t>(rng.NextUint64(1000)) -
+                       500);
+        }
+        break;
+      }
+      default:
+        b.AppendString("v" + std::to_string(rng.NextUint64(25)));
+        break;
+    }
+  }
+  return b.Finish();
+}
+
+int Sign(int c) { return c < 0 ? -1 : (c > 0 ? 1 : 0); }
+
+// ---------------------------------------------------------------------------
+// Typed filter loops (FilterColumnMembership): the word-at-a-time predicate
+// bitmaps must keep exactly the rows the virtual per-row path keeps, across
+// layout × membership × nulls, including partial trailing words.
+
+TEST(FilterColumnMembership, AgreesWithVirtualFilterAcrossMatrix) {
+  // 203 rows: not a multiple of 64, so every loop exercises its tail.
+  constexpr uint32_t kRows = 203;
+  uint64_t seed = 0xF117;
+  for (DataKind kind : {DataKind::kInt, DataKind::kDouble, DataKind::kDate,
+                        DataKind::kString}) {
+    for (bool with_nulls : {false, true}) {
+      ColumnPtr col = MakeOrderColumn(kind, with_nulls, ++seed, kRows);
+      TablePtr table = Table::Create(Schema({{"k", kind}}), {col});
+      // Base membership shapes: full, dense (drop every 3rd row, plus one
+      // fully-set run), sparse (every 13th row).
+      std::vector<MembershipPtr> bases;
+      bases.push_back(std::make_shared<FullMembership>(kRows));
+      bases.push_back(FilterMembership(
+          *bases[0], [](uint32_t r) { return r < 64 || r % 3 != 0; }));
+      bases.push_back(
+          FilterMembership(*bases[0], [](uint32_t r) { return r % 13 == 0; }));
+      for (const auto& base : bases) {
+        // Predicate mirroring a range gesture over the numeric view.
+        double lo = -400.0, hi = 600.0;
+        MembershipPtr typed = FilterRangeMembership(*col, *base, lo, hi);
+        const IColumn* c = col.get();
+        MembershipPtr reference =
+            FilterMembership(*base, [c, lo, hi](uint32_t r) {
+              if (c->IsMissing(r)) return false;
+              double v = c->GetDouble(r);
+              return v >= lo && v <= hi;
+            });
+        ASSERT_EQ(typed->size(), reference->size())
+            << "kind=" << static_cast<int>(kind) << " nulls=" << with_nulls
+            << " base=" << static_cast<int>(base->kind());
+        for (uint32_t r = 0; r < kRows; ++r) {
+          EXPECT_EQ(typed->Contains(r), reference->Contains(r))
+              << "kind=" << static_cast<int>(kind)
+              << " nulls=" << with_nulls
+              << " base=" << static_cast<int>(base->kind()) << " row=" << r;
+        }
+      }
+    }
+  }
+}
+
+
+TEST(SortKey, KeysAgreeWithRowComparatorAcrossMatrix) {
+  constexpr uint32_t kRows = 192;
+  uint64_t seed = 0x50F7;
+  for (DataKind kind : {DataKind::kInt, DataKind::kDouble, DataKind::kDate,
+                        DataKind::kString, DataKind::kCategory}) {
+    for (bool with_nulls : {false, true}) {
+      for (bool ascending : {true, false}) {
+        ColumnPtr col = MakeOrderColumn(kind, with_nulls, ++seed, kRows);
+        TablePtr table = Table::Create(Schema({{"k", kind}}), {col});
+        RecordOrder order({{"k", ascending}});
+        SortKeyPlan plan(*table, order);
+        ASSERT_TRUE(plan.valid())
+            << "kind=" << static_cast<int>(kind) << " nulls=" << with_nulls;
+        KeyComparator keyed(*table, plan);
+        RowComparator reference(*table, order);
+        for (uint32_t a = 0; a < kRows; ++a) {
+          for (uint32_t d = 1; d < 32; ++d) {
+            uint32_t b2 = (a + d * 7) % kRows;
+            EXPECT_EQ(Sign(keyed.Compare(a, b2)),
+                      Sign(reference.Compare(a, b2)))
+                << "kind=" << static_cast<int>(kind)
+                << " nulls=" << with_nulls << " asc=" << ascending
+                << " rows " << a << "," << b2;
+            EXPECT_EQ(keyed.Less(a, b2),
+                      [&] {
+                        int c = reference.Compare(a, b2);
+                        return c != 0 ? c < 0 : a < b2;
+                      }())
+                << "Less mismatch rows " << a << "," << b2;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SortKey, MultiColumnTiesFallBackToVirtualTail) {
+  constexpr uint32_t kRows = 160;
+  // Duplicate-heavy leading column so the tie path is hot.
+  ColumnPtr first = MakeOrderColumn(DataKind::kInt, true, 0xAB1, kRows);
+  ColumnPtr second = MakeOrderColumn(DataKind::kDouble, true, 0xAB2, kRows);
+  TablePtr table = Table::Create(
+      Schema({{"a", DataKind::kInt}, {"b", DataKind::kDouble}}),
+      {first, second});
+  for (bool asc_a : {true, false}) {
+    for (bool asc_b : {true, false}) {
+      RecordOrder order({{"a", asc_a}, {"b", asc_b}});
+      SortKeyPlan plan(*table, order);
+      ASSERT_TRUE(plan.valid());
+      EXPECT_FALSE(plan.TotalOrder());
+      KeyComparator keyed(*table, plan);
+      RowComparator reference(*table, order);
+      for (uint32_t a = 0; a < kRows; ++a) {
+        for (uint32_t d = 1; d < 24; ++d) {
+          uint32_t b2 = (a + d * 11) % kRows;
+          EXPECT_EQ(Sign(keyed.Compare(a, b2)),
+                    Sign(reference.Compare(a, b2)))
+              << asc_a << asc_b << " rows " << a << "," << b2;
+        }
+      }
+    }
+  }
+}
+
+TEST(SortKey, SaturatedInt64StaysConsistent) {
+  // INT64_MAX collides with the reserved missing key; the plan must fall
+  // back to tie-checking the first column rather than merging it with
+  // missing rows.
+  ColumnBuilder b(DataKind::kDate);
+  b.AppendDate(std::numeric_limits<int64_t>::max());
+  b.AppendDate(std::numeric_limits<int64_t>::max() - 1);
+  b.AppendMissing();
+  b.AppendDate(0);
+  TablePtr table = Table::Create(Schema({{"t", DataKind::kDate}}),
+                                 {b.Finish()});
+  for (bool ascending : {true, false}) {
+    RecordOrder order({{"t", ascending}});
+    SortKeyPlan plan(*table, order);
+    ASSERT_TRUE(plan.valid());
+    EXPECT_FALSE(plan.exact());
+    KeyComparator keyed(*table, plan);
+    RowComparator reference(*table, order);
+    for (uint32_t a = 0; a < 4; ++a) {
+      for (uint32_t b2 = 0; b2 < 4; ++b2) {
+        EXPECT_EQ(Sign(keyed.Compare(a, b2)), Sign(reference.Compare(a, b2)))
+            << "asc=" << ascending << " rows " << a << "," << b2;
+      }
+    }
+  }
+}
+
+TEST(SortKey, UnknownColumnInvalidatesPlan) {
+  TablePtr table = testing::MakeDoubleTable("x", {1.0, 2.0});
+  SortKeyPlan plan(*table, RecordOrder({{"nope", true}}));
+  EXPECT_FALSE(plan.valid());
+}
+
+TEST(SortKey, StartCellThresholdPartitionsRows) {
+  constexpr uint32_t kRows = 160;
+  uint64_t seed = 0x57A7;
+  for (DataKind kind : {DataKind::kInt, DataKind::kDouble, DataKind::kDate,
+                        DataKind::kString}) {
+    for (bool ascending : {true, false}) {
+      ColumnPtr col = MakeOrderColumn(kind, true, ++seed, kRows);
+      TablePtr table = Table::Create(Schema({{"k", kind}}), {col});
+      RecordOrder order({{"k", ascending}});
+      SortKeyPlan plan(*table, order);
+      ASSERT_TRUE(plan.valid());
+      // Start keys: materialized cells of real rows, plus values absent
+      // from the data (for strings, one lexicographically between codes).
+      std::vector<Value> candidates;
+      for (uint32_t r = 0; r < kRows; r += 17) {
+        candidates.push_back(table->GetRow(r, {"k"})[0]);
+      }
+      candidates.push_back(Value(std::monostate{}));
+      if (IsStringKind(kind)) {
+        candidates.push_back(Value(std::string("v2a")));  // between v2/v20
+      } else if (kind == DataKind::kInt) {
+        candidates.push_back(Value(static_cast<int64_t>(7)));
+      } else if (kind == DataKind::kDouble) {
+        candidates.push_back(Value(1234.5));
+      } else {
+        candidates.push_back(Value(static_cast<int64_t>(123)));
+      }
+      for (const Value& v : candidates) {
+        auto enc = plan.EncodeStartCell(v);
+        if (!enc.has_value()) continue;  // fallback path, always correct
+        std::vector<Value> key{v};
+        for (uint32_t r = 0; r < kRows; ++r) {
+          int ref = CompareRowToKey(*table, order, r, key);
+          uint64_t rk = plan.keys()[r];
+          if (rk < *enc) {
+            EXPECT_LT(ref, 0) << "kind=" << static_cast<int>(kind)
+                              << " asc=" << ascending << " row=" << r;
+          } else if (rk > *enc) {
+            EXPECT_GT(ref, 0) << "kind=" << static_cast<int>(kind)
+                              << " asc=" << ascending << " row=" << r;
+          }
+          // rk == *enc carries no guarantee; callers re-compare fully.
+        }
+      }
+    }
+  }
+}
+
 // null-mask consumers (the scan layer's dense AND-loops in particular) see
 // the same missing rows as per-row accessors.
 TEST(NullMask, AgreesWithIsMissingAcrossAllColumnKinds) {

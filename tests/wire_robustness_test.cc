@@ -1,0 +1,221 @@
+// Wire robustness: every summary's Deserialize must survive hostile bytes.
+// Truncation at *every* prefix length must return an error Status (each
+// deserializer consumes exactly what Serialize wrote, so a strict prefix can
+// never satisfy it), and random bit flips must either parse (as garbage) or
+// error — never crash, over-allocate, or trip ASan/UBSan. This is the
+// contract the simulated cluster relies on when it injects corruption
+// (RemoteDataSet drops undecodable messages) and what keeps a byzantine
+// worker from taking down the root.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sketch/find_text.h"
+#include "sketch/heavy_hitters.h"
+#include "sketch/histogram.h"
+#include "sketch/histogram2d.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/next_items.h"
+#include "sketch/pca.h"
+#include "sketch/quantile.h"
+#include "sketch/range_moments.h"
+#include "sketch/save_as.h"
+#include "sketch/string_quantiles.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace hillview {
+namespace {
+
+/// Serializes `value`, checks the full buffer round-trips, then attacks it:
+/// every truncation must error; `kFlips` random bit flips must never crash
+/// (a flipped buffer may parse OK as garbage — that is acceptable; what is
+/// not acceptable is UB, a crash, or a giant allocation from a corrupted
+/// count, all of which ASan/UBSan turn into failures).
+template <typename R>
+void CheckWire(const R& value, const char* what) {
+  ByteWriter w;
+  value.Serialize(&w);
+  std::vector<uint8_t> bytes = w.Take();
+  ASSERT_FALSE(bytes.empty()) << what;
+
+  {
+    ByteReader r(bytes);
+    R out;
+    ASSERT_TRUE(R::Deserialize(&r, &out).ok()) << what;
+    EXPECT_TRUE(r.AtEnd()) << what << ": deserialize left trailing bytes";
+  }
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r(bytes.data(), len);
+    R out;
+    Status st = R::Deserialize(&r, &out);
+    EXPECT_FALSE(st.ok()) << what << " parsed OK truncated to " << len
+                          << " of " << bytes.size() << " bytes";
+  }
+
+  constexpr int kFlips = 512;
+  Random rng(HashBytes(what, std::strlen(what), 0xF1A9));
+  for (int f = 0; f < kFlips; ++f) {
+    std::vector<uint8_t> mutated = bytes;
+    size_t byte = rng.NextUint64(mutated.size());
+    mutated[byte] ^= static_cast<uint8_t>(1u << rng.NextUint64(8));
+    // Occasionally flip a second bit (length prefixes are multi-byte).
+    if (rng.NextUint64(4) == 0) {
+      size_t byte2 = rng.NextUint64(mutated.size());
+      mutated[byte2] ^= static_cast<uint8_t>(1u << rng.NextUint64(8));
+    }
+    ByteReader r(mutated);
+    R out;
+    (void)R::Deserialize(&r, &out);  // must not crash; status may be either
+  }
+}
+
+TEST(WireRobustness, Histogram) {
+  HistogramResult h;
+  h.counts = {5, 0, 3, 12};
+  h.missing = 2;
+  h.out_of_range = 1;
+  h.rows_scanned = 23;
+  h.sample_rate = 0.5;
+  CheckWire(h, "HistogramResult");
+}
+
+Histogram2DResult MakeGrid() {
+  Histogram2DResult g;
+  g.x_buckets = 2;
+  g.y_buckets = 3;
+  g.xy = {1, 0, 4, 2, 2, 0};
+  g.x_counts = {6, 4};
+  g.missing_x = 1;
+  g.missing_y = 2;
+  g.out_of_range = 3;
+  g.rows_scanned = 16;
+  g.sample_rate = 1.0;
+  return g;
+}
+
+TEST(WireRobustness, Histogram2D) { CheckWire(MakeGrid(), "Histogram2DResult"); }
+
+TEST(WireRobustness, Trellis) {
+  TrellisResult t;
+  t.groups = {MakeGrid(), MakeGrid()};
+  t.missing_w = 4;
+  t.out_of_range_w = 1;
+  CheckWire(t, "TrellisResult");
+}
+
+TEST(WireRobustness, HeavyHitters) {
+  HeavyHittersResult hh;
+  // One item per Value alternative, so every tag crosses the wire.
+  hh.items = {{Value(std::string("AA")), 31},
+              {Value(static_cast<int64_t>(7)), 12},
+              {Value(2.5), 9},
+              {Value(std::monostate{}), 3}};
+  hh.rows_counted = 55;
+  hh.missing = 3;
+  hh.sample_rate = 1.0;
+  hh.max_size = 8;
+  CheckWire(hh, "HeavyHittersResult");
+}
+
+TEST(WireRobustness, HyperLogLog) {
+  HllResult hll;
+  hll.registers.assign(64, 0);
+  for (size_t z = 0; z < hll.registers.size(); z += 3) {
+    hll.registers[z] = static_cast<uint8_t>(z % 17);
+  }
+  hll.missing = 6;
+  CheckWire(hll, "HllResult");
+}
+
+TEST(WireRobustness, Quantile) {
+  QuantileResult q;
+  q.keys = {{Value(1.5), Value(std::string("aa"))},
+            {Value(static_cast<int64_t>(-4)), Value(std::monostate{})},
+            {Value(3.25), Value(std::string("zz"))}};
+  q.rate = 0.25;
+  q.max_size = 100;
+  CheckWire(q, "QuantileResult");
+}
+
+TEST(WireRobustness, BottomKStrings) {
+  BottomKResult bk;
+  bk.items = {{11u, "apple"}, {42u, "banana"}, {97u, ""}};
+  bk.k = 8;
+  bk.complete = false;
+  CheckWire(bk, "BottomKResult");
+}
+
+TEST(WireRobustness, RangeMoments) {
+  RangeResult range;
+  range.min = -3.5;
+  range.max = 99.0;
+  range.min_string = "alpha";
+  range.max_string = "omega";
+  range.is_string = false;
+  range.is_integral = true;
+  range.present_count = 90;
+  range.missing_count = 10;
+  range.moments = {450.0, 12345.0, -42.0};
+  CheckWire(range, "RangeResult");
+}
+
+TEST(WireRobustness, Count) {
+  CountResult count;
+  count.rows = 123456789;
+  CheckWire(count, "CountResult");
+}
+
+TEST(WireRobustness, NextItems) {
+  NextItemsResult ni;
+  RowSnapshot row1;
+  row1.values = {Value(std::string("UA")), Value(static_cast<int64_t>(3)),
+                 Value(0.5), Value(std::monostate{})};
+  row1.count = 7;
+  RowSnapshot row2;
+  row2.values = {Value(std::string("")), Value(static_cast<int64_t>(-1)),
+                 Value(-2.5), Value(std::string("x"))};
+  row2.count = 1;
+  ni.rows = {row1, row2};
+  ni.rows_before = 41;
+  CheckWire(ni, "NextItemsResult");
+}
+
+TEST(WireRobustness, FindText) {
+  FindResult fr;
+  fr.match_count = 17;
+  fr.matches_before = 4;
+  fr.first_match = std::vector<Value>{Value(std::string("w3")),
+                                      Value(static_cast<int64_t>(9))};
+  CheckWire(fr, "FindResult");
+
+  FindResult no_match;
+  no_match.match_count = 0;
+  CheckWire(no_match, "FindResult(empty)");
+}
+
+TEST(WireRobustness, Correlation) {
+  CorrelationResult corr;
+  corr.m = 2;
+  corr.count = 50;
+  corr.sums = {10.0, -3.0};
+  corr.products = {120.0, 4.5, 4.5, 80.0};
+  corr.skipped = 5;
+  CheckWire(corr, "CorrelationResult");
+}
+
+TEST(WireRobustness, SaveAs) {
+  SaveResult save;
+  save.partitions_written = 3;
+  save.rows_written = 30000;
+  save.errors = {"disk full", ""};
+  CheckWire(save, "SaveResult");
+}
+
+}  // namespace
+}  // namespace hillview
