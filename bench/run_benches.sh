@@ -3,10 +3,14 @@
 # BENCH_<name>.json per bench into <out-dir>, so perf results accumulate as
 # machine-readable artifacts from PR to PR.
 #
-#   bench/run_benches.sh [build-dir] [out-dir]
+#   bench/run_benches.sh [build-dir] [out-dir] [--compare]
 #
 #   build-dir  defaults to ./build
 #   out-dir    defaults to ./bench-results
+#   --compare  after the run, diff each fresh BENCH json against the most
+#              recent *earlier-dated* entry in <out-dir>/history/ and print
+#              per-bench deltas (also written to <out-dir>/BENCH_DIFF.txt,
+#              which CI uploads as an artifact)
 #
 # Environment:
 #   BENCH_ONLY            substring filter: run only matching benches
@@ -23,8 +27,26 @@
 
 set -u
 
-BUILD_DIR=${1:-build}
-OUT_DIR=${2:-bench-results}
+BUILD_DIR=""
+OUT_DIR=""
+COMPARE=0
+for arg in "$@"; do
+  case "$arg" in
+    --compare) COMPARE=1 ;;
+    *)
+      if [ -z "$BUILD_DIR" ]; then
+        BUILD_DIR=$arg
+      elif [ -z "$OUT_DIR" ]; then
+        OUT_DIR=$arg
+      else
+        echo "error: unexpected argument '$arg'" >&2
+        exit 2
+      fi
+      ;;
+  esac
+done
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_DIR=${OUT_DIR:-bench-results}
 ONLY=${BENCH_ONLY:-}
 TIMEOUT=${BENCH_TIMEOUT:-900}
 
@@ -40,10 +62,26 @@ HISTORY_DIR="$OUT_DIR/history"
 STAMP=$(date +%Y-%m-%d)
 mkdir -p "$HISTORY_DIR"
 
-# Copies a finished BENCH json into the dated history folder.
+# Copies a finished BENCH json into the dated history folder without
+# clobbering an earlier same-day run (a second run on one date lands in
+# <date>_r02_..., zero-padded so lexicographic order stays chronological
+# through 99 same-day runs). Every fresh result and archived path is
+# recorded so --compare diffs exactly the benches that ran this invocation
+# and excludes this run's own history copies from the baseline pool.
+RAN_LIST=$(mktemp)
+ARCHIVED_LIST=$(mktemp)
 archive_json() {
   local json=$1
-  [ -f "$json" ] && cp "$json" "$HISTORY_DIR/${STAMP}_$(basename "$json")"
+  [ -f "$json" ] || return 0
+  echo "$json" >> "$RAN_LIST"
+  local dest="$HISTORY_DIR/${STAMP}_$(basename "$json")"
+  local n=2
+  while [ -e "$dest" ]; do
+    dest="$HISTORY_DIR/${STAMP}_r$(printf '%02d' "$n")_$(basename "$json")"
+    n=$((n + 1))
+  done
+  cp "$json" "$dest"
+  echo "$dest" >> "$ARCHIVED_LIST"
 }
 
 # Wraps a finished bench run (stdout file + metadata) into a JSON envelope.
@@ -113,4 +151,80 @@ done
 
 echo
 echo "ran $ran benches; $failures failed; JSON in $OUT_DIR/"
+
+# --compare: diff each BENCH json produced by THIS run (RAN_LIST — stale
+# results for benches that were filtered out are not re-reported as fresh)
+# against the newest history entry that predates this run (this run's own
+# just-archived copies are excluded via ARCHIVED_LIST). Google-Benchmark
+# JSONs compare per-benchmark real_time; envelope JSONs compare
+# wall_seconds.
+if [ "$COMPARE" -eq 1 ]; then
+  python3 - "$OUT_DIR" "$HISTORY_DIR" "$RAN_LIST" "$ARCHIVED_LIST" <<'EOF'
+import glob, json, os, sys
+
+out_dir, history_dir, ran_list, archived_list = sys.argv[1:5]
+with open(ran_list, encoding="utf-8") as f:
+    ran = sorted({os.path.abspath(p) for p in f.read().split() if p})
+with open(archived_list, encoding="utf-8") as f:
+    archived = {os.path.abspath(p) for p in f.read().split() if p}
+lines = []
+
+
+def fmt_delta(new, old):
+    if old <= 0:
+        return "n/a"
+    pct = 100.0 * (new - old) / old
+    return f"{pct:+.1f}%"
+
+
+def load_times(path):
+    """bench-point name -> (value, unit), for either JSON flavor."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    points = {}
+    if "benchmarks" in doc:
+        for b in doc["benchmarks"]:
+            points[b["name"]] = (float(b["real_time"]),
+                                 b.get("time_unit", "ns"))
+    elif "wall_seconds" in doc:
+        points["wall_seconds"] = (float(doc["wall_seconds"]), "s")
+    return points
+
+
+for current in ran:
+    base = os.path.basename(current)
+    previous = [p for p in sorted(glob.glob(
+        os.path.join(history_dir, f"*_{base}")))
+        if os.path.abspath(p) not in archived]
+    lines.append(f"== {base}")
+    if not previous:
+        lines.append("   (no earlier history entry to compare against)")
+        continue
+    baseline = previous[-1]
+    lines.append(f"   baseline: {os.path.basename(baseline)}")
+    try:
+        new, old = load_times(current), load_times(baseline)
+    except (json.JSONDecodeError, KeyError, ValueError) as e:
+        lines.append(f"   (unreadable: {e})")
+        continue
+    for name, (value, unit) in new.items():
+        if name in old:
+            old_value = old[name][0]
+            lines.append(f"   {name}: {old_value:.3f} -> {value:.3f} {unit} "
+                         f"({fmt_delta(value, old_value)})")
+        else:
+            lines.append(f"   {name}: {value:.3f} {unit} (new)")
+    for name in old:
+        if name not in new:
+            lines.append(f"   {name}: removed")
+
+report = "\n".join(lines) + "\n"
+sys.stdout.write(report)
+with open(os.path.join(out_dir, "BENCH_DIFF.txt"), "w",
+          encoding="utf-8") as f:
+    f.write(report)
+EOF
+fi
+rm -f "$RAN_LIST" "$ARCHIVED_LIST"
+
 [ "$failures" -eq 0 ] && [ "$ran" -gt 0 ]

@@ -32,6 +32,7 @@ StreamPtr<PartialResult<AnySummary>> RemoteDataSet::RunSketch(
   // and destroy the Worker from its own pool thread (a self-join).
   SketchOptions worker_options = options;
   worker_options.aux_pool = [w = worker_.get()] { return w->aux_pool(); };
+  worker_options.key_cache = [w = worker_.get()] { return w->key_cache(); };
   auto worker_stream = dataset.value()->RunSketch(sketch, worker_options);
   SimulatedNetwork* network = network_;
   AnySketch sketch_copy = sketch;

@@ -44,12 +44,20 @@ Result<DataSetPtr> Worker::GetDataSet(const std::string& dataset_id) {
 }
 
 void Worker::Restart() {
+  // "Restarting the node after a failure is equivalent to deleting all
+  // cached datasets" (§5.8) — and all derived auxiliary structures with
+  // them: the sort-key cache is soft state too.
+  key_cache_.Clear();
   std::lock_guard<std::mutex> lock(mutex_);
   datasets_.clear();
   ++restart_count_;
 }
 
 void Worker::EvictCaches() {
+  // The memory-manager eviction path drops every reconstructible byte the
+  // worker holds: materialized tables and the sort-key columns derived from
+  // them (which would otherwise pin freed tables' key vectors uselessly).
+  key_cache_.Clear();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [id, dataset] : datasets_) dataset->Evict();
 }

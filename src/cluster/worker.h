@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "storage/sort_key_cache.h"
 #include "util/thread_pool.h"
 
 namespace hillview {
@@ -37,6 +38,12 @@ class Worker {
     });
     return aux_pool_.get();
   }
+
+  /// Worker-resident sort-key cache (see storage/sort_key_cache.h): reused
+  /// across scrolls of the same sorted view, handed to sketches via
+  /// SketchContext at the machine boundary. Soft state — Restart() and
+  /// EvictCaches() both drop it.
+  SortKeyCache* key_cache() { return &key_cache_; }
 
   /// Registers the worker's share of a base (repository-backed) dataset.
   /// Partitions are micropartitions (§5.3); each becomes a leaf on this
@@ -81,6 +88,7 @@ class Worker {
   // aux pool) before the aux pool is torn down.
   std::once_flag aux_pool_once_;
   std::unique_ptr<ThreadPool> aux_pool_;
+  SortKeyCache key_cache_;
   ThreadPool pool_;
   mutable std::mutex mutex_;
   std::map<std::string, DataSetPtr> datasets_;

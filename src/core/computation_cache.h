@@ -56,6 +56,7 @@ class ComputationCache {
     if (entries_.size() > max_entries_) {
       entries_.erase(lru_.back());
       lru_.pop_back();
+      ++evictions_;
     }
   }
 
@@ -77,6 +78,10 @@ class ComputationCache {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
   }
+  int64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
 
  private:
   struct Entry {
@@ -90,6 +95,7 @@ class ComputationCache {
   std::list<std::string> lru_;  // front = most recent
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t evictions_ = 0;
 };
 
 }  // namespace hillview

@@ -56,7 +56,8 @@ StreamPtr<PartialResult<AnySummary>> LocalDataSet::RunSketch(
   }
   AnySummary summary =
       sketch.Summarize(*table.value(), options.seed,
-                       SketchContext{/*aux_pool=*/options.aux_pool});
+                       SketchContext{/*aux_pool=*/options.aux_pool,
+                                     /*key_cache=*/options.key_cache});
   stream->OnNext(PartialResult<AnySummary>{1.0, std::move(summary)});
   stream->OnComplete(Status::OK());
   return stream;
@@ -220,7 +221,8 @@ StreamPtr<PartialResult<AnySummary>> ParallelDataSet::RunSketch(
             }
             AnySummary summary = sketch.Summarize(
                 *table.value(), child_options.seed,
-                SketchContext{/*aux_pool=*/child_options.aux_pool});
+                SketchContext{/*aux_pool=*/child_options.aux_pool,
+                              /*key_cache=*/child_options.key_cache});
             merger->Update(child_index,
                            PartialResult<AnySummary>{1.0, std::move(summary)});
             merger->Complete(child_index, Status::OK());

@@ -36,6 +36,10 @@ struct SketchOptions {
   /// only when a sketch asks for it. May be empty; sketches then run their
   /// helper work inline.
   std::function<ThreadPool*()> aux_pool;
+  /// Worker-resident sort-key cache provider, forwarded the same way
+  /// (cluster::RemoteDataSet injects the receiving worker's cache). May be
+  /// empty; order-based sketches then rebuild keys per scan.
+  std::function<SortKeyCache*()> key_cache;
 };
 
 /// A distributed dataset: the Partitioned Data Set abstraction from Sketch

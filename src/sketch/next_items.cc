@@ -4,6 +4,7 @@
 
 #include "storage/scan.h"
 #include "storage/sort_key.h"
+#include "storage/sort_key_cache.h"
 
 namespace hillview {
 
@@ -159,10 +160,11 @@ void TopKVirtual(const Table& table, const RecordOrder& order,
   });
 }
 
-/// The devirtualized fast path: rows order by a materialized 64-bit key and
-/// most rows are rejected with one integer comparison against the largest
-/// kept key. Virtual comparisons run only on key ties (multi-column orders,
-/// saturated encodings) and on start-key boundary rows.
+/// The devirtualized fast path: rows order by a materialized 64-bit key
+/// (single-column or packed two-column) and most rows are rejected with one
+/// integer comparison against the largest kept key. Virtual comparisons run
+/// only on key ties (deep multi-column orders, inexact encodings) and on
+/// start-key boundary rows.
 void TopKKeyed(const Table& table, const RecordOrder& order,
                const SortKeyPlan& plan,
                const std::optional<std::vector<Value>>& start_key, int k,
@@ -176,26 +178,25 @@ void TopKKeyed(const Table& table, const RecordOrder& order,
   std::vector<uint64_t> rep_keys;
   rep_keys.reserve(k + 1);
 
-  // Start-key threshold: rows whose key is below it are before the start key
-  // with certainty; only key-equal rows need the full value comparison.
+  // Start-key band: rows whose key is below it are before the start key
+  // with certainty, rows above it are after with certainty; only rows whose
+  // key lands inside the band need the full value comparison. Exact
+  // single-column encodings collapse the band to one key.
   const bool have_start = start_key.has_value();
-  std::optional<uint64_t> threshold;
+  std::optional<SortKeyPlan::StartKeyBand> band;
   if (have_start) {
-    size_t idx = plan.first_column_index();
-    if (idx < start_key->size()) {
-      threshold = plan.EncodeStartCell((*start_key)[idx]);
-    }
+    band = plan.EncodeStartKey(*start_key);
   }
 
   ScanRows(*table.members(), 1.0, 0, [&](uint32_t row) {
     uint64_t key = keys[row];
     if (have_start) {
-      if (threshold.has_value()) {
-        if (key < *threshold) {
+      if (band.has_value()) {
+        if (key < band->below) {
           ++result->rows_before;
           return;
         }
-        if (key == *threshold &&
+        if (key <= band->above &&
             CompareRowToKey(table, order, row, *start_key) <= 0) {
           ++result->rows_before;
           return;
@@ -236,21 +237,29 @@ void TopKKeyed(const Table& table, const RecordOrder& order,
 
 }  // namespace
 
-NextItemsResult NextItemsSketch::Summarize(const Table& table,
-                                           uint64_t seed) const {
+NextItemsResult NextItemsSketch::Summarize(const Table& table, uint64_t seed,
+                                           const SketchContext& context) const {
   (void)seed;
   NextItemsResult result;
   if (k_ <= 0) return result;
 
   TopKRows top(k_);
-  // The keyed path materializes keys for the whole universe; on a heavily
-  // filtered table (few member rows over a large universe) the virtual
-  // comparator over just the members is cheaper than the key pass.
-  bool dense_enough = table.num_rows() >= table.universe_size() / 16;
+  // The keyed path materializes keys for the whole universe, so a cold build
+  // only pays off on dense-enough tables (KeyedScanProfitable). Keys already
+  // resident in the worker's sort-key cache are free, so a cache hit takes
+  // the keyed path regardless of density. With neither a cache nor a
+  // profitable build, skip even planning: its encoding pre-passes read
+  // O(universe) on narrow-column orders.
   bool keyed = false;
-  if (dense_enough) {
-    SortKeyPlan plan(table, order_);
-    if (plan.valid()) {
+  SortKeyCache* cache = context.key_cache ? context.key_cache() : nullptr;
+  const bool profitable =
+      KeyedScanProfitable(table.num_rows(), table.universe_size());
+  if (cache != nullptr || profitable) {
+    SortKeyPlan plan(table, order_, SortKeyPlan::kDeferKeys);
+    SortKeyPlan::KeysPtr keys =
+        GetOrBuildKeys(cache, plan, /*build_allowed=*/profitable);
+    if (keys != nullptr) {
+      plan.AdoptKeys(std::move(keys));
       TopKKeyed(table, order_, plan, start_key_, k_, &top, &result);
       keyed = true;
     }

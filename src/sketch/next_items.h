@@ -66,7 +66,14 @@ class NextItemsSketch final : public Sketch<NextItemsResult> {
 
   std::string name() const override;
   NextItemsResult Zero() const override { return {}; }
-  NextItemsResult Summarize(const Table& table, uint64_t seed) const override;
+  NextItemsResult Summarize(const Table& table, uint64_t seed) const override {
+    return Summarize(table, seed, SketchContext{});
+  }
+  /// Context-aware path: reuses the worker's sort-key cache when one is
+  /// provided, so repeated scrolls of the same (table, order) view skip the
+  /// O(universe) key-extraction pass.
+  NextItemsResult Summarize(const Table& table, uint64_t seed,
+                            const SketchContext& context) const override;
   NextItemsResult Merge(const NextItemsResult& left,
                         const NextItemsResult& right) const override;
 

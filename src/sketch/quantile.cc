@@ -4,6 +4,7 @@
 
 #include "storage/scan.h"
 #include "storage/sort_key.h"
+#include "storage/sort_key_cache.h"
 
 namespace hillview {
 
@@ -63,8 +64,8 @@ int QuantileSketch::CompareKeys(const std::vector<Value>& a,
   return 0;
 }
 
-QuantileResult QuantileSketch::Summarize(const Table& table,
-                                         uint64_t seed) const {
+QuantileResult QuantileSketch::Summarize(const Table& table, uint64_t seed,
+                                         const SketchContext& context) const {
   QuantileResult result;
   result.rate = rate_;
   result.max_size = max_size_;
@@ -75,15 +76,26 @@ QuantileResult QuantileSketch::Summarize(const Table& table,
            [&](uint32_t row) { sampled.push_back(row); });
 
   // The keyed sort pays an O(universe) key-materialization pass up front, so
-  // it only wins when the sample is a sizable fraction of the universe; a
-  // low-rate scroll-bar sample of a huge partition sorts faster through the
-  // virtual comparator than it could ever amortize full key extraction.
-  if (sampled.size() >= table.universe_size() / 16) {
-    SortKeyPlan plan(table, order_);
-    if (plan.valid()) {
+  // a cold build only wins when the sample is a sizable fraction of the
+  // universe (KeyedScanProfitable); a low-rate scroll-bar sample of a huge
+  // partition sorts faster through the virtual comparator than it could
+  // ever amortize full key extraction. Keys already resident in the
+  // worker's sort-key cache are free, so a cache hit always sorts keyed.
+  // With neither a cache nor a profitable build, skip even planning: its
+  // encoding pre-passes read O(universe) on narrow-column orders.
+  SortKeyCache* cache = context.key_cache ? context.key_cache() : nullptr;
+  const bool profitable =
+      KeyedScanProfitable(sampled.size(), table.universe_size());
+  if (cache != nullptr || profitable) {
+    SortKeyPlan plan(table, order_, SortKeyPlan::kDeferKeys);
+    SortKeyPlan::KeysPtr keys =
+        GetOrBuildKeys(cache, plan, /*build_allowed=*/profitable);
+    if (keys != nullptr) {
+      plan.AdoptKeys(std::move(keys));
       // Devirtualized path: sort (normalized key, row) pairs — a plain
       // integer sort when the key order is total; ties (multi-column
-      // orders) fall back to the virtual comparator within equal-key runs.
+      // orders, inexact packed components) fall back to the virtual
+      // comparator within equal-key runs.
       KeyComparator cmp(table, plan);
       std::vector<std::pair<uint64_t, uint32_t>> keyed;
       keyed.reserve(sampled.size());

@@ -42,7 +42,14 @@ class QuantileSketch final : public Sketch<QuantileResult> {
 
   std::string name() const override;
   QuantileResult Zero() const override { return {}; }
-  QuantileResult Summarize(const Table& table, uint64_t seed) const override;
+  QuantileResult Summarize(const Table& table, uint64_t seed) const override {
+    return Summarize(table, seed, SketchContext{});
+  }
+  /// Context-aware path: reuses the worker's sort-key cache when one is
+  /// provided, so repeated scroll-bar probes of the same sorted view skip
+  /// the O(universe) key-extraction pass.
+  QuantileResult Summarize(const Table& table, uint64_t seed,
+                           const SketchContext& context) const override;
   QuantileResult Merge(const QuantileResult& left,
                        const QuantileResult& right) const override;
 

@@ -10,17 +10,22 @@
 namespace hillview {
 
 class ThreadPool;
+class SortKeyCache;
 
 /// Optional worker-local resources handed to a sketch execution by the
 /// engine. `aux_pool` provides an auxiliary helper pool for intra-partition
 /// parallelism (e.g. find-text matching a huge dictionary); it is distinct
 /// from the pool that runs Summarize itself, so blocking on submitted chunks
-/// cannot deadlock the partition scheduler. It is a *provider*, not a
-/// pointer, so the pool's threads are only spawned when a sketch actually
-/// asks for them. May be empty (single-threaded callers: tests, benches,
-/// standalone examples).
+/// cannot deadlock the partition scheduler. `key_cache` provides the
+/// worker-resident sort-key cache so order-based sketches reuse materialized
+/// key columns across repeated scrolls of the same view. Both are
+/// *providers*, not pointers, so the resource is only touched when a sketch
+/// actually asks for it. Either may be empty (single-threaded callers:
+/// tests, benches, standalone examples); sketches then work inline /
+/// rebuild keys per scan.
 struct SketchContext {
   std::function<ThreadPool*()> aux_pool;
+  std::function<SortKeyCache*()> key_cache;
 };
 
 /// A mergeable summarization method (§4.1): `Summarize` maps a dataset

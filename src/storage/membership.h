@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "storage/bit_gather.h"
 #include "util/random.h"
 
 namespace hillview {
@@ -116,11 +117,14 @@ void ForEachRow(const IMembershipSet& m, Fn&& fn) {
       const auto& words = m.bitmap_words();
       for (size_t w = 0; w < words.size(); ++w) {
         uint64_t bits = words[w];
-        while (bits != 0) {
-          int bit = __builtin_ctzll(bits);
-          fn(static_cast<uint32_t>((w << 6) + bit));
-          bits &= bits - 1;
+        uint32_t base = static_cast<uint32_t>(w << 6);
+        if (bits == ~0ULL) {
+          for (uint32_t i = 0; i < 64; ++i) fn(base + i);
+          continue;
         }
+        // Partially-set word: the gather expansion keeps the per-row loop
+        // free of the serial ctz dependency (the strided-bitmap fast path).
+        ForEachSetBit(bits, base, fn);
       }
       return;
     }

@@ -6,6 +6,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "storage/bit_gather.h"
 #include "storage/column.h"
 #include "storage/membership.h"
 #include "util/random.h"
@@ -42,10 +43,14 @@ namespace hillview {
 ///
 /// Dense-bitmap iteration is word-at-a-time: each 64-row membership word is
 /// AND-ed with the corresponding null-mask word, so the null check costs one
-/// instruction per 64 rows instead of one per row. Sampling generalizes the
-/// batch-prefetch trick (§7.2.1): sampled positions are generated in batches
-/// of 32 and prefetched before the values are touched, overlapping the DRAM
-/// misses that dominate low-rate scans.
+/// instruction per 64 rows instead of one per row. Fully-set words run as
+/// linear blocks; partially-set words (strided filters) are compressed into
+/// dense index batches first (storage/bit_gather.h: pext where BMI2 is
+/// targeted, a byte-position table otherwise), so the value loop carries no
+/// serial ctz dependency. Sampling generalizes the batch-prefetch trick
+/// (§7.2.1): sampled positions are generated in batches of 32 and prefetched
+/// before the values are touched, overlapping the DRAM misses that dominate
+/// low-rate scans.
 
 namespace scan_internal {
 
@@ -132,11 +137,10 @@ void ScanDense(const T* data, const std::vector<uint64_t>& member_words,
       vis.OnMissing(base + bit);
       missing &= missing - 1;
     }
-    while (present != 0) {
-      int bit = __builtin_ctzll(present);
-      Emit(vis, base + bit, data[base + bit]);
-      present &= present - 1;
-    }
+    // Partially-set word (strided filters): the gather expansion keeps the
+    // value loop free of the serial ctz dependency.
+    ForEachSetBit(present, base,
+                  [&](uint32_t row) { Emit(vis, row, data[row]); });
   }
 }
 
@@ -419,11 +423,11 @@ void FilterDenseTyped(const T* data, const std::vector<uint64_t>& member_words,
     uint64_t present =
         check_nulls ? members & ~NullWord(null_words, w) : members;
     uint64_t bits = 0;
-    while (present != 0) {
-      int bit = __builtin_ctzll(present);
+    // Partially-set word: the gather expansion evaluates the predicate over
+    // the member positions without a serial ctz chain.
+    ForEachSetBit(present, 0, [&](uint32_t bit) {
       bits |= static_cast<uint64_t>(pred(data[base + bit]) ? 1 : 0) << bit;
-      present &= present - 1;
-    }
+    });
     words[w] = bits;
   }
 }

@@ -2,7 +2,9 @@
 #define HILLVIEW_STORAGE_SORT_KEY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "storage/row_order.h"
@@ -10,12 +12,15 @@
 
 namespace hillview {
 
-/// Typed sort-key extraction: turns the *first* column of a RecordOrder into
-/// fixed-width normalized keys so order-based sketches (next-items top-K,
-/// quantile sampling) compare rows with one integer comparison instead of a
-/// virtual RowComparator::Less per comparison.
+/// Typed sort-key extraction: turns the leading column(s) of a RecordOrder
+/// into fixed-width normalized keys so order-based sketches (next-items
+/// top-K, quantile sampling) compare rows with one integer comparison
+/// instead of a virtual RowComparator::Less per comparison.
 ///
-/// The encoding is order-preserving per physical layout:
+/// Two key shapes exist, selected by the plan:
+///
+/// **Single 64-bit keys** (the default) encode the first effective order
+/// column, order-preserving per physical layout:
 ///
 ///   int32   (v ^ 0x80000000) << 32          (sign-bias, shifted to 64 bits)
 ///   int64   v ^ 0x8000000000000000          (sign-bias; INT64_MAX saturates)
@@ -24,41 +29,141 @@ namespace hillview {
 ///   codes   the dictionary code (dictionaries are sorted, so code order is
 ///           alphabetical order)
 ///
-/// Missing values encode as UINT64_MAX, matching IColumn::CompareRows'
-/// missing-last contract; a descending orientation complements every key,
-/// which reverses the order and therefore places missing first — exactly what
-/// `ascending ? c : -c` does in RowComparator.
+/// **Packed 32+32 keys** cover the first *two* effective order columns when
+/// both have a narrow layout (int32, date/int64, dictionary codes): each
+/// column maps through a monotone per-column transform
+/// `(v - min) >> shift` into 32 bits (min/shift derived from the column's
+/// value range in a pre-pass), the first column in the high half and the
+/// second in the low half, so multi-column ties resolve with the same single
+/// integer comparison. The transform is *exact* (injective on present
+/// values) when shift == 0; an inexact component simply widens the tie set —
+/// equal keys fall back to the virtual comparison. The first component must
+/// be exact for packing (a lossy high half would let the low half override
+/// the true first-column order); a range too wide for 32 bits there falls
+/// back to the single-key shape.
+///
+/// Missing values encode as the all-ones component/key, matching
+/// IColumn::CompareRows' missing-last contract; a descending orientation
+/// complements the column's component, which reverses its order and places
+/// missing first — exactly what `ascending ? c : -c` does in RowComparator.
 ///
 /// Key comparison is a *refinement gate*, not the full order: key(a) < key(b)
-/// implies row a precedes row b on the first order column; equal keys mean
-/// "tied on the first column" and the comparison falls back to the virtual
-/// path for the remaining order columns (and, for the rare saturated int64
-/// encoding, the first column itself). Single-column orders over exactly
-/// encodable layouts never take the fallback.
+/// implies row a precedes row b on the encoded column prefix; equal keys mean
+/// "tied on the prefix" and the comparison falls back to the virtual path for
+/// the remaining order columns (plus any inexactly-encoded prefix columns).
+///
+/// Construction is split from materialization so a worker-resident
+/// SortKeyCache can reuse the (expensive) key column across scans. The
+/// deferred constructor only binds columns (cheap layout checks — enough
+/// for CacheKey); `FinalizeEncodings()` runs the O(n) read-only pre-passes
+/// that fix the shape (packed vs single, min/shift transforms, exactness);
+/// `BuildKeys()` (which finalizes first) materializes the key vector; and
+/// on a cache hit `AdoptEncodings()` + `AdoptKeys()` restore both from the
+/// cache entry, skipping every O(n) pass.
 class SortKeyPlan {
  public:
-  /// Materializes keys for every universe row of `table` under `order`.
-  /// `valid()` is false when the first effective order column is absent or
-  /// has no raw layout; callers then use the virtual RowComparator path.
+  using KeysPtr = std::shared_ptr<const std::vector<uint64_t>>;
+
+  /// Deterministic snapshot of the data-derived encoding decisions, cached
+  /// next to the key vector so a hit restores the full plan without
+  /// re-reading the columns. Same CacheKey (same column objects, directions,
+  /// candidate shape) always yields the same snapshot.
+  struct EncodingSnapshot {
+    bool packed = false;
+    int64_t first_min = 0;
+    int64_t second_min = 0;
+    uint32_t first_shift = 0;
+    uint32_t second_shift = 0;
+    bool first_exact = true;
+    bool second_exact = true;
+  };
+
+  /// Defers key materialization: the caller adopts cached keys or calls
+  /// BuildKeys() explicitly (the SortKeyCache path).
+  struct DeferKeysTag {};
+  static constexpr DeferKeysTag kDeferKeys{};
+
+  /// Plans, finalizes encodings, *and* materializes keys for every universe
+  /// row of `table` under `order`. `valid()` is false when the first
+  /// effective order column is absent or has no raw layout; callers then
+  /// use the virtual RowComparator path.
   SortKeyPlan(const Table& table, const RecordOrder& order);
 
-  bool valid() const { return valid_; }
-  const std::vector<uint64_t>& keys() const { return keys_; }
+  /// Binds only (cheap; no O(n) passes): enough for CacheKey lookups.
+  /// keys() is unusable until AdoptKeys()/BuildKeys(), and the shape
+  /// accessors (packed/exact/TotalOrder/tie_order/EncodeStartKey) until
+  /// FinalizeEncodings()/AdoptEncodings().
+  SortKeyPlan(const Table& table, const RecordOrder& order, DeferKeysTag);
 
-  /// True when equal keys imply equal first-column values (everything except
-  /// the saturated int64 edge), i.e. the tie-break may skip the first column.
+  bool valid() const { return valid_; }
+
+  /// The materialized key column; requires has_keys().
+  const std::vector<uint64_t>& keys() const { return *keys_; }
+  bool has_keys() const { return keys_ != nullptr; }
+
+  /// Fixes the encoding decisions (packed vs single, min/shift transforms,
+  /// exactness, tie order) without materializing keys, via O(n) read-only
+  /// pre-passes — for callers that want the shape alone. BuildKeys() fixes
+  /// them as a side effect of the key pass instead (fused, one scan), so
+  /// most callers never call this. Idempotent; deterministic for a given
+  /// CacheKey, so both routes reach identical decisions.
+  void FinalizeEncodings();
+  bool encodings_ready() const { return encodings_ready_; }
+
+  /// The finalized decisions, for caching; requires encodings_ready().
+  EncodingSnapshot encodings() const;
+
+  /// Restores previously finalized decisions (the cache-hit path, skipping
+  /// the pre-passes). The snapshot must come from a plan with the same
+  /// CacheKey, which makes it byte-identical to what FinalizeEncodings()
+  /// would derive.
+  void AdoptEncodings(const EncodingSnapshot& snapshot);
+
+  /// Materializes the key column (O(universe)), finalizing encodings along
+  /// the way when not already done. Pure function of the plan: identical
+  /// plans over the same data build identical keys, which is what makes the
+  /// vector safely cacheable.
+  KeysPtr BuildKeys();
+
+  /// Binds a key vector previously produced by BuildKeys() on an identical
+  /// plan (same CacheKey) — the SortKeyCache hit path.
+  void AdoptKeys(KeysPtr keys) { keys_ = std::move(keys); }
+
+  /// True when the plan packs two columns into one 32+32 key.
+  bool packed() const { return packed_; }
+
+  /// True when equal keys imply equal values on every encoded column
+  /// (no saturated/shifted component), i.e. the tie-break may skip the
+  /// encoded prefix.
   bool exact() const { return exact_; }
 
   /// True when key order (plus row-id tiebreak) is the complete record
-  /// order: a single effective order column with an exact encoding.
+  /// order: every effective order column is encoded exactly.
   bool TotalOrder() const { return tie_order_.empty(); }
 
-  /// Encodes a materialized start-key cell (the first effective order
-  /// column's value) into the key space, such that
+  /// Start-key band: the key range that cannot be classified by the key
+  /// alone. keys()[r] < below implies row r strictly precedes the start key
+  /// in the full record order; keys()[r] > above implies row r strictly
+  /// follows it; keys in [below, above] need a full CompareRowToKey. Exact
+  /// single-column encodings collapse the band to a point (below == above).
+  struct StartKeyBand {
+    uint64_t below;
+    uint64_t above;
+  };
+
+  /// Encodes a materialized start key (cell values indexed like the order's
+  /// orientations, as produced by Table::GetRow over the order columns) into
+  /// a key-space band. Returns nullopt when the leading cell does not embed
+  /// in the key space at all (callers fall back to per-row compares).
+  std::optional<StartKeyBand> EncodeStartKey(
+      const std::vector<Value>& cells) const;
+
+  /// Single-column point encoding (non-packed plans only), kept for tests
+  /// and callers that need the raw threshold:
   ///   keys()[r] <  *enc  =>  row r precedes the start key,
   ///   keys()[r] >  *enc  =>  row r follows the start key,
   /// and equality requires a full CompareRowToKey. Returns nullopt when the
-  /// value does not embed exactly (callers fall back to per-row compares).
+  /// value does not embed exactly.
   std::optional<uint64_t> EncodeStartCell(const Value& v) const;
 
   /// Index into the order's orientations of the first effective column
@@ -66,28 +171,71 @@ class SortKeyPlan {
   size_t first_column_index() const { return first_index_; }
 
   /// The orientations a key tie must still compare through the virtual path:
-  /// the columns after the first for exact encodings, or the whole effective
-  /// order when the first column's encoding saturated. Empty means key order
-  /// (plus row id) is the complete record order.
+  /// the columns after the encoded prefix, preceded by any prefix column
+  /// whose encoding is inexact. Empty means key order (plus row id) is the
+  /// complete record order.
   const std::vector<ColumnSortOrientation>& tie_order() const {
     return tie_order_;
   }
 
+  /// Identity of this plan for the worker-resident SortKeyCache: the encoded
+  /// column objects (pointer identity — column data is immutable, so the
+  /// object *is* the layout fingerprint) plus the order prefix and shape.
+  /// Combined with key_columns() liveness checks this is collision-free: a
+  /// recycled allocation cannot match while the original column is alive.
+  std::string CacheKey() const;
+
+  /// The columns the keys are derived from (1 or 2); the cache validates
+  /// these are still alive before serving an entry.
+  const std::vector<ColumnPtr>& key_columns() const { return key_columns_; }
+
+  /// One encoded column: its binding plus the 32-bit packing transform
+  /// (unused by the single-key shape). Public only so the key-building
+  /// helpers in sort_key.cc can take it; not part of the caller API.
+  struct Component {
+    ColumnPtr column;
+    DataKind kind = DataKind::kDouble;
+    bool ascending = true;
+    size_t orientation_index = 0;
+    int64_t min = 0;     // packed transform: enc = (v - min) >> shift
+    uint32_t shift = 0;  // 0 == exact (injective on present values)
+    bool exact = true;
+  };
+
  private:
+  void Plan(const Table& table, const RecordOrder& order);
+  void FinalizeShape();
+  void DeriveTieOrder();
+  /// Returns true when an INT64_MAX date saturated (the encoding is then
+  /// inexact; the cold-build path folds this into first_.exact).
+  bool BuildSingleKeys(std::vector<uint64_t>& keys) const;
+  void BuildPackedKeys(std::vector<uint64_t>& keys) const;
+  /// 32-bit packed encoding of one start cell for component `c`; second ==
+  /// true when equal components imply equal values (drives band width).
+  std::optional<std::pair<uint32_t, bool>> EncodePackedCell(
+      const Component& c, const Value& v) const;
+
   bool valid_ = false;
+  bool candidate_packed_ = false;  // both leading columns narrow (stage 1)
+  bool encodings_ready_ = false;
+  bool packed_ = false;
   bool exact_ = true;
-  bool ascending_ = true;
-  DataKind kind_ = DataKind::kDouble;
-  const IColumn* column_ = nullptr;  // first effective order column
   size_t first_index_ = 0;
-  std::vector<uint64_t> keys_;
-  std::vector<ColumnSortOrientation> tail_;
+  uint32_t universe_ = 0;
+  Component first_;
+  Component second_;  // bound only when candidate_packed_
+  ColumnSortOrientation first_orient_;
+  ColumnSortOrientation second_orient_;
+  std::vector<ColumnPtr> key_columns_;
+  std::vector<ColumnSortOrientation> rest_;  // effective columns after first
   std::vector<ColumnSortOrientation> tie_order_;
+  KeysPtr keys_;
 };
 
 /// Row comparator over a SortKeyPlan: one integer comparison on the normal
 /// keys, then the virtual tie-break order only on key ties. Mirrors
-/// RowComparator's Compare/Less contract over the full record order.
+/// RowComparator's Compare/Less contract over the full record order. The
+/// plan must have materialized (or adopted) keys.
 class KeyComparator {
  public:
   KeyComparator(const Table& table, const SortKeyPlan& plan)
@@ -117,6 +265,18 @@ class KeyComparator {
   bool has_tie_;
   RowComparator tie_;
 };
+
+/// Member/sample density gate shared by every keyed scan path (next-items,
+/// quantile): materializing keys costs O(universe), so a cold build only
+/// pays off when the scan touches at least 1 in 2^kKeyedScanDensityShift
+/// universe rows. Cached (already materialized) keys skip this gate — reuse
+/// is free regardless of density. Kept in one place so the cached-key path
+/// and the inline path cannot drift.
+inline constexpr uint32_t kKeyedScanDensityShift = 4;  // >= 1/16 of universe
+
+inline bool KeyedScanProfitable(uint64_t scan_rows, uint64_t universe) {
+  return scan_rows >= (universe >> kKeyedScanDensityShift);
+}
 
 }  // namespace hillview
 

@@ -1,0 +1,148 @@
+#include "storage/sort_key_cache.h"
+
+#include <utility>
+
+namespace hillview {
+
+SortKeyCache::KeysPtr SortKeyCache::Get(SortKeyPlan& plan) {
+  if (!plan.valid()) return nullptr;
+  const std::string key = plan.CacheKey();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  // Validate liveness: every column the entry was built from must still be
+  // the exact object the querying plan bound. An expired weak_ptr means the
+  // column died and the address may have been recycled; drop the entry.
+  const auto& plan_columns = plan.key_columns();
+  bool live = it->second.columns.size() == plan_columns.size();
+  for (size_t i = 0; live && i < plan_columns.size(); ++i) {
+    auto locked = it->second.columns[i].lock();
+    live = locked != nullptr && locked.get() == plan_columns[i].get();
+  }
+  if (!live) {
+    bytes_used_ -= it->second.bytes;
+    lru_.erase(it->second.lru_position);
+    entries_.erase(it);
+    ++evictions_;
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  ++hits_;
+  plan.AdoptEncodings(it->second.encodings);
+  return it->second.keys;
+}
+
+void SortKeyCache::Put(const SortKeyPlan& plan, KeysPtr keys,
+                       uint64_t generation) {
+  if (!plan.valid() || !plan.encodings_ready() || keys == nullptr) return;
+  const size_t bytes = keys->size() * sizeof(uint64_t);
+  if (bytes > max_bytes_) return;  // would evict the whole cache for one view
+  const std::string key = plan.CacheKey();
+  std::vector<std::weak_ptr<const IColumn>> columns(
+      plan.key_columns().begin(), plan.key_columns().end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (generation != generation_) return;  // raced a Clear(): state is stale
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_used_ -= it->second.bytes;
+    it->second.keys = std::move(keys);
+    it->second.encodings = plan.encodings();
+    it->second.columns = std::move(columns);
+    it->second.bytes = bytes;
+    bytes_used_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    EvictOverBudgetLocked();
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(keys), plan.encodings(), std::move(columns),
+                        bytes, lru_.begin()};
+  bytes_used_ += bytes;
+  DropDeadEntriesLocked();
+  EvictOverBudgetLocked();
+}
+
+void SortKeyCache::DropDeadEntriesLocked() {
+  // Entries whose source columns died can never be served again (their
+  // pointer-derived key cannot match a live plan, and the liveness check
+  // would reject them) — e.g. keys built by a scan that raced an eviction
+  // and finished against the pre-eviction table. Sweeping them on insert
+  // keeps dead state from squatting on the byte budget. Entry counts are
+  // per-(columns, order) view — dozens, not thousands — so the sweep is
+  // trivial next to the key build that preceded the Put.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool live = true;
+    for (const auto& column : it->second.columns) {
+      if (column.expired()) {
+        live = false;
+        break;
+      }
+    }
+    if (live) {
+      ++it;
+      continue;
+    }
+    bytes_used_ -= it->second.bytes;
+    lru_.erase(it->second.lru_position);
+    it = entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+void SortKeyCache::Put(const SortKeyPlan& plan, KeysPtr keys) {
+  Put(plan, std::move(keys), generation());
+}
+
+void SortKeyCache::EvictOverBudgetLocked() {
+  while (bytes_used_ > max_bytes_ && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    bytes_used_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void SortKeyCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+  ++generation_;
+}
+
+uint64_t SortKeyCache::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+size_t SortKeyCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t SortKeyCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_used_;
+}
+
+int64_t SortKeyCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t SortKeyCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+int64_t SortKeyCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace hillview

@@ -1,0 +1,131 @@
+#ifndef HILLVIEW_STORAGE_SORT_KEY_CACHE_H_
+#define HILLVIEW_STORAGE_SORT_KEY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/sort_key.h"
+
+namespace hillview {
+
+/// Worker-resident cache of materialized sort-key columns, the auxiliary
+/// structure behind repeated scrolls and zooms of the same sorted view: the
+/// first order-based sketch over a (table, order) pair pays the O(universe)
+/// key-extraction pass, every later one reuses the vector (§5.4's
+/// memoization argument applied below the summary level). Because keys cover
+/// the whole universe independent of membership, filter-derived tables that
+/// share their parent's columns hit the same entry — a zoom-in scroll reuses
+/// the pre-zoom keys.
+///
+/// This is soft state in the §5.8 sense: Worker::Restart() (crash) and
+/// Worker::EvictCaches() (memory manager) both Clear() it, and everything it
+/// held is reconstructible by re-running SortKeyPlan::BuildKeys. Memory is
+/// bounded by a byte budget (keys are 8 bytes × universe rows — entry counts
+/// would be meaningless), evicting least-recently-used entries.
+///
+/// Entries are keyed by SortKeyPlan::CacheKey() — column object identity
+/// plus direction and shape — and additionally hold weak references to the
+/// key columns: an entry whose columns have been destroyed is dropped on
+/// lookup, so a recycled allocation can never be served stale keys.
+///
+/// Thread-safe: worker pools summarize partitions concurrently. Concurrent
+/// misses on the same plan may both build (duplicate work, never wrong); the
+/// second Put replaces the first with an identical vector.
+class SortKeyCache {
+ public:
+  using KeysPtr = SortKeyPlan::KeysPtr;
+
+  /// Default byte budget: 128 MB ≈ keys for 16M rows × 8 hot views.
+  static constexpr size_t kDefaultMaxBytes = 128u << 20;
+
+  explicit SortKeyCache(size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Cached keys for `plan`, or nullptr. Validates that the plan's key
+  /// columns are the live objects the entry was built from. On a hit the
+  /// plan adopts the entry's encoding snapshot, so the caller skips both
+  /// the key build *and* the O(n) encoding pre-passes.
+  KeysPtr Get(SortKeyPlan& plan);
+
+  /// Inserts (or replaces) the keys for `plan` (whose encodings must be
+  /// finalized), evicting LRU entries beyond the byte budget. Vectors
+  /// larger than the whole budget are not cached. `generation` is the value
+  /// of generation() read before the key build: a Clear() in between (crash
+  /// / memory-manager eviction racing an in-flight Summarize) invalidates
+  /// the insert, so evicted state cannot sneak back into the budget.
+  void Put(const SortKeyPlan& plan, KeysPtr keys, uint64_t generation);
+  void Put(const SortKeyPlan& plan, KeysPtr keys);
+
+  /// Drops everything (crash-restart / cache eviction, §5.8) and bumps the
+  /// generation so racing Puts are discarded.
+  void Clear();
+
+  /// Monotone counter incremented by Clear(); read it before building keys
+  /// and pass it to Put.
+  uint64_t generation() const;
+
+  size_t size() const;
+  size_t bytes_used() const;
+  size_t max_bytes() const { return max_bytes_; }
+
+  // Observability: soft-state regression tests assert a repeat scroll hits
+  // and an eviction resets to a miss.
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+
+ private:
+  struct Entry {
+    KeysPtr keys;
+    SortKeyPlan::EncodingSnapshot encodings;
+    /// Liveness guards for the columns the keys were derived from.
+    std::vector<std::weak_ptr<const IColumn>> columns;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  void EvictOverBudgetLocked();
+  void DropDeadEntriesLocked();
+
+  mutable std::mutex mutex_;
+  size_t max_bytes_;
+  size_t bytes_used_ = 0;
+  uint64_t generation_ = 0;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+/// The one cache-consult sequence shared by every keyed sketch path:
+/// cached keys if present (free regardless of density), else a fresh build
+/// when `build_allowed` (the caller's density gate), inserted under the
+/// generation read *before* Get/build — that ordering is load-bearing, it is
+/// what lets a concurrent Clear() (crash / memory-manager eviction) discard
+/// the stale insert. `cache` may be null (tests, benches, standalone
+/// callers); the plan is then built directly when allowed.
+inline SortKeyPlan::KeysPtr GetOrBuildKeys(SortKeyCache* cache,
+                                           SortKeyPlan& plan,
+                                           bool build_allowed) {
+  if (!plan.valid()) return nullptr;
+  if (cache == nullptr) {
+    return build_allowed ? plan.BuildKeys() : nullptr;
+  }
+  const uint64_t generation = cache->generation();
+  SortKeyPlan::KeysPtr keys = cache->Get(plan);
+  if (keys == nullptr && build_allowed) {
+    keys = plan.BuildKeys();
+    cache->Put(plan, keys, generation);
+  }
+  return keys;
+}
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_SORT_KEY_CACHE_H_

@@ -3,6 +3,7 @@
 #include "cluster/root.h"
 #include "sketch/find_text.h"
 #include "sketch/histogram.h"
+#include "sketch/next_items.h"
 #include "sketch/range_moments.h"
 #include "test_util.h"
 #include "util/stopwatch.h"
@@ -269,6 +270,77 @@ TEST(Cluster, CacheKeysRandomizedSketchesBySeed) {
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(tc->root->cache().hits(), 1);
   EXPECT_EQ(again.value().counts, r7.value().counts);
+}
+
+TEST(ComputationCache, CountsEvictions) {
+  ComputationCache cache(/*max_entries=*/2);
+  cache.Put("a", AnySummary::Wrap<int>(1));
+  cache.Put("b", AnySummary::Wrap<int>(2));
+  EXPECT_EQ(cache.evictions(), 0);
+  cache.Put("c", AnySummary::Wrap<int>(3));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_FALSE(cache.Get("a").has_value());  // "a" was the LRU victim
+  EXPECT_TRUE(cache.Get("c").has_value());
+}
+
+// Regression for the worker-resident sort-key cache (§5.4 soft state below
+// the summary level): the first scroll of a sorted view pays one key build
+// per partition, a second scroll of the same (table, order) — even at a
+// different scroll position — is a pure cache hit, and the memory-manager
+// eviction path (§5.8) resets it to a miss.
+TEST(Cluster, SortKeyCacheServesRepeatedScrolls) {
+  auto values = UniformDoubles(20000, 0, 100, 91);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 4)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  auto tc = TestCluster::Create(partitions, /*workers=*/2, /*threads=*/2);
+  ASSERT_NE(tc, nullptr);
+
+  auto hits = [&] {
+    int64_t h = 0;
+    for (auto& w : tc->workers) h += w->key_cache()->hits();
+    return h;
+  };
+  auto misses = [&] {
+    int64_t m = 0;
+    for (auto& w : tc->workers) m += w->key_cache()->misses();
+    return m;
+  };
+
+  auto scroll_at = [](double start) {
+    return std::make_shared<NextItemsSketch>(
+        RecordOrder({{"x", true}}), std::vector<std::string>{},
+        std::optional<std::vector<Value>>{{Value(start)}}, 20);
+  };
+  auto r1 = tc->root->RunSketch<NextItemsResult>("data", scroll_at(50.0));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(static_cast<int>(r1.value().rows.size()), 20);
+  EXPECT_EQ(hits(), 0);
+  EXPECT_EQ(misses(), 4);  // one cold key build per partition
+
+  // Second scroll of the same sorted view (different position): every
+  // partition reuses its cached key column.
+  auto r2 = tc->root->RunSketch<NextItemsResult>("data", scroll_at(75.0));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(hits(), 4);
+  EXPECT_EQ(misses(), 4);
+
+  // Cache eviction drops the soft state; the next scroll is a miss again
+  // and transparently rebuilds.
+  for (auto& w : tc->workers) w->EvictCaches();
+  for (auto& w : tc->workers) EXPECT_EQ(w->key_cache()->size(), 0u);
+  auto r3 = tc->root->RunSketch<NextItemsResult>("data", scroll_at(50.0));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(hits(), 4);
+  EXPECT_EQ(misses(), 8);
+  // Same view, same position: results identical before/after eviction.
+  ASSERT_EQ(r3.value().rows.size(), r1.value().rows.size());
+  for (size_t i = 0; i < r1.value().rows.size(); ++i) {
+    EXPECT_EQ(r3.value().rows[i].values, r1.value().rows[i].values);
+    EXPECT_EQ(r3.value().rows[i].count, r1.value().rows[i].count);
+  }
+  EXPECT_EQ(r3.value().rows_before, r1.value().rows_before);
 }
 
 TEST(Cluster, EvictionIsTransparent) {

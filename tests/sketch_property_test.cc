@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -35,6 +36,7 @@
 #include "sketch/range_moments.h"
 #include "sketch/string_quantiles.h"
 #include "storage/table.h"
+#include "test_util.h"
 #include "util/random.h"
 #include "util/serialize.h"
 
@@ -680,6 +682,129 @@ TEST(SketchProperty, CorrelationDistributes) {
             std::vector<std::string>{"i", "d"}, /*rate=*/1.0);
       },
       EqCorrelation);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-path properties: the distribution law must hold end to end through
+// the simulated cluster — random worker counts and partition splits, a
+// worker restart landing mid-stream (i.e. between the workers' sort-key
+// cache fill and its reuse), and redo-log healing must all reproduce the
+// 1-partition result. Deterministic sketch families only: the cluster mixes
+// per-partition seeds, so sampled sketches are covered by their dedicated
+// determinism tests, not by whole-table equality.
+
+template <typename R, typename EqFn>
+void RunClusterProperty(
+    const char* name, int cases,
+    const std::function<SketchPtr<R>(const TestData&, const TablePtr&,
+                                     Random&)>& make_sketch,
+    const EqFn& eq) {
+  const uint64_t name_hash = HashBytes(name, std::strlen(name), 0xC1A5);
+  for (int c = 0; c < cases; ++c) {
+    const uint64_t seed = MixSeed(name_hash, static_cast<uint64_t>(c));
+    Random rng(seed);
+    const size_t n = 60 + rng.NextUint64(240);
+    TestData data = MakeData(n, rng);
+    const int parts = 1 + static_cast<int>(rng.NextUint64(6));
+    std::vector<int> label(n);
+    for (auto& l : label) l = static_cast<int>(rng.NextUint64(parts));
+    std::vector<uint32_t> active(n);
+    std::iota(active.begin(), active.end(), 0);
+    TablePtr whole = BuildTable(data, active);
+
+    std::vector<TablePtr> partitions;
+    for (int p = 0; p < parts; ++p) {
+      std::vector<uint32_t> rows;
+      for (uint32_t r : active) {
+        if (label[r] == p) rows.push_back(r);
+      }
+      partitions.push_back(BuildTable(data, rows));
+    }
+    const int workers = 1 + static_cast<int>(rng.NextUint64(4));
+    const int threads = 1 + static_cast<int>(rng.NextUint64(2));
+    auto tc = testing::TestCluster::Create(partitions, workers, threads);
+    ASSERT_NE(tc, nullptr);
+
+    SketchPtr<R> sketch = make_sketch(data, whole, rng);
+    R expected = sketch->Summarize(*whole, MixSeed(seed, 0xA11));
+    std::string why;
+
+    auto first = tc->root->RunSketch<R>("data", sketch);
+    if (!first.ok() || !eq(expected, first.value(), &why)) {
+      FAIL() << name << " case " << c << " (seed 0x" << std::hex << seed
+             << std::dec << ", n=" << n << ", parts=" << parts
+             << ", workers=" << workers << "): cluster != whole: "
+             << (first.ok() ? why : first.status().ToString());
+    }
+
+    // Crash a worker from inside the partial-result stream: the restart
+    // lands between the sort-key cache fill (first run) and its intended
+    // reuse, dropping that worker's datasets and key cache mid-merge. The
+    // stream may complete or fail with Unavailable; either way the healing
+    // path must reproduce the reference afterwards.
+    const int victim = static_cast<int>(rng.NextUint64(workers));
+    auto stream = tc->root->RunSketchStream<R>("data", sketch);
+    std::atomic<bool> restarted{false};
+    stream->Subscribe([&](const PartialResult<R>&) {
+      if (!restarted.exchange(true)) tc->root->RestartWorker(victim);
+    });
+    (void)stream->BlockingLast();
+    EXPECT_TRUE(restarted.load());
+    EXPECT_GE(tc->workers[victim]->restart_count(), 1);
+
+    auto healed = tc->root->RunSketch<R>("data", sketch);
+    if (!healed.ok() || !eq(expected, healed.value(), &why)) {
+      FAIL() << name << " case " << c << " (seed 0x" << std::hex << seed
+             << std::dec << ", n=" << n << ", parts=" << parts
+             << ", workers=" << workers
+             << "): post-restart cluster != whole: "
+             << (healed.ok() ? why : healed.status().ToString());
+    }
+  }
+}
+
+constexpr int kClusterCases = 12;
+
+TEST(SketchPropertyCluster, NextItemsMatchesSinglePartitionAcrossRestarts) {
+  auto key_columns = std::make_shared<int>(0);
+  RunClusterProperty<NextItemsResult>(
+      "cluster-next-items", kClusterCases,
+      [key_columns](const TestData&, const TablePtr& whole, Random& rng) {
+        RecordOrder order = RandomOrder(rng);
+        *key_columns = static_cast<int>(order.orientations().size());
+        auto start = MaybeStartKey(order, whole, rng);
+        int k = 1 + static_cast<int>(rng.NextUint64(15));
+        return std::make_shared<NextItemsSketch>(
+            order, std::vector<std::string>{"c"}, std::move(start), k);
+      },
+      [key_columns](const NextItemsResult& a, const NextItemsResult& b,
+                    std::string* why) {
+        return EqNextItemsKeyed(a, b, *key_columns, why);
+      });
+}
+
+TEST(SketchPropertyCluster, QuantileMatchesSinglePartitionAcrossRestarts) {
+  RunClusterProperty<QuantileResult>(
+      "cluster-quantile", kClusterCases,
+      [](const TestData&, const TablePtr&, Random& rng) {
+        return std::make_shared<QuantileSketch>(RandomOrder(rng),
+                                                /*rate=*/1.0,
+                                                /*max_size=*/1 << 20);
+      },
+      EqQuantile);
+}
+
+TEST(SketchPropertyCluster, HistogramMatchesSinglePartitionAcrossRestarts) {
+  RunClusterProperty<HistogramResult>(
+      "cluster-histogram", kClusterCases,
+      [](const TestData&, const TablePtr&, Random& rng) {
+        double lo = -120.0 + rng.NextDouble() * 60.0;
+        double hi = lo + 20.0 + rng.NextDouble() * 180.0;
+        int buckets = 1 + static_cast<int>(rng.NextUint64(9));
+        return std::make_shared<StreamingHistogramSketch>(
+            "d", Buckets(NumericBuckets(lo, hi, buckets)));
+      },
+      EqHistogram);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/bit_gather.h"
 #include "storage/column.h"
 #include "storage/membership.h"
 #include "storage/sort_key.h"
@@ -457,6 +458,219 @@ TEST(SortKey, UnknownColumnInvalidatesPlan) {
   TablePtr table = testing::MakeDoubleTable("x", {1.0, 2.0});
   SortKeyPlan plan(*table, RecordOrder({{"nope", true}}));
   EXPECT_FALSE(plan.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Bit-gather (storage/bit_gather.h): the word-compress expansion must agree
+// with the ctz walk for every word shape.
+
+TEST(BitGather, ExpandMatchesCtzWalk) {
+  Random rng(0xB17);
+  std::vector<uint64_t> words = {0,
+                                 1,
+                                 1ULL << 63,
+                                 ~0ULL,
+                                 0x8000000000000001ULL,
+                                 0xAAAAAAAAAAAAAAAAULL,
+                                 0x5555555555555555ULL,
+                                 0xEEEEEEEEEEEEEEEEULL,  // the strided shape
+                                 0x00FF00FF00FF00FFULL};
+  for (int i = 0; i < 200; ++i) words.push_back(rng.NextUint64());
+  for (uint64_t word : words) {
+    for (uint32_t base : {0u, 64u, 4096u}) {
+      uint32_t out[64];
+      int n = ExpandBitIndices(word, base, out);
+      std::vector<uint32_t> got(out, out + n);
+      std::vector<uint32_t> ref;
+      uint64_t bits = word;
+      while (bits != 0) {
+        ref.push_back(base + static_cast<uint32_t>(__builtin_ctzll(bits)));
+        bits &= bits - 1;
+      }
+      EXPECT_EQ(got, ref) << "word=" << std::hex << word;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packed two-column sort keys: when both leading order columns are narrow
+// (int32 / date / dictionary codes), the plan packs them into one 32+32 key
+// and multi-column ties resolve without the virtual comparator. The packed
+// comparisons must agree with RowComparator across layouts × directions ×
+// nulls, including inexact (range-shifted) second components.
+
+/// A duplicate-heavy narrow column of the given kind; `wide` dates span more
+/// than 2^32 so their packed component is range-shifted (inexact).
+ColumnPtr MakeNarrowColumn(DataKind kind, bool wide, bool with_nulls,
+                           uint64_t seed, uint32_t n) {
+  Random rng(seed);
+  ColumnBuilder b(kind);
+  for (uint32_t r = 0; r < n; ++r) {
+    if (with_nulls && rng.NextUint64(6) == 0) {
+      b.AppendMissing();
+      continue;
+    }
+    switch (kind) {
+      case DataKind::kInt:
+        b.AppendInt(static_cast<int32_t>(rng.NextUint64(13)) - 6);
+        break;
+      case DataKind::kDate:
+        if (wide) {
+          // Milliseconds over ~3 years: range >> 2^32, so the 32-bit packed
+          // component must shift (inexact) and ties fall back virtually.
+          b.AppendDate(1'500'000'000'000LL +
+                       static_cast<int64_t>(rng.NextUint64(100'000'000'000ULL)));
+        } else {
+          b.AppendDate(static_cast<int64_t>(rng.NextUint64(11)) - 5);
+        }
+        break;
+      default:
+        b.AppendString("v" + std::to_string(rng.NextUint64(9)));
+        break;
+    }
+  }
+  return b.Finish();
+}
+
+TEST(SortKeyPacked, TwoNarrowColumnsAgreeWithRowComparator) {
+  constexpr uint32_t kRows = 180;
+  uint64_t s = 0x9ACC;
+  struct Case {
+    DataKind first, second;
+    bool second_wide;
+  };
+  std::vector<Case> cases = {
+      {DataKind::kInt, DataKind::kInt, false},
+      {DataKind::kInt, DataKind::kDate, true},   // inexact second component
+      {DataKind::kInt, DataKind::kString, false},
+      {DataKind::kDate, DataKind::kInt, false},  // narrow dates pack exactly
+      {DataKind::kString, DataKind::kDate, true},
+      {DataKind::kString, DataKind::kString, false},
+      {DataKind::kCategory, DataKind::kInt, false},
+  };
+  for (const auto& c : cases) {
+    for (bool with_nulls : {false, true}) {
+      for (bool asc_a : {true, false}) {
+        for (bool asc_b : {true, false}) {
+          ColumnPtr first =
+              MakeNarrowColumn(c.first, false, with_nulls, ++s, kRows);
+          ColumnPtr second =
+              MakeNarrowColumn(c.second, c.second_wide, with_nulls, ++s,
+                               kRows);
+          TablePtr table = Table::Create(
+              Schema({{"a", c.first}, {"b", c.second}}), {first, second});
+          RecordOrder order({{"a", asc_a}, {"b", asc_b}});
+          SortKeyPlan plan(*table, order);
+          ASSERT_TRUE(plan.valid());
+          EXPECT_TRUE(plan.packed())
+              << "first=" << static_cast<int>(c.first)
+              << " second=" << static_cast<int>(c.second);
+          if (!c.second_wide) {
+            // Both components exact and no tail: the packed key (plus row
+            // id) is the whole record order.
+            EXPECT_TRUE(plan.TotalOrder());
+          } else {
+            EXPECT_FALSE(plan.exact());
+            EXPECT_FALSE(plan.TotalOrder());
+          }
+          KeyComparator keyed(*table, plan);
+          RowComparator reference(*table, order);
+          for (uint32_t a = 0; a < kRows; ++a) {
+            for (uint32_t d = 1; d < 24; ++d) {
+              uint32_t b2 = (a + d * 11) % kRows;
+              EXPECT_EQ(Sign(keyed.Compare(a, b2)),
+                        Sign(reference.Compare(a, b2)))
+                  << "first=" << static_cast<int>(c.first)
+                  << " second=" << static_cast<int>(c.second)
+                  << " nulls=" << with_nulls << " asc=" << asc_a << asc_b
+                  << " rows " << a << "," << b2;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SortKeyPacked, WideFirstColumnFallsBackToSingleShape) {
+  // A first column whose range exceeds 32 bits must NOT pack: a lossy high
+  // half would let the low half override the true first-column order.
+  constexpr uint32_t kRows = 120;
+  ColumnPtr first = MakeNarrowColumn(DataKind::kDate, true, true, 0x71DE, kRows);
+  ColumnPtr second = MakeNarrowColumn(DataKind::kInt, false, true, 2, kRows);
+  TablePtr table = Table::Create(
+      Schema({{"t", DataKind::kDate}, {"i", DataKind::kInt}}),
+      {first, second});
+  RecordOrder order({{"t", true}, {"i", false}});
+  SortKeyPlan plan(*table, order);
+  ASSERT_TRUE(plan.valid());
+  EXPECT_FALSE(plan.packed());
+  KeyComparator keyed(*table, plan);
+  RowComparator reference(*table, order);
+  for (uint32_t a = 0; a < kRows; ++a) {
+    for (uint32_t b2 = 0; b2 < kRows; ++b2) {
+      EXPECT_EQ(Sign(keyed.Compare(a, b2)), Sign(reference.Compare(a, b2)))
+          << "rows " << a << "," << b2;
+    }
+  }
+}
+
+TEST(SortKeyPacked, StartKeyBandPartitionsRows) {
+  // EncodeStartKey's band contract on packed plans: keys strictly below the
+  // band precede the start key, keys strictly above follow it, under the
+  // full record order.
+  constexpr uint32_t kRows = 160;
+  uint64_t s = 0xBA4D;
+  for (bool second_wide : {false, true}) {
+    for (bool asc_a : {true, false}) {
+      ColumnPtr first =
+          MakeNarrowColumn(DataKind::kInt, false, true, ++s, kRows);
+      ColumnPtr second =
+          MakeNarrowColumn(DataKind::kDate, second_wide, true, ++s, kRows);
+      TablePtr table = Table::Create(
+          Schema({{"a", DataKind::kInt}, {"b", DataKind::kDate}}),
+          {first, second});
+      RecordOrder order({{"a", asc_a}, {"b", true}});
+      SortKeyPlan plan(*table, order);
+      ASSERT_TRUE(plan.valid());
+      ASSERT_TRUE(plan.packed());
+      for (uint32_t start_row = 0; start_row < kRows; start_row += 13) {
+        std::vector<Value> key = table->GetRow(start_row, {"a", "b"});
+        auto band = plan.EncodeStartKey(key);
+        if (!band.has_value()) continue;  // fallback path, always correct
+        EXPECT_LE(band->below, band->above);
+        for (uint32_t r = 0; r < kRows; ++r) {
+          int ref = CompareRowToKey(*table, order, r, key);
+          uint64_t rk = plan.keys()[r];
+          if (rk < band->below) {
+            EXPECT_LT(ref, 0) << "wide=" << second_wide << " asc=" << asc_a
+                              << " start=" << start_row << " row=" << r;
+          } else if (rk > band->above) {
+            EXPECT_GT(ref, 0) << "wide=" << second_wide << " asc=" << asc_a
+                              << " start=" << start_row << " row=" << r;
+          }
+          // Inside the band there is no guarantee; callers re-compare.
+        }
+      }
+    }
+  }
+}
+
+TEST(SortKeyPacked, SingleShapeBandMatchesEncodeStartCell) {
+  // On non-packed plans EncodeStartKey collapses to the EncodeStartCell
+  // point threshold.
+  TablePtr table = testing::MakeDoubleTable("x", {5.0, 1.0, 9.0, 3.0});
+  RecordOrder order({{"x", true}});
+  SortKeyPlan plan(*table, order);
+  ASSERT_TRUE(plan.valid());
+  ASSERT_FALSE(plan.packed());
+  std::vector<Value> cells{Value(3.0)};
+  auto band = plan.EncodeStartKey(cells);
+  auto point = plan.EncodeStartCell(cells[0]);
+  ASSERT_TRUE(band.has_value());
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(band->below, *point);
+  EXPECT_EQ(band->above, *point);
 }
 
 TEST(SortKey, StartCellThresholdPartitionsRows) {
