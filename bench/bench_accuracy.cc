@@ -8,20 +8,29 @@
 //   - stacked subdivisions: <= 1 pixel (Fig 13c)
 //   - scroll-bar quantile: rank error <= 1/(2V) (Theorem 2)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.h"
 #include "render/chart.h"
 #include "sketch/quantile.h"
 #include "sketch/sample_size.h"
+#include "storage/scan.h"
 #include "storage/table.h"
 #include "util/random.h"
+#include "util/serialize.h"
 
 namespace hillview {
 namespace {
 
 constexpr int kSeeds = 20;
-constexpr uint32_t kRows = 2000000;
+// Dataset sizes honor HILLVIEW_BENCH_SCALE (floored so the sampled-sketch
+// rates stay meaningful); the display-derived parameters (sample sizes,
+// summary budgets) are scale-independent by design.
+const uint32_t kRows = static_cast<uint32_t>(
+    std::max(2000000.0 * bench::BenchScale(), 200000.0));
 
 TablePtr SkewedTable() {
   static TablePtr table = [] {
@@ -188,6 +197,164 @@ Deviation QuantileDeviation() {
   return d;
 }
 
+// ---------------------------------------------------------------------------
+// Rank-error-vs-merge-depth sweep: the weighted KLL merge path against the
+// retired keep-every-other decimation, at equal summary bytes. Partition
+// values *drift* with row position (like time-ordered production data), the
+// regime where the old chain fold went wrong: each decimation pass left
+// survivors representing 2+ sampled rows while the merge and the query kept
+// treating every key as one row, so later partitions were over-represented
+// and quantiles walked toward their values as the tree deepened.
+
+constexpr int kSweepSeeds = 5;
+constexpr int kSweepV = 100;            // scroll-bar pixels for the px scale
+const uint32_t kSweepRows = kRows;      // one dataset size for the bench
+// Fits both budgets, so a depth-1 (single-partition) summary is the raw
+// sorted sample under either policy and the sweep isolates merge error.
+constexpr uint64_t kSamplesPerPartition = 800;
+constexpr int kBaselineCap = 1024;
+// The weighted format spends ~1 byte/item more than the legacy one (the
+// weight exponent), so an equal-byte budget holds slightly fewer items.
+constexpr int kKllCap = 840;
+
+/// Production-like drift: values trend upward with row position, so
+/// contiguous partitions have shifted distributions.
+std::vector<double> DriftValues() {
+  Random rng(0xD81F7);
+  std::vector<double> values(kSweepRows);
+  for (uint32_t i = 0; i < kSweepRows; ++i) {
+    values[i] = 0.7 * (static_cast<double>(i) / kSweepRows) +
+                0.3 * rng.NextDouble();
+  }
+  return values;
+}
+
+/// The retired merge policy, verbatim: sorted merge, then drop every other
+/// element starting at index 0 while over the cap; unit-weight queries.
+struct DecimationSummary {
+  std::vector<double> keys;
+  int max_size = 0;
+
+  void Cap() {
+    while (max_size > 0 && static_cast<int>(keys.size()) > max_size) {
+      std::vector<double> kept;
+      kept.reserve(keys.size() / 2 + 1);
+      for (size_t i = 0; i < keys.size(); i += 2) kept.push_back(keys[i]);
+      keys = std::move(kept);
+    }
+  }
+
+  double AtQuantile(double q) const {
+    size_t idx = static_cast<size_t>(q * (keys.size() - 1) + 0.5);
+    return keys[idx];
+  }
+
+  size_t WireBytes() const {
+    // Legacy format: count + per key (cell count + tag + double) + rate +
+    // max_size.
+    return 4 + keys.size() * (4 + 1 + 8) + 8 + 4;
+  }
+};
+
+DecimationSummary DecimationMerge(DecimationSummary left,
+                                  const DecimationSummary& right) {
+  std::vector<double> merged;
+  merged.reserve(left.keys.size() + right.keys.size());
+  std::merge(left.keys.begin(), left.keys.end(), right.keys.begin(),
+             right.keys.end(), std::back_inserter(merged));
+  left.keys = std::move(merged);
+  left.max_size = std::max(left.max_size, right.max_size);
+  left.Cap();
+  return left;
+}
+
+/// True rank of `v` in the exact sorted column, in [0,1].
+double TrueRank(const std::vector<double>& sorted, double v) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  return static_cast<double>(it - sorted.begin()) / sorted.size();
+}
+
+void MergeDepthSweep() {
+  std::vector<double> values = DriftValues();
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::printf(
+      "\n=== Quantile merge-depth sweep: weighted KLL vs keep-every-other "
+      "decimation ===\n"
+      "(drifting values, %u rows, %llu samples/partition, %d seeds; budgets "
+      "%d KLL / %d legacy items ~ equal wire bytes;\n rank error in scroll "
+      "pixels = |rank - q| x 2V at V=%d, worst over q in [0.05, 0.95])\n",
+      kSweepRows, static_cast<unsigned long long>(kSamplesPerPartition),
+      kSweepSeeds, kKllCap, kBaselineCap, kSweepV);
+  std::printf("%-12s %14s %14s %16s %16s\n", "merge depth", "kll err (px)",
+              "decim err (px)", "kll bytes", "decim bytes");
+
+  for (int depth : {1, 4, 16}) {
+    const uint32_t slice = kSweepRows / depth;
+    std::vector<TablePtr> partitions;
+    for (int p = 0; p < depth; ++p) {
+      ColumnBuilder x(DataKind::kDouble);
+      for (uint32_t i = p * slice; i < (p + 1u) * slice; ++i) {
+        x.AppendDouble(values[i]);
+      }
+      partitions.push_back(
+          Table::Create(Schema({{"x", DataKind::kDouble}}), {x.Finish()}));
+    }
+    const double rate =
+        static_cast<double>(kSamplesPerPartition) / slice;
+    QuantileSketch sketch(RecordOrder({{"x", true}}), rate, kKllCap);
+
+    double kll_err = 0, base_err = 0;
+    size_t kll_bytes = 0, base_bytes = 0;
+    for (int s = 1; s <= kSweepSeeds; ++s) {
+      QuantileResult kll = sketch.Zero();
+      DecimationSummary base;
+      base.max_size = kBaselineCap;
+      for (int p = 0; p < depth; ++p) {
+        const uint64_t seed = MixSeed(500 + s, p);
+        kll = sketch.Merge(kll, sketch.Summarize(*partitions[p], seed));
+        // The baseline partial samples the *same rows* (same ScanRows
+        // stream), so the sweep isolates the merge policy, not sampling
+        // luck.
+        DecimationSummary part;
+        part.max_size = kBaselineCap;
+        ColumnPtr col = partitions[p]->GetColumnOrNull("x");
+        ScanRows(*partitions[p]->members(), rate, seed, [&](uint32_t row) {
+          part.keys.push_back(col->GetDouble(row));
+        });
+        std::sort(part.keys.begin(), part.keys.end());
+        part.Cap();
+        base = DecimationMerge(std::move(base), part);
+      }
+      for (double q = 0.05; q < 0.951; q += 0.05) {
+        double kv = std::get<double>((*kll.KeyAtQuantile(q))[0]);
+        kll_err = std::max(
+            kll_err, std::fabs(TrueRank(sorted, kv) - q) * 2 * kSweepV);
+        double bv = base.AtQuantile(q);
+        base_err = std::max(
+            base_err, std::fabs(TrueRank(sorted, bv) - q) * 2 * kSweepV);
+      }
+      ByteWriter w;
+      kll.Serialize(&w);
+      kll_bytes = std::max(kll_bytes, w.size());
+      base_bytes = std::max(base_bytes, base.WireBytes());
+    }
+    std::printf("%-12d %14.2f %14.2f %16zu %16zu\n", depth, kll_err,
+                base_err, kll_bytes, base_bytes);
+    // Machine-readable points for run_benches.sh: the bench-diff artifact
+    // tracks accuracy regressions the same way it tracks speed.
+    std::printf("METRIC quantile_depth%d_kll_err_px %.3f\n", depth, kll_err);
+    std::printf("METRIC quantile_depth%d_decim_err_px %.3f\n", depth,
+                base_err);
+    std::printf("METRIC quantile_depth%d_kll_bytes %zu\n", depth, kll_bytes);
+  }
+  std::printf(
+      "Expected shape: the decimation error grows with merge depth (its "
+      "survivors are\nmisweighted), the KLL error stays near the sampling "
+      "floor at no more wire bytes.\n");
+}
+
 }  // namespace
 }  // namespace hillview
 
@@ -216,5 +383,6 @@ int main() {
   std::printf(
       "\nExpected shape: 'frac cells > 1' stays at or near zero (the δ=1%%\n"
       "error budget), matching the paper's 1-pixel / 1-shade guarantees.\n");
+  MergeDepthSweep();
   return 0;
 }

@@ -13,7 +13,8 @@
 #              which CI uploads as an artifact)
 #
 # Environment:
-#   BENCH_ONLY            substring filter: run only matching benches
+#   BENCH_ONLY            substring filter (comma-separated alternatives):
+#                         run only matching benches
 #   BENCH_TIMEOUT         per-bench timeout in seconds (default 900)
 #   HILLVIEW_BENCH_SCALE  dataset scale multiplier, forwarded to the benches
 #
@@ -85,12 +86,22 @@ archive_json() {
 }
 
 # Wraps a finished bench run (stdout file + metadata) into a JSON envelope.
+# Lines of the form "METRIC <name> <number>" are lifted into a metrics dict,
+# so accuracy/size measurements diff through --compare like timings do.
 wrap_json() {
   python3 - "$@" <<'EOF'
 import json, sys
 name, exit_code, seconds, scale, stdout_path, out_path = sys.argv[1:7]
 with open(stdout_path, encoding="utf-8", errors="replace") as f:
     lines = f.read().splitlines()
+metrics = {}
+for line in lines:
+    parts = line.split()
+    if len(parts) == 3 and parts[0] == "METRIC":
+        try:
+            metrics[parts[1]] = float(parts[2])
+        except ValueError:
+            pass
 doc = {
     "bench": name,
     "exit_code": int(exit_code),
@@ -98,6 +109,8 @@ doc = {
     "scale": float(scale),
     "stdout": lines,
 }
+if metrics:
+    doc["metrics"] = metrics
 with open(out_path, "w", encoding="utf-8") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
@@ -111,8 +124,15 @@ ran=0
 for bin in "$BENCH_BIN_DIR"/bench_*; do
   [ -x "$bin" ] || continue
   name=$(basename "$bin")
-  if [ -n "$ONLY" ] && [[ "$name" != *"$ONLY"* ]]; then
-    continue
+  if [ -n "$ONLY" ]; then
+    match=0
+    IFS=',' read -ra only_patterns <<< "$ONLY"
+    for pattern in "${only_patterns[@]}"; do
+      # A stray empty element (trailing comma) must not match everything.
+      [ -n "$pattern" ] || continue
+      [[ "$name" == *"$pattern"* ]] && match=1
+    done
+    [ "$match" -eq 1 ] || continue
   fi
   out_json="$OUT_DIR/BENCH_${name}.json"
   echo "== $name"
@@ -188,6 +208,8 @@ def load_times(path):
                                  b.get("time_unit", "ns"))
     elif "wall_seconds" in doc:
         points["wall_seconds"] = (float(doc["wall_seconds"]), "s")
+        for name, value in doc.get("metrics", {}).items():
+            points[name] = (float(value), "")
     return points
 
 

@@ -1,0 +1,162 @@
+#include "sketch/kll.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace hillview {
+
+int KllParams::TopCapacityForBudget(int budget) {
+  if (budget <= 0) return kMinLevelCapacity;
+  int k = static_cast<int>(std::ceil(budget * (1.0 - kDecay)));
+  return std::max(k, kMinLevelCapacity);
+}
+
+int KllParams::LevelCapacity(int top_capacity, int levels_above) {
+  double cap = top_capacity;
+  for (int z = 0; z < levels_above; ++z) cap *= kDecay;
+  return std::max(static_cast<int>(std::ceil(cap)), kMinLevelCapacity);
+}
+
+double KllRankErrorBound(const KllErrorLedger& ledger, uint64_t total_weight) {
+  if (total_weight == 0 || ledger.worst == 0) return 0.0;
+  double w = static_cast<double>(total_weight);
+  double worst_case = static_cast<double>(ledger.worst) / w;
+  // Compaction parities are independent fair coins, so the accumulated rank
+  // shift is a zero-mean sum of bounded terms; 3σ covers it with the same
+  // "rare failures" grade the paper's constant-probability bounds use.
+  double concentration = 3.0 * std::sqrt(ledger.variance) / w;
+  return std::min(worst_case, concentration);
+}
+
+namespace {
+
+/// One weight class of the alive sequence. `members` are positions into the
+/// alive-index vector (not raw item indices), in rank order.
+struct WeightClass {
+  uint64_t weight = 0;
+  std::vector<uint32_t> members;
+};
+
+/// Groups the alive items by exact weight, lowest weight first.
+std::vector<WeightClass> GroupByWeight(const std::vector<uint64_t>& weights,
+                                       const std::vector<uint32_t>& alive) {
+  std::map<uint64_t, std::vector<uint32_t>> classes;
+  for (uint32_t pos = 0; pos < alive.size(); ++pos) {
+    classes[weights[alive[pos]]].push_back(pos);
+  }
+  std::vector<WeightClass> out;
+  out.reserve(classes.size());
+  for (auto& [weight, members] : classes) {
+    out.push_back(WeightClass{weight, std::move(members)});
+  }
+  return out;
+}
+
+}  // namespace
+
+void KllCompactToBudget(std::vector<uint64_t>* weights, int budget,
+                        Random* coin, KllErrorLedger* ledger,
+                        std::vector<uint32_t>* kept) {
+  std::vector<uint32_t> alive(weights->size());
+  std::iota(alive.begin(), alive.end(), 0);
+  if (budget < KllParams::kMinLevelCapacity) {
+    budget = KllParams::kMinLevelCapacity;
+  }
+
+  while (alive.size() > static_cast<size_t>(budget)) {
+    std::vector<WeightClass> levels = GroupByWeight(*weights, alive);
+    const int top_k = KllParams::TopCapacityForBudget(budget);
+    const int num_levels = static_cast<int>(levels.size());
+
+    // The schedule: compact the lowest level over its capacity; when every
+    // level fits its k_h but the total is still over budget (possible
+    // because hostile weights need not be powers of two, and because the
+    // geometric sum is an approximation), fall back to the lowest level
+    // that can pair at all.
+    int chosen = -1;
+    for (int h = 0; h < num_levels; ++h) {
+      int cap = KllParams::LevelCapacity(top_k, num_levels - 1 - h);
+      if (static_cast<int>(levels[h].members.size()) > cap) {
+        chosen = h;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      for (int h = 0; h < num_levels; ++h) {
+        if (levels[h].members.size() >= 2) {
+          chosen = h;
+          break;
+        }
+      }
+    }
+    if (chosen < 0 || levels[chosen].members.size() < 2) break;  // saturated
+
+    // Randomized-parity pairwise compaction: one fair coin decides whether
+    // the even- or odd-ranked member of every pair survives (at doubled
+    // weight); an unpaired tail member keeps its weight, so total weight is
+    // conserved exactly and only the pair straddling a query point can
+    // shift its rank — by ±w, the ledger's unit.
+    const WeightClass& level = levels[chosen];
+    const uint64_t w = level.weight;
+    const size_t parity = coin->NextUint64(2);
+    const size_t pairs = level.members.size() / 2;
+    std::vector<bool> drop(alive.size(), false);
+    for (size_t p = 0; p < pairs; ++p) {
+      uint32_t survivor_pos = level.members[2 * p + parity];
+      uint32_t victim_pos = level.members[2 * p + 1 - parity];
+      (*weights)[alive[survivor_pos]] = 2 * w;
+      drop[victim_pos] = true;
+    }
+    std::vector<uint32_t> next;
+    next.reserve(alive.size() - pairs);
+    for (uint32_t pos = 0; pos < alive.size(); ++pos) {
+      if (!drop[pos]) next.push_back(alive[pos]);
+    }
+    alive = std::move(next);
+    ledger->worst += w;
+    ledger->variance += static_cast<double>(w) * static_cast<double>(w);
+  }
+
+  kept->assign(alive.begin(), alive.end());
+  // Rewrite weights to the survivors' (possibly doubled) values, in order.
+  for (size_t i = 0; i < alive.size(); ++i) {
+    (*weights)[i] = (*weights)[alive[i]];
+  }
+  weights->resize(alive.size());
+}
+
+void KllSubsampleIndices(size_t n, double p, Random* coin,
+                         std::vector<uint32_t>* kept) {
+  if (p >= 1.0) {
+    kept->resize(n);
+    std::iota(kept->begin(), kept->end(), 0);
+    return;
+  }
+  kept->clear();
+  if (p <= 0.0) return;
+  for (size_t i = 0; i < n; ++i) {
+    if (coin->NextBernoulli(p)) kept->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+size_t KllSelectIndex(const std::vector<uint64_t>& weights, double q) {
+  if (weights.empty()) return static_cast<size_t>(-1);
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t total = 0;
+  for (uint64_t w : weights) total += w;
+  if (total == 0) return static_cast<size_t>(-1);
+  // The item covering rank position q*(W-1)+1/2: for unit weights this is
+  // round(q*(n-1)), matching the pre-KLL midpoint rule exactly.
+  double target = q * static_cast<double>(total - 1) + 0.5;
+  double cumulative = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += static_cast<double>(weights[i]);
+    if (cumulative > target) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace hillview

@@ -180,7 +180,10 @@ Result<NextItemsResult> Spreadsheet::ScrollTo(
   HV_ASSIGN_OR_RETURN(int64_t rows, RowCount());
   // A scroll bar distinguishes on the order of 100 positions regardless of
   // pixel height; the quantile summary materializes O(V²) keys, so V is
-  // clamped to keep it display-sized.
+  // clamped to keep it display-sized. The KLL budget of 2× the target
+  // sample size leaves skewed partition splits headroom to merge without
+  // compacting; when a deep merge tree does compact, the weighted summary
+  // keeps ranks unbiased (see QuantileResult::RankErrorBound).
   int scroll_positions = std::min(screen_.height, 100);
   uint64_t sample_size = QuantileSampleSize(scroll_positions);
   double rate = SampleRateForSize(sample_size, static_cast<uint64_t>(rows));

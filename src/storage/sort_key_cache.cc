@@ -8,9 +8,15 @@ SortKeyCache::KeysPtr SortKeyCache::Get(SortKeyPlan& plan) {
   if (!plan.valid()) return nullptr;
   const std::string key = plan.CacheKey();
   std::lock_guard<std::mutex> lock(mutex_);
+  return LookupLocked(key, plan);
+}
+
+SortKeyCache::KeysPtr SortKeyCache::LookupLocked(const std::string& key,
+                                                 SortKeyPlan& plan,
+                                                 bool count_miss) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++misses_;
+    if (count_miss) ++misses_;
     return nullptr;
   }
   // Validate liveness: every column the entry was built from must still be
@@ -27,7 +33,7 @@ SortKeyCache::KeysPtr SortKeyCache::Get(SortKeyPlan& plan) {
     lru_.erase(it->second.lru_position);
     entries_.erase(it);
     ++evictions_;
-    ++misses_;
+    if (count_miss) ++misses_;
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_position);
@@ -97,6 +103,84 @@ void SortKeyCache::Put(const SortKeyPlan& plan, KeysPtr keys) {
   Put(plan, std::move(keys), generation());
 }
 
+SortKeyCache::KeysPtr SortKeyCache::GetOrBuild(SortKeyPlan& plan,
+                                               bool build_allowed) {
+  if (!plan.valid()) return nullptr;
+  const std::string key = plan.CacheKey();
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool first_lookup = true;
+  while (true) {
+    // Retry rounds (after a failed in-flight build) are the same logical
+    // call — they must not inflate the miss counter a second time.
+    KeysPtr cached = LookupLocked(key, plan, first_lookup);
+    first_lookup = false;
+    if (cached != nullptr) return cached;
+    auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      // Someone is already paying for this exact build. Callers that would
+      // have built anyway park until it lands; callers whose density gate
+      // said "don't build" fall back to the virtual path immediately — for
+      // them (a low-rate sample over a huge partition) the cheap comparator
+      // sort finishes long before an O(universe) key pass would, so parking
+      // would be a latency regression, not a saving.
+      if (!build_allowed) return nullptr;
+      // The result is adopted from the in-flight slot, not the cache, so
+      // waiters are served even when the vector was too large to cache or
+      // a Clear() raced the insert.
+      std::shared_ptr<InFlightBuild> build = it->second;
+      ++waiters_;
+      build_done_.wait(lock, [&] { return build->done; });
+      --waiters_;
+      if (build->keys != nullptr) {
+        plan.AdoptEncodings(build->encodings);
+        ++hits_;
+        ++coalesced_builds_;
+        return build->keys;
+      }
+      // The build unwound without producing keys; loop and possibly become
+      // the next builder.
+      continue;
+    }
+    if (!build_allowed) return nullptr;
+    auto build = std::make_shared<InFlightBuild>();
+    in_flight_[key] = build;
+    const uint64_t generation = generation_;
+    std::function<void()> hook = in_flight_hook_;
+    lock.unlock();
+    KeysPtr keys;
+    try {
+      if (hook) hook();
+      keys = plan.BuildKeys();
+      Put(plan, keys, generation);  // generation-checked vs Clear() races
+    } catch (...) {
+      // Never strand the in-flight marker: waiters would park forever and
+      // every later scroll of this view would park behind them.
+      lock.lock();
+      build->done = true;
+      in_flight_.erase(key);
+      build_done_.notify_all();
+      throw;
+    }
+    lock.lock();
+    build->done = true;
+    build->keys = keys;
+    build->encodings = plan.encodings();
+    in_flight_.erase(key);
+    build_done_.notify_all();
+    return keys;
+  }
+}
+
+void SortKeyCache::SetInFlightHookForTest(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_flight_hook_ = std::move(hook);
+}
+
+int64_t SortKeyCache::waiters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiters_;
+}
+
 void SortKeyCache::EvictOverBudgetLocked() {
   while (bytes_used_ > max_bytes_ && !lru_.empty()) {
     auto it = entries_.find(lru_.back());
@@ -143,6 +227,11 @@ int64_t SortKeyCache::misses() const {
 int64_t SortKeyCache::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+
+int64_t SortKeyCache::coalesced_builds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coalesced_builds_;
 }
 
 }  // namespace hillview

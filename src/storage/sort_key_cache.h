@@ -1,7 +1,9 @@
 #ifndef HILLVIEW_STORAGE_SORT_KEY_CACHE_H_
 #define HILLVIEW_STORAGE_SORT_KEY_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -34,8 +36,12 @@ namespace hillview {
 /// lookup, so a recycled allocation can never be served stale keys.
 ///
 /// Thread-safe: worker pools summarize partitions concurrently. Concurrent
-/// misses on the same plan may both build (duplicate work, never wrong); the
-/// second Put replaces the first with an identical vector.
+/// misses on the same plan are *single-flight* through GetOrBuild(): the
+/// first thread builds, later threads park on a condition variable and adopt
+/// the builder's vector instead of re-running the O(n) key pass (the
+/// `coalesced_builds` counter observes this). Raw Get/Put remain available
+/// and may still race benignly; the second Put replaces the first with an
+/// identical vector.
 class SortKeyCache {
  public:
   using KeysPtr = SortKeyPlan::KeysPtr;
@@ -61,6 +67,17 @@ class SortKeyCache {
   void Put(const SortKeyPlan& plan, KeysPtr keys, uint64_t generation);
   void Put(const SortKeyPlan& plan, KeysPtr keys);
 
+  /// The single-flight consult path: cached keys if present; otherwise the
+  /// first caller builds (when `build_allowed`) while concurrent callers
+  /// for the same plan that would also have built wait and adopt the
+  /// builder's result. Returns nullptr when nothing is cached and building
+  /// is not allowed — without waiting on an in-flight build, because such
+  /// callers (low-density scans) finish faster on the virtual comparator
+  /// path than any O(universe) key pass they could wait for. A Clear()
+  /// racing the build discards the insert as usual; waiters are still
+  /// served from the in-flight slot and later callers rebuild.
+  KeysPtr GetOrBuild(SortKeyPlan& plan, bool build_allowed);
+
   /// Drops everything (crash-restart / cache eviction, §5.8) and bumps the
   /// generation so racing Puts are discarded.
   void Clear();
@@ -78,6 +95,16 @@ class SortKeyCache {
   int64_t hits() const;
   int64_t misses() const;
   int64_t evictions() const;
+  /// Misses served by another thread's in-flight build instead of a second
+  /// O(n) key pass.
+  int64_t coalesced_builds() const;
+
+  /// Test hook: invoked by the building thread (unlocked) after it has
+  /// registered as the in-flight builder and before it starts the key pass,
+  /// so a threaded test can hold the build open until waiters have parked.
+  void SetInFlightHookForTest(std::function<void()> hook);
+  /// Threads currently parked on an in-flight build (test observability).
+  int64_t waiters() const;
 
  private:
   struct Entry {
@@ -92,24 +119,49 @@ class SortKeyCache {
   void EvictOverBudgetLocked();
   void DropDeadEntriesLocked();
 
+  /// Serves a cache hit for `key` against `plan` under the lock, erasing the
+  /// entry (and reporting a miss, unless `count_miss` is false — GetOrBuild
+  /// retry rounds are one logical call) when its source columns died.
+  /// Returns nullptr on miss.
+  KeysPtr LookupLocked(const std::string& key, SortKeyPlan& plan,
+                       bool count_miss = true);
+
+  /// One in-flight build. Waiters hold the shared_ptr and adopt `keys` +
+  /// `encodings` straight from it once `done`, so they are served even when
+  /// the vector was too large for Put to cache (the pre-single-flight code
+  /// would have built in parallel; serializing N full builds behind a
+  /// never-cacheable entry would be strictly worse). `keys == nullptr`
+  /// after `done` means the build failed (unwound); waiters then retry and
+  /// may become the next builder.
+  struct InFlightBuild {
+    bool done = false;
+    KeysPtr keys;
+    SortKeyPlan::EncodingSnapshot encodings;
+  };
+
   mutable std::mutex mutex_;
+  std::condition_variable build_done_;
   size_t max_bytes_;
   size_t bytes_used_ = 0;
   uint64_t generation_ = 0;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
+  /// CacheKeys with a build in flight; waiters park on build_done_.
+  std::unordered_map<std::string, std::shared_ptr<InFlightBuild>> in_flight_;
+  std::function<void()> in_flight_hook_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t coalesced_builds_ = 0;
+  int64_t waiters_ = 0;
 };
 
 /// The one cache-consult sequence shared by every keyed sketch path:
-/// cached keys if present (free regardless of density), else a fresh build
-/// when `build_allowed` (the caller's density gate), inserted under the
-/// generation read *before* Get/build — that ordering is load-bearing, it is
-/// what lets a concurrent Clear() (crash / memory-manager eviction) discard
-/// the stale insert. `cache` may be null (tests, benches, standalone
-/// callers); the plan is then built directly when allowed.
+/// cached keys if present (free regardless of density), else a
+/// single-flight build when `build_allowed` (the caller's density gate) —
+/// concurrent misses on the same plan coalesce on one builder instead of
+/// each running the O(n) key pass. `cache` may be null (tests, benches,
+/// standalone callers); the plan is then built directly when allowed.
 inline SortKeyPlan::KeysPtr GetOrBuildKeys(SortKeyCache* cache,
                                            SortKeyPlan& plan,
                                            bool build_allowed) {
@@ -117,13 +169,7 @@ inline SortKeyPlan::KeysPtr GetOrBuildKeys(SortKeyCache* cache,
   if (cache == nullptr) {
     return build_allowed ? plan.BuildKeys() : nullptr;
   }
-  const uint64_t generation = cache->generation();
-  SortKeyPlan::KeysPtr keys = cache->Get(plan);
-  if (keys == nullptr && build_allowed) {
-    keys = plan.BuildKeys();
-    cache->Put(plan, keys, generation);
-  }
-  return keys;
+  return cache->GetOrBuild(plan, build_allowed);
 }
 
 }  // namespace hillview

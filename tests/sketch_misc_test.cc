@@ -195,15 +195,124 @@ TEST(Quantile, MergePreservesRanks) {
   EXPECT_NEAR(std::get<double>((*merged.KeyAtQuantile(0.75))[0]), 75.0, 5.0);
 }
 
-TEST(Quantile, DecimationCapsSummary) {
+TEST(Quantile, CompactionCapsSummaryAndConservesWeight) {
   auto values = UniformDoubles(50000, 0, 1, 23);
   QuantileSketch sketch(RecordOrder({{"x", true}}), 0.5, 1000);
   QuantileResult merged = sketch.Zero();
+  uint64_t sampled_rows = 0;
   for (const auto& chunk : SplitValues(values, 4)) {
-    merged = sketch.Merge(merged,
-                          sketch.Summarize(*MakeDoubleTable("x", chunk), 1));
+    QuantileResult part = sketch.Summarize(*MakeDoubleTable("x", chunk), 1);
+    sampled_rows += part.TotalWeight();
+    merged = sketch.Merge(merged, part);
   }
   EXPECT_LE(merged.keys.size(), 1000u);
+  ASSERT_EQ(merged.weights.size(), merged.keys.size());
+  // KLL compaction doubles survivor weights instead of dropping rank mass:
+  // the total weight is exactly the number of sampled rows.
+  EXPECT_EQ(merged.TotalWeight(), sampled_rows);
+  // ~25000 sampled rows squeezed into 1000 items must have compacted.
+  EXPECT_GT(merged.error.worst, 0u);
+  EXPECT_GT(merged.RankErrorBound(), 0.0);
+  EXPECT_LT(merged.RankErrorBound(), 0.2);
+}
+
+TEST(Quantile, CompactedSummaryStaysAccurate) {
+  // Deep compaction: every partition overflows the budget on its own, then
+  // four merges compact again. Weighted queries must stay near the truth —
+  // the old unit-weight decimation (always keeping index 0) drifted toward
+  // the minimum key under exactly this load.
+  auto values = UniformDoubles(100000, 0, 1, 29);
+  QuantileSketch sketch(RecordOrder({{"x", true}}), 1.0, 512);
+  QuantileResult merged = sketch.Zero();
+  int part = 0;
+  for (const auto& chunk : SplitValues(values, 8)) {
+    merged = sketch.Merge(
+        merged, sketch.Summarize(*MakeDoubleTable("x", chunk), 40 + part++));
+  }
+  EXPECT_LE(merged.keys.size(), 512u);
+  EXPECT_EQ(merged.TotalWeight(), 100000u);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double value = std::get<double>((*merged.KeyAtQuantile(q))[0]);
+    // Uniform data: the value IS its quantile. The bound reports the
+    // compaction error; allow it plus discreteness slack.
+    EXPECT_NEAR(value, q, merged.RankErrorBound() + 0.02)
+        << "quantile " << q;
+  }
+}
+
+TEST(Quantile, MergeSubsamplesMismatchedRatesToCommonRate) {
+  // Regression: Merge used to take max(left.rate, right.rate), leaving the
+  // denser partition over-represented per underlying row. Here the right
+  // half of the value range is sampled 10× as densely; the median of the
+  // merge must stay at the true boundary, not drift into the dense half.
+  auto low = UniformDoubles(20000, 0, 50, 24);
+  auto high = UniformDoubles(20000, 50, 100, 25);
+  QuantileSketch sparse(RecordOrder({{"x", true}}), 0.05, 1 << 20);
+  QuantileSketch dense(RecordOrder({{"x", true}}), 0.5, 1 << 20);
+  QuantileResult left = sparse.Summarize(*MakeDoubleTable("x", low), 3);
+  QuantileResult right = dense.Summarize(*MakeDoubleTable("x", high), 4);
+  QuantileResult merged = sparse.Merge(left, right);
+  EXPECT_DOUBLE_EQ(merged.rate, 0.05);
+  // Both halves now carry ~1000 samples each; the quartiles land in their
+  // true halves instead of collapsing into the dense side.
+  EXPECT_NEAR(std::get<double>((*merged.KeyAtQuantile(0.5))[0]), 50.0, 6.0);
+  EXPECT_NEAR(std::get<double>((*merged.KeyAtQuantile(0.25))[0]), 25.0, 6.0);
+  EXPECT_NEAR(std::get<double>((*merged.KeyAtQuantile(0.75))[0]), 75.0, 6.0);
+  // Merging in the other order reconciles to the same rate.
+  QuantileResult swapped = sparse.Merge(right, left);
+  EXPECT_DOUBLE_EQ(swapped.rate, 0.05);
+  EXPECT_NEAR(std::get<double>((*swapped.KeyAtQuantile(0.5))[0]), 50.0, 6.0);
+}
+
+// --- KLL core -------------------------------------------------------------------
+
+TEST(Kll, SelectIndexMatchesMidpointRuleForUnitWeights) {
+  std::vector<uint64_t> unit(100, 1);
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    size_t expected = static_cast<size_t>(q * 99 + 0.5);
+    EXPECT_EQ(KllSelectIndex(unit, q), expected) << "q=" << q;
+  }
+  EXPECT_EQ(KllSelectIndex({}, 0.5), static_cast<size_t>(-1));
+  // Weighted: item 1 covers rank positions 1..8 of W=10.
+  std::vector<uint64_t> weighted = {1, 8, 1};
+  EXPECT_EQ(KllSelectIndex(weighted, 0.0), 0u);
+  EXPECT_EQ(KllSelectIndex(weighted, 0.5), 1u);
+  EXPECT_EQ(KllSelectIndex(weighted, 1.0), 2u);
+}
+
+TEST(Kll, CompactionConservesWeightAndRespectsBudget) {
+  Random coin(77);
+  std::vector<uint64_t> weights(1000, 1);
+  KllErrorLedger ledger;
+  std::vector<uint32_t> kept;
+  KllCompactToBudget(&weights, 100, &coin, &ledger, &kept);
+  EXPECT_LE(kept.size(), 100u);
+  EXPECT_EQ(weights.size(), kept.size());
+  uint64_t total = 0;
+  for (uint64_t w : weights) total += w;
+  EXPECT_EQ(total, 1000u);  // pairwise doubling + untouched tails: exact
+  EXPECT_TRUE(std::is_sorted(kept.begin(), kept.end()));
+  EXPECT_GT(ledger.worst, 0u);
+  EXPECT_GT(ledger.variance, 0.0);
+  // Deterministic under the same coin seed (the redo-log replay contract).
+  Random coin2(77);
+  std::vector<uint64_t> weights2(1000, 1);
+  KllErrorLedger ledger2;
+  std::vector<uint32_t> kept2;
+  KllCompactToBudget(&weights2, 100, &coin2, &ledger2, &kept2);
+  EXPECT_EQ(kept, kept2);
+  EXPECT_EQ(weights, weights2);
+}
+
+TEST(Kll, CompactionIsANoOpUnderBudget) {
+  Random coin(5);
+  std::vector<uint64_t> weights = {1, 2, 1, 4};
+  KllErrorLedger ledger;
+  std::vector<uint32_t> kept;
+  KllCompactToBudget(&weights, 10, &coin, &ledger, &kept);
+  EXPECT_EQ(kept.size(), 4u);
+  EXPECT_EQ(weights, (std::vector<uint64_t>{1, 2, 1, 4}));
+  EXPECT_EQ(ledger.worst, 0u);
 }
 
 // --- PCA -----------------------------------------------------------------------

@@ -251,6 +251,7 @@ bool EqQuantile(const QuantileResult& a, const QuantileResult& b,
                 std::string* why) {
   EQ_FIELD(rate);
   EQ_FIELD(max_size);
+  EQ_FIELD(weights);
   return EqKeyLists(a.keys, b.keys, why);
 }
 
@@ -600,6 +601,160 @@ TEST(SketchProperty, QuantileDistributes) {
       EqQuantile);
 }
 
+// ---------------------------------------------------------------------------
+// Statistical two-sample bounds for sampled / compacting quantile summaries.
+// Exact equality only holds while nothing randomizes; once rate < 1 (the
+// whole-table reference samples under a different seed than the partials)
+// and the KLL budget forces compaction (randomized parities, merge-tree
+// dependent), the right contract is distributional: the weighted empirical
+// CDFs must agree within a KS-style two-sample bound plus each summary's own
+// compaction error ledger.
+
+/// Fraction of `r`'s total weight strictly below `key` (ranked by the
+/// production CompareQuantileKeys, so the oracle cannot drift from the
+/// order the sketch actually sorts by).
+double WeightedFractionBelow(const QuantileResult& r, const RecordOrder& order,
+                             const std::vector<Value>& key) {
+  uint64_t below = 0, total = 0;
+  for (size_t i = 0; i < r.keys.size(); ++i) {
+    total += r.weights[i];
+    if (CompareQuantileKeys(order, r.keys[i], key) < 0) below += r.weights[i];
+  }
+  return total == 0 ? 0.0 : static_cast<double>(below) / total;
+}
+
+/// Max rank distance between the two weighted empirical CDFs, evaluated at
+/// every retained key of either summary (where the sup is attained).
+double QuantileRankDistance(const QuantileResult& a, const QuantileResult& b,
+                            const RecordOrder& order) {
+  double d = 0;
+  for (const auto& key : a.keys) {
+    d = std::max(d, std::abs(WeightedFractionBelow(a, order, key) -
+                             WeightedFractionBelow(b, order, key)));
+  }
+  for (const auto& key : b.keys) {
+    d = std::max(d, std::abs(WeightedFractionBelow(a, order, key) -
+                             WeightedFractionBelow(b, order, key)));
+  }
+  return d;
+}
+
+/// The acceptance threshold: a two-sample KS term over the effective sample
+/// sizes (total weights), both summaries' compaction error bounds, and a
+/// granularity term (a weight-w item quantizes the CDF in steps of w/W).
+double QuantileRankBound(const QuantileResult& a, const QuantileResult& b) {
+  auto granularity = [](const QuantileResult& r) {
+    uint64_t max_w = 0;
+    for (uint64_t w : r.weights) max_w = std::max(max_w, w);
+    uint64_t total = r.TotalWeight();
+    return total == 0 ? 0.0 : static_cast<double>(max_w) / total;
+  };
+  double wa = std::max<uint64_t>(1, a.TotalWeight());
+  double wb = std::max<uint64_t>(1, b.TotalWeight());
+  double ks = 3.0 * std::sqrt(0.5 * (1.0 / wa + 1.0 / wb));
+  return ks + a.RankErrorBound() + b.RankErrorBound() + granularity(a) +
+         granularity(b);
+}
+
+bool QuantileWithinRankBound(const QuantileResult& a, const QuantileResult& b,
+                             const RecordOrder& order, std::string* why) {
+  double d = QuantileRankDistance(a, b, order);
+  double bound = QuantileRankBound(a, b);
+  if (d <= bound) return true;
+  *why = "rank distance " + std::to_string(d) + " exceeds bound " +
+         std::to_string(bound);
+  return false;
+}
+
+TEST(SketchPropertyStatistical, SampledQuantileMergesWithinRankBound) {
+  constexpr int kStatCases = 20;
+  const uint64_t name_hash = HashBytes("stat-quantile", 13, 0x9E37);
+  for (int c = 0; c < kStatCases; ++c) {
+    const uint64_t seed = MixSeed(name_hash, static_cast<uint64_t>(c));
+    Random rng(seed);
+    const size_t n = 2500 + rng.NextUint64(2500);
+    TestData data = MakeData(n, rng);
+    const int k = 2 + static_cast<int>(rng.NextUint64(4));
+    std::vector<int> label(n);
+    for (auto& l : label) l = static_cast<int>(rng.NextUint64(k));
+    std::vector<uint32_t> active(n);
+    std::iota(active.begin(), active.end(), 0);
+    TablePtr whole = BuildTable(data, active);
+
+    RecordOrder order = RandomOrder(rng);
+    const double rate = 0.25 + 0.5 * rng.NextDouble();
+    const int budget = 128 + static_cast<int>(rng.NextUint64(128));
+    QuantileSketch sketch(order, rate, budget);
+
+    QuantileResult whole_sum = sketch.Summarize(*whole, MixSeed(seed, 0xA11));
+    std::vector<QuantileResult> partials;
+    uint64_t partial_weight = 0;
+    for (int p = 0; p < k; ++p) {
+      std::vector<uint32_t> rows;
+      for (uint32_t r : active) {
+        if (label[r] == p) rows.push_back(r);
+      }
+      partials.push_back(
+          sketch.Summarize(*BuildTable(data, rows), MixSeed(seed, p)));
+      partial_weight += partials.back().TotalWeight();
+    }
+
+    QuantileResult merged = sketch.Zero();
+    for (const auto& p : partials) merged = sketch.Merge(merged, p);
+    // Compaction redistributes weight but never loses it (equal rates, so
+    // no subsample fires): the merge-tree shape cannot shrink the sample.
+    ASSERT_EQ(merged.TotalWeight(), partial_weight) << "case " << c;
+    ASSERT_LE(merged.keys.size(), static_cast<size_t>(budget)) << "case " << c;
+
+    std::vector<int> perm(k);
+    std::iota(perm.begin(), perm.end(), 0);
+    Random shuffle_rng(MixSeed(seed, 0x5F0));
+    for (int z = k - 1; z > 0; --z) {
+      std::swap(perm[z], perm[shuffle_rng.NextUint64(z + 1)]);
+    }
+    QuantileResult shuffled = sketch.Zero();
+    for (int idx : perm) shuffled = sketch.Merge(partials[idx], shuffled);
+
+    // The wire fold replays the in-order merge tree; seeds and error
+    // ledgers round-trip, so the compaction coins are identical and the
+    // result must be *exactly* the in-order merge — this is what lets the
+    // redo log heal a crashed tree deterministically.
+    QuantileResult wire = sketch.Zero();
+    for (const auto& p : partials) {
+      ByteWriter w;
+      p.Serialize(&w);
+      std::vector<uint8_t> bytes = w.Take();
+      ByteReader r(bytes);
+      QuantileResult decoded;
+      ASSERT_TRUE(QuantileResult::Deserialize(&r, &decoded).ok())
+          << "case " << c;
+      ASSERT_TRUE(r.AtEnd()) << "case " << c;
+      wire = sketch.Merge(wire, decoded);
+    }
+    std::string why;
+    ASSERT_TRUE(EqQuantile(merged, wire, &why))
+        << "case " << c << " (seed 0x" << std::hex << seed << std::dec
+        << "): wire round trip broke merge determinism: " << why;
+
+    // Associativity in distribution: a different merge tree over the SAME
+    // partials differs only by compaction randomness, so the tight bound
+    // (no sampling term between them beyond the ledgers) must hold; the
+    // whole-table reference adds its independent sampling noise on top.
+    ASSERT_TRUE(QuantileWithinRankBound(merged, shuffled, order, &why))
+        << "case " << c << " (seed 0x" << std::hex << seed << std::dec
+        << ", n=" << n << ", k=" << k << ", rate=" << rate
+        << ", budget=" << budget << "): in-order vs shuffled: " << why;
+    ASSERT_TRUE(QuantileWithinRankBound(whole_sum, merged, order, &why))
+        << "case " << c << " (seed 0x" << std::hex << seed << std::dec
+        << ", n=" << n << ", k=" << k << ", rate=" << rate
+        << ", budget=" << budget << "): whole vs merged: " << why;
+    ASSERT_TRUE(QuantileWithinRankBound(whole_sum, shuffled, order, &why))
+        << "case " << c << " (seed 0x" << std::hex << seed << std::dec
+        << ", n=" << n << ", k=" << k << ", rate=" << rate
+        << ", budget=" << budget << "): whole vs shuffled: " << why;
+  }
+}
+
 TEST(SketchProperty, BottomKStringsDistributes) {
   RunProperty<BottomKResult>(
       "bottomk-strings", kCases,
@@ -689,21 +844,21 @@ TEST(SketchProperty, CorrelationDistributes) {
 // the simulated cluster — random worker counts and partition splits, a
 // worker restart landing mid-stream (i.e. between the workers' sort-key
 // cache fill and its reuse), and redo-log healing must all reproduce the
-// 1-partition result. Deterministic sketch families only: the cluster mixes
-// per-partition seeds, so sampled sketches are covered by their dedicated
-// determinism tests, not by whole-table equality.
+// 1-partition result. Deterministic sketch families compare exactly;
+// sampled/compacting ones pass a statistical `eq` (the KS-style rank bound
+// above) and scale `rows_base`/`rows_spread` up so the bound is meaningful.
 
 template <typename R, typename EqFn>
 void RunClusterProperty(
     const char* name, int cases,
     const std::function<SketchPtr<R>(const TestData&, const TablePtr&,
                                      Random&)>& make_sketch,
-    const EqFn& eq) {
+    const EqFn& eq, size_t rows_base = 60, size_t rows_spread = 240) {
   const uint64_t name_hash = HashBytes(name, std::strlen(name), 0xC1A5);
   for (int c = 0; c < cases; ++c) {
     const uint64_t seed = MixSeed(name_hash, static_cast<uint64_t>(c));
     Random rng(seed);
-    const size_t n = 60 + rng.NextUint64(240);
+    const size_t n = rows_base + rng.NextUint64(rows_spread);
     TestData data = MakeData(n, rng);
     const int parts = 1 + static_cast<int>(rng.NextUint64(6));
     std::vector<int> label(n);
@@ -792,6 +947,28 @@ TEST(SketchPropertyCluster, QuantileMatchesSinglePartitionAcrossRestarts) {
                                                 /*max_size=*/1 << 20);
       },
       EqQuantile);
+}
+
+TEST(SketchPropertyCluster, SampledQuantileHealsWithinRankBound) {
+  // The crash/redo-heal path for a *compacting, sampled* quantile summary:
+  // cluster partials sample under engine-mixed seeds and the merge tree over
+  // the wire is whatever order partials arrive in, so the reference
+  // comparison is the statistical rank bound, not exact equality. The
+  // restart mid-stream then exercises redo-log healing with randomized
+  // compaction in play.
+  auto order_holder = std::make_shared<RecordOrder>();
+  RunClusterProperty<QuantileResult>(
+      "cluster-quantile-sampled", 6,
+      [order_holder](const TestData&, const TablePtr&, Random& rng) {
+        *order_holder = RandomOrder(rng);
+        return std::make_shared<QuantileSketch>(*order_holder, /*rate=*/0.5,
+                                                /*max_size=*/160);
+      },
+      [order_holder](const QuantileResult& a, const QuantileResult& b,
+                     std::string* why) {
+        return QuantileWithinRankBound(a, b, *order_holder, why);
+      },
+      /*rows_base=*/2400, /*rows_spread=*/1600);
 }
 
 TEST(SketchPropertyCluster, HistogramMatchesSinglePartitionAcrossRestarts) {

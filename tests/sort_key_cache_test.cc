@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "storage/sort_key.h"
@@ -183,6 +184,89 @@ TEST(SortKeyCache, GetOrBuildKeysFillsOnceAndHonorsTheGate) {
   SortKeyPlan lone(*t, order, SortKeyPlan::kDeferKeys);
   EXPECT_EQ(GetOrBuildKeys(nullptr, lone, /*build_allowed=*/false), nullptr);
   EXPECT_NE(GetOrBuildKeys(nullptr, lone, /*build_allowed=*/true), nullptr);
+}
+
+TEST(SortKeyCache, ConcurrentMissesCoalesceOnOneBuilder) {
+  // Regression for the duplicated-build window: two threads missing on the
+  // same plan used to both run the O(n) key pass. GetOrBuild must elect one
+  // builder and park the rest; the test hook holds the build open until
+  // every other thread is provably parked, so the coalescing assertion is
+  // deterministic, not a race we usually win.
+  TablePtr t = MakeTable(4000);
+  RecordOrder order({{"x", true}});
+  SortKeyCache cache;
+  constexpr int kThreads = 6;
+  cache.SetInFlightHookForTest([&cache] {
+    while (cache.waiters() < kThreads - 1) std::this_thread::yield();
+  });
+  std::vector<SortKeyCache::KeysPtr> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      SortKeyPlan plan(*t, order, SortKeyPlan::kDeferKeys);
+      results[i] = cache.GetOrBuild(plan, /*build_allowed=*/true);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ASSERT_NE(results[0], nullptr);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[i].get(), results[0].get())
+        << "thread " << i << " built a duplicate key vector";
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), kThreads);         // every thread's first lookup
+  EXPECT_EQ(cache.hits(), kThreads - 1);       // waiters adopting the build
+  EXPECT_EQ(cache.coalesced_builds(), kThreads - 1);
+  EXPECT_EQ(cache.waiters(), 0);
+
+  // A later caller is an ordinary hit, not a coalesced one.
+  SortKeyPlan later(*t, order, SortKeyPlan::kDeferKeys);
+  EXPECT_NE(cache.GetOrBuild(later, /*build_allowed=*/false), nullptr);
+  EXPECT_EQ(cache.coalesced_builds(), kThreads - 1);
+}
+
+TEST(SortKeyCache, WaitersAdoptBuildsTooLargeToCache) {
+  // A key vector over the whole byte budget is never inserted (Put declines
+  // it), but parked waiters must still adopt the builder's result from the
+  // in-flight slot — otherwise every waiter would retry as the next builder
+  // and the single-flight path would *serialize* N full O(n) key passes.
+  TablePtr t = MakeTable(600);
+  RecordOrder order({{"x", true}});
+  SortKeyCache cache(/*max_bytes=*/100 * sizeof(uint64_t));  // 600 > 100
+  constexpr int kThreads = 3;
+  cache.SetInFlightHookForTest([&cache] {
+    while (cache.waiters() < kThreads - 1) std::this_thread::yield();
+  });
+  std::vector<SortKeyCache::KeysPtr> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      SortKeyPlan plan(*t, order, SortKeyPlan::kDeferKeys);
+      results[i] = cache.GetOrBuild(plan, /*build_allowed=*/true);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ASSERT_NE(results[0], nullptr);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[i].get(), results[0].get());
+  }
+  EXPECT_EQ(cache.size(), 0u);  // still uncacheable
+  EXPECT_EQ(cache.coalesced_builds(), kThreads - 1);
+}
+
+TEST(SortKeyCache, GetOrBuildWithoutPermissionOrFlightReturnsNull) {
+  TablePtr t = MakeTable(100);
+  SortKeyCache cache;
+  SortKeyPlan plan(*t, RecordOrder({{"x", true}}), SortKeyPlan::kDeferKeys);
+  // No cached entry, no in-flight build, and the density gate said no:
+  // the caller falls back to the virtual comparator path.
+  EXPECT_EQ(cache.GetOrBuild(plan, /*build_allowed=*/false), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 1);
 }
 
 TEST(SortKeyCache, ByteBudgetEvictsLeastRecentlyUsed) {

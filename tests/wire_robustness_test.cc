@@ -138,9 +138,136 @@ TEST(WireRobustness, Quantile) {
   q.keys = {{Value(1.5), Value(std::string("aa"))},
             {Value(static_cast<int64_t>(-4)), Value(std::monostate{})},
             {Value(3.25), Value(std::string("zz"))}};
+  q.weights = {1, 1, 1};  // unit weights serialize in the elided form
   q.rate = 0.25;
   q.max_size = 100;
   CheckWire(q, "QuantileResult");
+}
+
+TEST(WireRobustness, QuantileWeighted) {
+  QuantileResult q;
+  q.keys = {{Value(1.5)}, {Value(2.5)}, {Value(9.0)}};
+  q.weights = {1, 4, 2};  // a compacted summary carries explicit weights
+  q.rate = 0.5;
+  q.max_size = 3;
+  q.seed = 0xD00DFEED;
+  q.error.worst = 3;
+  q.error.variance = 5.0;
+  CheckWire(q, "QuantileResult(weighted)");
+
+  ByteWriter w;
+  q.Serialize(&w);
+  std::vector<uint8_t> bytes = w.Take();
+  ByteReader r(bytes);
+  QuantileResult out;
+  ASSERT_TRUE(QuantileResult::Deserialize(&r, &out).ok());
+  EXPECT_EQ(out.weights, q.weights);
+  EXPECT_EQ(out.seed, q.seed);
+  EXPECT_EQ(out.error.worst, q.error.worst);
+  EXPECT_DOUBLE_EQ(out.error.variance, q.error.variance);
+}
+
+TEST(WireRobustness, QuantileLegacyUnitWeightPayloadStillDeserializes) {
+  // The pre-KLL wire format: key count, keys, rate, max_size — no magic, no
+  // weights, no seed, no error ledger. A rolling upgrade must still accept
+  // it (as an all-unit-weight summary).
+  ByteWriter w;
+  w.WriteU32(2);
+  w.WriteU32(1);
+  SerializeValue(Value(4.25), &w);
+  w.WriteU32(1);
+  SerializeValue(Value(7.5), &w);
+  w.WriteDouble(0.125);
+  w.WriteI32(64);
+  std::vector<uint8_t> bytes = w.Take();
+
+  ByteReader r(bytes);
+  QuantileResult out;
+  ASSERT_TRUE(QuantileResult::Deserialize(&r, &out).ok());
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(out.keys.size(), 2u);
+  EXPECT_EQ(out.weights, (std::vector<uint64_t>{1, 1}));
+  EXPECT_DOUBLE_EQ(out.rate, 0.125);
+  EXPECT_EQ(out.max_size, 64);
+  EXPECT_EQ(out.TotalWeight(), 2u);
+
+  // Legacy truncations must still error at every prefix.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader prefix(bytes.data(), len);
+    QuantileResult garbage;
+    EXPECT_FALSE(QuantileResult::Deserialize(&prefix, &garbage).ok())
+        << "legacy payload parsed OK truncated to " << len;
+  }
+}
+
+/// Serializes a syntactically well-formed weighted quantile payload with
+/// caller-chosen scalars (weights travel as power-of-two exponent bytes),
+/// so each hostile-scalar guard can be hit in isolation.
+std::vector<uint8_t> WeightedQuantileBytes(double rate, int32_t max_size,
+                                           std::vector<uint8_t> exponents,
+                                           double error_variance,
+                                           uint64_t error_worst = 0) {
+  ByteWriter w;
+  w.WriteU32(0x4B4C4C31);  // the weighted-format magic
+  w.WriteU32(static_cast<uint32_t>(exponents.size()));
+  w.WriteBool(true);  // explicit weights follow the keys
+  for (size_t i = 0; i < exponents.size(); ++i) {
+    w.WriteU32(1);
+    SerializeValue(Value(static_cast<double>(i)), &w);
+  }
+  for (uint8_t exponent : exponents) w.WriteU8(exponent);
+  w.WriteDouble(rate);
+  w.WriteI32(max_size);
+  w.WriteU64(/*seed=*/1);
+  w.WriteU64(error_worst);
+  w.WriteDouble(error_variance);
+  return w.Take();
+}
+
+TEST(WireRobustness, QuantileRejectsHostileScalars) {
+  auto reject = [](const std::vector<uint8_t>& bytes, const char* what) {
+    ByteReader r(bytes);
+    QuantileResult out;
+    Status st = QuantileResult::Deserialize(&r, &out);
+    ASSERT_FALSE(st.ok()) << what;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << what;
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  reject(WeightedQuantileBytes(nan, 8, {0, 0}, 0.0), "NaN rate");
+  reject(WeightedQuantileBytes(-0.5, 8, {0, 0}, 0.0), "negative rate");
+  reject(WeightedQuantileBytes(0.0, 8, {0, 0}, 0.0), "zero rate");
+  reject(WeightedQuantileBytes(1.5, 8, {0, 0}, 0.0), "rate above 1");
+  reject(WeightedQuantileBytes(0.5, -3, {0, 0}, 0.0), "negative max_size");
+  reject(WeightedQuantileBytes(0.5, 8, {0, 45}, 0.0),
+         "weight exponent over the 2^44 cap");
+  reject(WeightedQuantileBytes(0.5, 8, {44, 44}, 0.0),
+         "total weight over the 2^44 cap");
+  reject(WeightedQuantileBytes(0.5, 8, {0, 0}, nan), "NaN error variance");
+  reject(WeightedQuantileBytes(0.5, 8, {0, 0}, -2.0),
+         "negative error variance");
+  reject(WeightedQuantileBytes(0.5, 8, {0, 0}, 0.0,
+                               /*error_worst=*/uint64_t{1} << 63),
+         "error ledger over the 2^44 cap");
+
+  // The same scalar guards apply to legacy payloads.
+  ByteWriter w;
+  w.WriteU32(0);            // zero keys
+  w.WriteDouble(nan);       // hostile rate
+  w.WriteI32(8);
+  std::vector<uint8_t> legacy = w.Take();
+  ByteReader r(legacy);
+  QuantileResult out;
+  Status st = QuantileResult::Deserialize(&r, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  // A well-formed weighted payload with sane scalars still parses.
+  std::vector<uint8_t> good = WeightedQuantileBytes(0.5, 8, {0, 1}, 4.0);
+  ByteReader gr(good);
+  QuantileResult ok;
+  ASSERT_TRUE(QuantileResult::Deserialize(&gr, &ok).ok());
+  EXPECT_TRUE(gr.AtEnd());
+  EXPECT_EQ(ok.weights, (std::vector<uint64_t>{1, 2}));
 }
 
 TEST(WireRobustness, BottomKStrings) {
