@@ -417,7 +417,7 @@ void BM_NextItemsScrollCacheWarm(benchmark::State& state) {
     benchmark::DoNotOptimize(r.rows.data());
   }
   state.SetItemsProcessed(state.iterations() * kSortRows);
-  state.counters["key_cache_hits"] = static_cast<double>(cache.hits());
+  state.counters["key_cache_hits"] = static_cast<double>(cache.Snapshot().hits);
 }
 BENCHMARK(BM_NextItemsScrollCacheWarm)->Unit(benchmark::kMillisecond);
 

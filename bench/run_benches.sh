@@ -58,6 +58,15 @@ if [ ! -d "$BENCH_BIN_DIR" ]; then
   exit 2
 fi
 
+# A sanitizer build (CMake drops this marker when HILLVIEW_SANITIZE is set)
+# is 5-20x slower than a plain one; recording its numbers into BENCH json /
+# history would poison every later --compare. Refuse outright.
+if [ -f "$BUILD_DIR/.hillview_sanitize" ]; then
+  echo "error: '$BUILD_DIR' was configured with HILLVIEW_SANITIZE=$(cat "$BUILD_DIR/.hillview_sanitize")" >&2
+  echo "  sanitizer timings are not benchmarks; use a plain build directory" >&2
+  exit 2
+fi
+
 mkdir -p "$OUT_DIR"
 HISTORY_DIR="$OUT_DIR/history"
 STAMP=$(date +%Y-%m-%d)

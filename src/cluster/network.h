@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "util/thread_annotations.h"
+
 namespace hillview {
 namespace cluster {
 
@@ -16,6 +18,10 @@ namespace cluster {
 ///
 /// Optionally applies a latency + bandwidth delay per message so end-to-end
 /// benchmarks can model a 10 Gbps / sub-millisecond datacenter network.
+///
+/// Thread-safe: counters are relaxed atomics (independent monotone tallies);
+/// the delay model is guarded by a mutex so set_model() can retune a live
+/// deployment without racing in-flight Delay() reads.
 class SimulatedNetwork {
  public:
   struct Model {
@@ -29,7 +35,10 @@ class SimulatedNetwork {
   /// Replaces the delay model (counters are preserved). The class is
   /// neither copyable nor movable (atomic counters), so deployments that
   /// construct the network before choosing a model configure it here.
-  void set_model(Model model) { model_ = model; }
+  void set_model(Model model) EXCLUDES(model_mutex_) {
+    MutexLock lock(model_mutex_);
+    model_ = model;
+  }
 
   /// Records a request flowing root -> worker.
   void SendDown(uint64_t bytes) {
@@ -58,17 +67,24 @@ class SimulatedNetwork {
   }
 
  private:
-  void Delay(uint64_t bytes) {
-    double seconds = model_.latency_ms / 1e3;
-    if (model_.bandwidth_bytes_per_sec > 0) {
-      seconds += static_cast<double>(bytes) / model_.bandwidth_bytes_per_sec;
+  void Delay(uint64_t bytes) EXCLUDES(model_mutex_) {
+    Model model;
+    {
+      // Copy under the lock; the sleep itself must not serialize senders.
+      MutexLock lock(model_mutex_);
+      model = model_;
+    }
+    double seconds = model.latency_ms / 1e3;
+    if (model.bandwidth_bytes_per_sec > 0) {
+      seconds += static_cast<double>(bytes) / model.bandwidth_bytes_per_sec;
     }
     if (seconds > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
     }
   }
 
-  Model model_;
+  mutable Mutex model_mutex_;
+  Model model_ GUARDED_BY(model_mutex_);
   std::atomic<uint64_t> bytes_up_{0};
   std::atomic<uint64_t> bytes_down_{0};
   std::atomic<uint64_t> messages_up_{0};

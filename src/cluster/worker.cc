@@ -9,7 +9,7 @@ Status Worker::RegisterBase(
   std::vector<DataSetPtr> children(partitions.begin(), partitions.end());
   auto dataset = std::make_shared<ParallelDataSet>(
       name_ + "/" + dataset_id, std::move(children), &pool_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   datasets_[dataset_id] = std::move(dataset);
   return Status::OK();
 }
@@ -19,7 +19,7 @@ Status Worker::ApplyMap(const std::string& parent_id,
                         const std::string& op_name) {
   DataSetPtr parent;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = datasets_.find(parent_id);
     if (it == datasets_.end()) {
       return Status::Unavailable("worker " + name_ + ": no dataset '" +
@@ -28,13 +28,13 @@ Status Worker::ApplyMap(const std::string& parent_id,
     parent = it->second;
   }
   DataSetPtr derived = parent->Map(std::move(map), op_name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   datasets_[new_id] = std::move(derived);
   return Status::OK();
 }
 
 Result<DataSetPtr> Worker::GetDataSet(const std::string& dataset_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = datasets_.find(dataset_id);
   if (it == datasets_.end()) {
     return Status::Unavailable("worker " + name_ + ": no dataset '" +
@@ -48,7 +48,7 @@ void Worker::Restart() {
   // cached datasets" (§5.8) — and all derived auxiliary structures with
   // them: the sort-key cache is soft state too.
   key_cache_.Clear();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   datasets_.clear();
   ++restart_count_;
 }
@@ -58,28 +58,28 @@ void Worker::EvictCaches() {
   // worker holds: materialized tables and the sort-key columns derived from
   // them (which would otherwise pin freed tables' key vectors uselessly).
   key_cache_.Clear();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [id, dataset] : datasets_) dataset->Evict();
 }
 
 int64_t Worker::restart_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return restart_count_;
 }
 
 void Worker::RecordDroppedMapFailure(const Status& status) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++dropped_map_failures_;
   last_dropped_map_error_ = status.ToString();
 }
 
 int64_t Worker::dropped_map_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_map_failures_;
 }
 
 std::string Worker::last_dropped_map_error() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return last_dropped_map_error_;
 }
 

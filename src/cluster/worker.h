@@ -9,6 +9,7 @@
 
 #include "core/dataset.h"
 #include "storage/sort_key_cache.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hillview {
@@ -50,35 +51,37 @@ class Worker {
   /// worker's pool. Re-registering after a restart recreates the entry; the
   /// underlying data reloads lazily from its loaders.
   Status RegisterBase(const std::string& dataset_id,
-                      std::vector<std::shared_ptr<LocalDataSet>> partitions);
+                      std::vector<std::shared_ptr<LocalDataSet>> partitions)
+      EXCLUDES(mutex_);
 
   /// Derives `new_id` from `parent_id` by a per-partition map (§5.6). The
   /// result is lazy soft state. Fails with Unavailable if the parent is gone
   /// (e.g. after a restart) — the caller replays the redo log.
   Status ApplyMap(const std::string& parent_id, const std::string& new_id,
-                  TableMap map, const std::string& op_name);
+                  TableMap map, const std::string& op_name) EXCLUDES(mutex_);
 
   /// The worker-local dataset tree for `dataset_id`, or Unavailable.
-  Result<DataSetPtr> GetDataSet(const std::string& dataset_id);
+  Result<DataSetPtr> GetDataSet(const std::string& dataset_id)
+      EXCLUDES(mutex_);
 
   /// Crash-restart: drops every dataset (base and derived) and all cached
   /// tables. "Restarting the node after a failure is equivalent to deleting
   /// all cached datasets" (§5.8).
-  void Restart();
+  void Restart() EXCLUDES(mutex_);
 
   /// Drops only materialized tables, keeping the dataset structure: the
   /// memory-manager eviction path (§5.7), distinct from a crash.
-  void EvictCaches();
+  void EvictCaches() EXCLUDES(mutex_);
 
-  int64_t restart_count() const;
+  int64_t restart_count() const EXCLUDES(mutex_);
 
   /// Records a map request whose failure status the caller had to drop
   /// (fire-and-forget remote maps): the error is expected to resurface as
   /// Unavailable on first use and heal via redo-log replay, and this counter
   /// lets fault-injection tests assert that path actually fired.
-  void RecordDroppedMapFailure(const Status& status);
-  int64_t dropped_map_failures() const;
-  std::string last_dropped_map_error() const;
+  void RecordDroppedMapFailure(const Status& status) EXCLUDES(mutex_);
+  int64_t dropped_map_failures() const EXCLUDES(mutex_);
+  std::string last_dropped_map_error() const EXCLUDES(mutex_);
 
  private:
   std::string name_;
@@ -90,11 +93,11 @@ class Worker {
   std::unique_ptr<ThreadPool> aux_pool_;
   SortKeyCache key_cache_;
   ThreadPool pool_;
-  mutable std::mutex mutex_;
-  std::map<std::string, DataSetPtr> datasets_;
-  int64_t restart_count_ = 0;
-  int64_t dropped_map_failures_ = 0;
-  std::string last_dropped_map_error_;
+  mutable Mutex mutex_;
+  std::map<std::string, DataSetPtr> datasets_ GUARDED_BY(mutex_);
+  int64_t restart_count_ GUARDED_BY(mutex_) = 0;
+  int64_t dropped_map_failures_ GUARDED_BY(mutex_) = 0;
+  std::string last_dropped_map_error_ GUARDED_BY(mutex_);
 };
 
 using WorkerPtr = std::shared_ptr<Worker>;

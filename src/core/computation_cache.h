@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "core/any_sketch.h"
+#include "util/thread_annotations.h"
 
 namespace hillview {
 
@@ -17,8 +17,20 @@ namespace hillview {
 /// so a large number can be cached; eviction is LRU. Only deterministic
 /// sketches should be cached (randomized ones are keyed with their seed via
 /// the sketch name, so caching them is safe but rarely useful).
+///
+/// Thread-safe: one capability-annotated mutex guards the map, the LRU list
+/// and every counter; stats are only exposed as a single locked Snapshot()
+/// so multi-counter reads can never tear against a concurrent scan.
 class ComputationCache {
  public:
+  /// One consistent observability snapshot, taken under the lock.
+  struct Stats {
+    size_t entries = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
   explicit ComputationCache(size_t max_entries = 4096)
       : max_entries_(max_entries) {}
 
@@ -30,8 +42,8 @@ class ComputationCache {
     return dataset_id + "#" + sketch_name + "@" + std::to_string(seed);
   }
 
-  std::optional<AnySummary> Get(const std::string& key) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<AnySummary> Get(const std::string& key) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       ++misses_;
@@ -43,8 +55,8 @@ class ComputationCache {
     return it->second.summary;
   }
 
-  void Put(const std::string& key, AnySummary summary) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Put(const std::string& key, AnySummary summary) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.summary = std::move(summary);
@@ -60,27 +72,16 @@ class ComputationCache {
     }
   }
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Clear() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     entries_.clear();
     lru_.clear();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
-  }
-  int64_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
-  }
-  int64_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
-  }
-  int64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return evictions_;
+  /// All counters and the entry count, read atomically under the lock.
+  Stats Snapshot() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return Stats{entries_.size(), hits_, misses_, evictions_};
   }
 
  private:
@@ -89,13 +90,13 @@ class ComputationCache {
     std::list<std::string>::iterator lru_position;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   size_t max_entries_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  std::list<std::string> lru_ GUARDED_BY(mutex_);  // front = most recent
+  int64_t hits_ GUARDED_BY(mutex_) = 0;
+  int64_t misses_ GUARDED_BY(mutex_) = 0;
+  int64_t evictions_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hillview

@@ -19,7 +19,7 @@ std::shared_ptr<LocalDataSet> LocalDataSet::FromTable(std::string id,
 }
 
 Result<TablePtr> LocalDataSet::GetTable() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (cached_ != nullptr) return cached_;
   ++load_count_;
   auto result = loader_();
@@ -28,17 +28,17 @@ Result<TablePtr> LocalDataSet::GetTable() {
 }
 
 bool LocalDataSet::IsMaterialized() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cached_ != nullptr;
 }
 
 int LocalDataSet::load_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return load_count_;
 }
 
 void LocalDataSet::Evict() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   cached_ = nullptr;
 }
 
@@ -116,7 +116,7 @@ struct Merger {
     if (total_weight <= 0) total_weight = 1;
   }
 
-  AnySummary MergeAllLocked() {
+  AnySummary MergeAllLocked() REQUIRES(mutex) {
     AnySummary merged;
     for (const auto& s : latest) {
       if (s.empty()) continue;
@@ -125,7 +125,7 @@ struct Merger {
     return merged.empty() ? sketch.Zero() : merged;
   }
 
-  double ProgressLocked() const {
+  double ProgressLocked() const REQUIRES(mutex) {
     double p = 0;
     for (size_t i = 0; i < progress.size(); ++i) p += progress[i] * weights[i];
     return p / total_weight;
@@ -134,8 +134,9 @@ struct Merger {
   // Emissions happen under the merger lock: partial results must reach the
   // stream in monotone progress order, and OnNext itself is cheap (the
   // stream buffers or invokes the subscriber synchronously).
-  void Update(int child, const PartialResult<AnySummary>& partial) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void Update(int child, const PartialResult<AnySummary>& partial)
+      EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     latest[child] = partial.value;
     progress[child] = partial.progress;
     if (options.progressive &&
@@ -150,8 +151,8 @@ struct Merger {
     }
   }
 
-  void Complete(int child, const Status& status) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void Complete(int child, const Status& status) EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     (void)child;
     ++completed;
     if (!status.ok() && first_error.ok()) first_error = status;
@@ -166,17 +167,17 @@ struct Merger {
   }
 
   AnySketch sketch;
-  std::mutex mutex;
-  std::vector<AnySummary> latest;
-  std::vector<double> progress;
-  std::vector<double> weights;
+  Mutex mutex;
+  std::vector<AnySummary> latest GUARDED_BY(mutex);
+  std::vector<double> progress GUARDED_BY(mutex);
+  const std::vector<double> weights;
   double total_weight;
-  ParallelDataSet::Options options;
-  StreamPtr<PartialResult<AnySummary>> out;
-  Stopwatch since_emit;
-  bool emitted_any = false;
-  int completed = 0;
-  Status first_error;
+  const ParallelDataSet::Options options;
+  const StreamPtr<PartialResult<AnySummary>> out;
+  Stopwatch since_emit GUARDED_BY(mutex);
+  bool emitted_any GUARDED_BY(mutex) = false;
+  int completed GUARDED_BY(mutex) = 0;
+  Status first_error GUARDED_BY(mutex);
 };
 
 }  // namespace

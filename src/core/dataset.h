@@ -11,6 +11,7 @@
 #include "reactive/observable.h"
 #include "storage/table.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hillview {
@@ -152,13 +153,13 @@ class LocalDataSet final : public IDataSet,
   void Evict() override;
 
   /// Materializes (or returns the cached) partition table.
-  Result<TablePtr> GetTable();
+  Result<TablePtr> GetTable() EXCLUDES(mutex_);
 
   /// True if the partition is currently materialized in memory.
-  bool IsMaterialized() const;
+  bool IsMaterialized() const EXCLUDES(mutex_);
 
   /// Number of times the loader ran (observability for cache tests).
-  int load_count() const;
+  int load_count() const EXCLUDES(mutex_);
 
  private:
   LocalDataSet(std::string id, Loader loader)
@@ -166,9 +167,9 @@ class LocalDataSet final : public IDataSet,
 
   std::string id_;
   Loader loader_;
-  mutable std::mutex mutex_;
-  TablePtr cached_;
-  int load_count_ = 0;
+  mutable Mutex mutex_;
+  TablePtr cached_ GUARDED_BY(mutex_);
+  int load_count_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Aggregation over children (§5.3's execution tree): distributes sketches

@@ -5,7 +5,7 @@
 namespace hillview {
 
 std::string RedoLog::ToText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream out;
   for (const auto& e : entries_) {
     out << e.index << " " << e.kind << " seed=" << e.seed << " "

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hillview {
 
@@ -26,14 +26,18 @@ struct RedoLogEntry {
 /// when a soft-state object turns out to be gone, the root re-executes the
 /// operations that produced it, recursing until data is re-read from the
 /// repository.
+///
+/// Thread-safe: the entry and replayer vectors are guarded by one annotated
+/// mutex; Replay copies the closures out and runs them unlocked (replayers
+/// re-enter the root, which appends to this same log).
 class RedoLog {
  public:
   using Replayer = std::function<Status()>;
 
   /// Appends an entry; returns its index.
   int64_t Append(std::string kind, std::string description, uint64_t seed,
-                 Replayer replayer = nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+                 Replayer replayer = nullptr) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     RedoLogEntry entry;
     entry.index = static_cast<int64_t>(entries_.size());
     entry.kind = std::move(kind);
@@ -46,10 +50,10 @@ class RedoLog {
 
   /// Lazily replays entries [first, last] in order, skipping entries without
   /// replayers. Stops at the first failure.
-  Status Replay(int64_t first, int64_t last) {
+  Status Replay(int64_t first, int64_t last) EXCLUDES(mutex_) {
     std::vector<Replayer> to_run;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (int64_t i = first; i <= last &&
                               i < static_cast<int64_t>(replayers_.size());
            ++i) {
@@ -65,24 +69,24 @@ class RedoLog {
 
   Status ReplayAll() { return Replay(0, Size() - 1); }
 
-  int64_t Size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  int64_t Size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return static_cast<int64_t>(entries_.size());
   }
 
-  std::vector<RedoLogEntry> Entries() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RedoLogEntry> Entries() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return entries_;
   }
 
   /// Renders the log as text ("<index> <kind> seed=<seed> <description>"),
   /// the persisted form.
-  std::string ToText() const;
+  std::string ToText() const EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<RedoLogEntry> entries_;
-  std::vector<Replayer> replayers_;
+  mutable Mutex mutex_;
+  std::vector<RedoLogEntry> entries_ GUARDED_BY(mutex_);
+  std::vector<Replayer> replayers_ GUARDED_BY(mutex_);
 };
 
 }  // namespace hillview

@@ -2,16 +2,15 @@
 #define HILLVIEW_REACTIVE_OBSERVABLE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hillview {
 
@@ -48,7 +47,10 @@ struct PartialResult {
 /// OnComplete carrying a Status.
 ///
 /// Thread-safe; exactly one subscriber is supported (the web-server root in
-/// the real system). Blocking helpers are provided for tests and benchmarks.
+/// the real system). One capability-annotated mutex guards the buffer, the
+/// callbacks and the completion state — partial results stream across worker
+/// threads, and they must stay race-free for progressive rendering to be
+/// trustworthy. Blocking helpers are provided for tests and benchmarks.
 template <typename T>
 class Stream {
  public:
@@ -60,8 +62,8 @@ class Stream {
   /// observed in exactly the order they were produced. Callbacks must not
   /// re-enter the same stream (downstream streams are fine — lock order
   /// follows the dataflow and is acyclic).
-  void OnNext(T value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void OnNext(T value) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (done_) return;  // Events after completion are dropped.
     last_ = value;
     if (next_) {
@@ -70,24 +72,24 @@ class Stream {
     } else {
       buffer_.push_back(std::move(value));
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// Producer side: complete the stream (exactly once).
-  void OnComplete(Status status) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void OnComplete(Status status) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (done_) return;
     done_ = true;
     final_status_ = status;
     if (done_fn_) done_fn_(status);
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// Consumer side. Replays buffered events in order, then receives live
   /// events from producer threads; the shared lock makes the hand-off from
   /// replay to live delivery seamless.
-  void Subscribe(NextFn next, DoneFn done = nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Subscribe(NextFn next, DoneFn done = nullptr) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     next_ = std::move(next);
     done_fn_ = std::move(done);
     while (!buffer_.empty()) {
@@ -102,43 +104,43 @@ class Stream {
 
   /// Blocks until the producer completes; returns the last event seen (or
   /// nullopt if the stream completed empty).
-  std::optional<T> BlockingLast() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return done_; });
+  std::optional<T> BlockingLast() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!done_) cv_.Wait(mutex_);
     return last_;
   }
 
   /// Blocks until completion and returns every buffered event (only valid if
   /// no Subscribe callback consumed them first).
-  std::vector<T> BlockingCollect() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return done_; });
+  std::vector<T> BlockingCollect() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!done_) cv_.Wait(mutex_);
     std::vector<T> out(buffer_.begin(), buffer_.end());
     buffer_.clear();
     return out;
   }
 
   /// Final status; valid after completion.
-  Status final_status() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  Status final_status() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return final_status_;
   }
 
-  bool IsDone() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool IsDone() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return done_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> buffer_;
-  std::optional<T> last_;
-  NextFn next_;
-  DoneFn done_fn_;
-  Status final_status_;
-  int delivered_ = 0;
-  bool done_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> buffer_ GUARDED_BY(mutex_);
+  std::optional<T> last_ GUARDED_BY(mutex_);
+  NextFn next_ GUARDED_BY(mutex_);
+  DoneFn done_fn_ GUARDED_BY(mutex_);
+  Status final_status_ GUARDED_BY(mutex_);
+  int delivered_ GUARDED_BY(mutex_) = 0;
+  bool done_ GUARDED_BY(mutex_) = false;
 };
 
 template <typename T>

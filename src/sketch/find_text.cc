@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
-#include <condition_variable>
-#include <mutex>
 #include <regex>
 
 #include "storage/scan.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hillview {
@@ -96,8 +95,11 @@ std::vector<uint8_t> MatchDictionary(const StringMatcher& matcher,
       std::min<size_t>(static_cast<size_t>(pool->num_threads()) * 4,
                        (n + 511) / 512);
   const size_t per_chunk = (n + chunks - 1) / chunks;
-  std::mutex mu;
-  std::condition_variable done_cv;
+  // `remaining` is the completion latch, guarded by `mu` (a local cannot
+  // carry a GUARDED_BY annotation, so the discipline is by construction:
+  // every touch below is under a MutexLock).
+  Mutex mu;
+  CondVar done_cv;
   size_t remaining = chunks;
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = c * per_chunk;
@@ -106,15 +108,15 @@ std::vector<uint8_t> MatchDictionary(const StringMatcher& matcher,
       for (size_t d = begin; d < end; ++d) {
         match[d] = matcher.Matches(dict[d]) ? 1 : 0;
       }
-      std::lock_guard<std::mutex> lock(mu);
-      if (--remaining == 0) done_cv.notify_all();
+      MutexLock lock(mu);
+      if (--remaining == 0) done_cv.NotifyAll();
     };
     // A shut-down pool drops the task; run it inline so the latch always
     // resolves (shutdown races only occur at worker teardown).
     if (!pool->Submit(task)) task();
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  MutexLock lock(mu);
+  while (remaining != 0) done_cv.Wait(mu);
   return match;
 }
 

@@ -7,7 +7,7 @@ namespace hillview {
 SortKeyCache::KeysPtr SortKeyCache::Get(SortKeyPlan& plan) {
   if (!plan.valid()) return nullptr;
   const std::string key = plan.CacheKey();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return LookupLocked(key, plan);
 }
 
@@ -50,7 +50,7 @@ void SortKeyCache::Put(const SortKeyPlan& plan, KeysPtr keys,
   const std::string key = plan.CacheKey();
   std::vector<std::weak_ptr<const IColumn>> columns(
       plan.key_columns().begin(), plan.key_columns().end());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (generation != generation_) return;  // raced a Clear(): state is stale
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -107,46 +107,55 @@ SortKeyCache::KeysPtr SortKeyCache::GetOrBuild(SortKeyPlan& plan,
                                                bool build_allowed) {
   if (!plan.valid()) return nullptr;
   const std::string key = plan.CacheKey();
-  std::unique_lock<std::mutex> lock(mutex_);
   bool first_lookup = true;
+  // Each round holds the lock for lookup / parking / builder election, then
+  // releases it for the build itself — structured as one scoped lock per
+  // round so the analysis can verify the handoff (the pre-annotation code
+  // wove a single unique_lock through all three phases).
   while (true) {
-    // Retry rounds (after a failed in-flight build) are the same logical
-    // call — they must not inflate the miss counter a second time.
-    KeysPtr cached = LookupLocked(key, plan, first_lookup);
-    first_lookup = false;
-    if (cached != nullptr) return cached;
-    auto it = in_flight_.find(key);
-    if (it != in_flight_.end()) {
-      // Someone is already paying for this exact build. Callers that would
-      // have built anyway park until it lands; callers whose density gate
-      // said "don't build" fall back to the virtual path immediately — for
-      // them (a low-rate sample over a huge partition) the cheap comparator
-      // sort finishes long before an O(universe) key pass would, so parking
-      // would be a latency regression, not a saving.
-      if (!build_allowed) return nullptr;
-      // The result is adopted from the in-flight slot, not the cache, so
-      // waiters are served even when the vector was too large to cache or
-      // a Clear() raced the insert.
-      std::shared_ptr<InFlightBuild> build = it->second;
-      ++waiters_;
-      build_done_.wait(lock, [&] { return build->done; });
-      --waiters_;
-      if (build->keys != nullptr) {
-        plan.AdoptEncodings(build->encodings);
-        ++hits_;
-        ++coalesced_builds_;
-        return build->keys;
+    std::shared_ptr<InFlightBuild> build;
+    uint64_t generation = 0;
+    std::function<void()> hook;
+    {
+      MutexLock lock(mutex_);
+      // Retry rounds (after a failed in-flight build) are the same logical
+      // call — they must not inflate the miss counter a second time.
+      KeysPtr cached = LookupLocked(key, plan, first_lookup);
+      first_lookup = false;
+      if (cached != nullptr) return cached;
+      auto it = in_flight_.find(key);
+      if (it != in_flight_.end()) {
+        // Someone is already paying for this exact build. Callers that would
+        // have built anyway park until it lands; callers whose density gate
+        // said "don't build" fall back to the virtual path immediately — for
+        // them (a low-rate sample over a huge partition) the cheap comparator
+        // sort finishes long before an O(universe) key pass would, so parking
+        // would be a latency regression, not a saving.
+        if (!build_allowed) return nullptr;
+        // The result is adopted from the in-flight slot, not the cache, so
+        // waiters are served even when the vector was too large to cache or
+        // a Clear() raced the insert.
+        std::shared_ptr<InFlightBuild> in_flight = it->second;
+        ++waiters_;
+        while (!in_flight->done) build_done_.Wait(mutex_);
+        --waiters_;
+        if (in_flight->keys != nullptr) {
+          plan.AdoptEncodings(in_flight->encodings);
+          ++hits_;
+          ++coalesced_builds_;
+          return in_flight->keys;
+        }
+        // The build unwound without producing keys; loop and possibly become
+        // the next builder.
+        continue;
       }
-      // The build unwound without producing keys; loop and possibly become
-      // the next builder.
-      continue;
+      if (!build_allowed) return nullptr;
+      build = std::make_shared<InFlightBuild>();
+      in_flight_[key] = build;
+      generation = generation_;
+      hook = in_flight_hook_;
     }
-    if (!build_allowed) return nullptr;
-    auto build = std::make_shared<InFlightBuild>();
-    in_flight_[key] = build;
-    const uint64_t generation = generation_;
-    std::function<void()> hook = in_flight_hook_;
-    lock.unlock();
+    // This thread is the elected builder; the key pass runs unlocked.
     KeysPtr keys;
     try {
       if (hook) hook();
@@ -155,30 +164,25 @@ SortKeyCache::KeysPtr SortKeyCache::GetOrBuild(SortKeyPlan& plan,
     } catch (...) {
       // Never strand the in-flight marker: waiters would park forever and
       // every later scroll of this view would park behind them.
-      lock.lock();
+      MutexLock lock(mutex_);
       build->done = true;
       in_flight_.erase(key);
-      build_done_.notify_all();
+      build_done_.NotifyAll();
       throw;
     }
-    lock.lock();
+    MutexLock lock(mutex_);
     build->done = true;
     build->keys = keys;
     build->encodings = plan.encodings();
     in_flight_.erase(key);
-    build_done_.notify_all();
+    build_done_.NotifyAll();
     return keys;
   }
 }
 
 void SortKeyCache::SetInFlightHookForTest(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   in_flight_hook_ = std::move(hook);
-}
-
-int64_t SortKeyCache::waiters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return waiters_;
 }
 
 void SortKeyCache::EvictOverBudgetLocked() {
@@ -192,7 +196,7 @@ void SortKeyCache::EvictOverBudgetLocked() {
 }
 
 void SortKeyCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   bytes_used_ = 0;
@@ -200,38 +204,21 @@ void SortKeyCache::Clear() {
 }
 
 uint64_t SortKeyCache::generation() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return generation_;
 }
 
-size_t SortKeyCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
-}
-
-size_t SortKeyCache::bytes_used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return bytes_used_;
-}
-
-int64_t SortKeyCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
-
-int64_t SortKeyCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
-}
-
-int64_t SortKeyCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return evictions_;
-}
-
-int64_t SortKeyCache::coalesced_builds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return coalesced_builds_;
+SortKeyCache::Stats SortKeyCache::Snapshot() const {
+  MutexLock lock(mutex_);
+  Stats stats;
+  stats.entries = entries_.size();
+  stats.bytes_used = bytes_used_;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.coalesced_builds = coalesced_builds_;
+  stats.waiters = waiters_;
+  return stats;
 }
 
 }  // namespace hillview

@@ -1,17 +1,16 @@
 #ifndef HILLVIEW_STORAGE_SORT_KEY_CACHE_H_
 #define HILLVIEW_STORAGE_SORT_KEY_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/sort_key.h"
+#include "util/thread_annotations.h"
 
 namespace hillview {
 
@@ -35,19 +34,37 @@ namespace hillview {
 /// key columns: an entry whose columns have been destroyed is dropped on
 /// lookup, so a recycled allocation can never be served stale keys.
 ///
-/// Thread-safe: worker pools summarize partitions concurrently. Concurrent
-/// misses on the same plan are *single-flight* through GetOrBuild(): the
-/// first thread builds, later threads park on a condition variable and adopt
-/// the builder's vector instead of re-running the O(n) key pass (the
-/// `coalesced_builds` counter observes this). Raw Get/Put remain available
-/// and may still race benignly; the second Put replaces the first with an
-/// identical vector.
+/// Thread-safe: worker pools summarize partitions concurrently; one mutex
+/// guards every map, counter and the in-flight table (capability-annotated —
+/// -Wthread-safety rejects unguarded access). Concurrent misses on the same
+/// plan are *single-flight* through GetOrBuild(): the first thread builds,
+/// later threads park on a condition variable and adopt the builder's vector
+/// instead of re-running the O(n) key pass (the `coalesced_builds` counter
+/// observes this). Raw Get/Put remain available and may still race benignly;
+/// the second Put replaces the first with an identical vector.
 class SortKeyCache {
  public:
   using KeysPtr = SortKeyPlan::KeysPtr;
 
   /// Default byte budget: 128 MB ≈ keys for 16M rows × 8 hot views.
   static constexpr size_t kDefaultMaxBytes = 128u << 20;
+
+  /// One consistent observability snapshot, taken under the lock: reading
+  /// counters through individual getters could interleave with a concurrent
+  /// scan and report e.g. a hit total from before an eviction next to an
+  /// eviction total from after it.
+  struct Stats {
+    size_t entries = 0;
+    size_t bytes_used = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    /// Misses served by another thread's in-flight build instead of a second
+    /// O(n) key pass.
+    int64_t coalesced_builds = 0;
+    /// Threads currently parked on an in-flight build (test observability).
+    int64_t waiters = 0;
+  };
 
   explicit SortKeyCache(size_t max_bytes = kDefaultMaxBytes)
       : max_bytes_(max_bytes) {}
@@ -56,7 +73,7 @@ class SortKeyCache {
   /// columns are the live objects the entry was built from. On a hit the
   /// plan adopts the entry's encoding snapshot, so the caller skips both
   /// the key build *and* the O(n) encoding pre-passes.
-  KeysPtr Get(SortKeyPlan& plan);
+  KeysPtr Get(SortKeyPlan& plan) EXCLUDES(mutex_);
 
   /// Inserts (or replaces) the keys for `plan` (whose encodings must be
   /// finalized), evicting LRU entries beyond the byte budget. Vectors
@@ -64,8 +81,9 @@ class SortKeyCache {
   /// of generation() read before the key build: a Clear() in between (crash
   /// / memory-manager eviction racing an in-flight Summarize) invalidates
   /// the insert, so evicted state cannot sneak back into the budget.
-  void Put(const SortKeyPlan& plan, KeysPtr keys, uint64_t generation);
-  void Put(const SortKeyPlan& plan, KeysPtr keys);
+  void Put(const SortKeyPlan& plan, KeysPtr keys, uint64_t generation)
+      EXCLUDES(mutex_);
+  void Put(const SortKeyPlan& plan, KeysPtr keys) EXCLUDES(mutex_);
 
   /// The single-flight consult path: cached keys if present; otherwise the
   /// first caller builds (when `build_allowed`) while concurrent callers
@@ -76,35 +94,27 @@ class SortKeyCache {
   /// path than any O(universe) key pass they could wait for. A Clear()
   /// racing the build discards the insert as usual; waiters are still
   /// served from the in-flight slot and later callers rebuild.
-  KeysPtr GetOrBuild(SortKeyPlan& plan, bool build_allowed);
+  KeysPtr GetOrBuild(SortKeyPlan& plan, bool build_allowed) EXCLUDES(mutex_);
 
   /// Drops everything (crash-restart / cache eviction, §5.8) and bumps the
   /// generation so racing Puts are discarded.
-  void Clear();
+  void Clear() EXCLUDES(mutex_);
 
   /// Monotone counter incremented by Clear(); read it before building keys
   /// and pass it to Put.
-  uint64_t generation() const;
+  uint64_t generation() const EXCLUDES(mutex_);
 
-  size_t size() const;
-  size_t bytes_used() const;
+  /// All counters and sizes, read atomically under the lock. Soft-state
+  /// regression tests assert a repeat scroll hits and an eviction resets to
+  /// a miss.
+  Stats Snapshot() const EXCLUDES(mutex_);
+
   size_t max_bytes() const { return max_bytes_; }
-
-  // Observability: soft-state regression tests assert a repeat scroll hits
-  // and an eviction resets to a miss.
-  int64_t hits() const;
-  int64_t misses() const;
-  int64_t evictions() const;
-  /// Misses served by another thread's in-flight build instead of a second
-  /// O(n) key pass.
-  int64_t coalesced_builds() const;
 
   /// Test hook: invoked by the building thread (unlocked) after it has
   /// registered as the in-flight builder and before it starts the key pass,
   /// so a threaded test can hold the build open until waiters have parked.
-  void SetInFlightHookForTest(std::function<void()> hook);
-  /// Threads currently parked on an in-flight build (test observability).
-  int64_t waiters() const;
+  void SetInFlightHookForTest(std::function<void()> hook) EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -116,15 +126,15 @@ class SortKeyCache {
     std::list<std::string>::iterator lru_position;
   };
 
-  void EvictOverBudgetLocked();
-  void DropDeadEntriesLocked();
+  void EvictOverBudgetLocked() REQUIRES(mutex_);
+  void DropDeadEntriesLocked() REQUIRES(mutex_);
 
   /// Serves a cache hit for `key` against `plan` under the lock, erasing the
   /// entry (and reporting a miss, unless `count_miss` is false — GetOrBuild
   /// retry rounds are one logical call) when its source columns died.
   /// Returns nullptr on miss.
   KeysPtr LookupLocked(const std::string& key, SortKeyPlan& plan,
-                       bool count_miss = true);
+                       bool count_miss = true) REQUIRES(mutex_);
 
   /// One in-flight build. Waiters hold the shared_ptr and adopt `keys` +
   /// `encodings` straight from it once `done`, so they are served even when
@@ -132,28 +142,32 @@ class SortKeyCache {
   /// would have built in parallel; serializing N full builds behind a
   /// never-cacheable entry would be strictly worse). `keys == nullptr`
   /// after `done` means the build failed (unwound); waiters then retry and
-  /// may become the next builder.
+  /// may become the next builder. All fields are guarded by the owning
+  /// cache's mutex_ (the analysis cannot express a guard across objects, so
+  /// the discipline is documented here and enforced by the access sites all
+  /// living in GetOrBuild's locked scopes).
   struct InFlightBuild {
     bool done = false;
     KeysPtr keys;
     SortKeyPlan::EncodingSnapshot encodings;
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable build_done_;
+  mutable Mutex mutex_;
+  CondVar build_done_;
   size_t max_bytes_;
-  size_t bytes_used_ = 0;
-  uint64_t generation_ = 0;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
+  size_t bytes_used_ GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  std::list<std::string> lru_ GUARDED_BY(mutex_);  // front = most recent
   /// CacheKeys with a build in flight; waiters park on build_done_.
-  std::unordered_map<std::string, std::shared_ptr<InFlightBuild>> in_flight_;
-  std::function<void()> in_flight_hook_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
-  int64_t coalesced_builds_ = 0;
-  int64_t waiters_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<InFlightBuild>> in_flight_
+      GUARDED_BY(mutex_);
+  std::function<void()> in_flight_hook_ GUARDED_BY(mutex_);
+  int64_t hits_ GUARDED_BY(mutex_) = 0;
+  int64_t misses_ GUARDED_BY(mutex_) = 0;
+  int64_t evictions_ GUARDED_BY(mutex_) = 0;
+  int64_t coalesced_builds_ GUARDED_BY(mutex_) = 0;
+  int64_t waiters_ GUARDED_BY(mutex_) = 0;
 };
 
 /// The one cache-consult sequence shared by every keyed sketch path:

@@ -1,12 +1,12 @@
 #ifndef HILLVIEW_UTIL_THREAD_POOL_H_
 #define HILLVIEW_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace hillview {
 
@@ -16,6 +16,11 @@ namespace hillview {
 ///
 /// Supports a high-priority lane used by cancellation messages, which must
 /// bypass queued work (§5.3: cancellation "bypasses the queuing mechanisms").
+///
+/// Locking discipline (checked by -Wthread-safety): `mutex_` guards the
+/// queue, the active-task count and the shutdown flag; both condition
+/// variables are signalled against it, and every predicate over guarded
+/// state is evaluated with the lock held.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads) {
@@ -34,40 +39,40 @@ class ThreadPool {
   /// Enqueues a task at normal priority. Tasks run FIFO. Returns false when
   /// the pool is shut down and the task was dropped — callers coordinating
   /// through completion latches must then run the task themselves.
-  bool Submit(std::function<void()> task) {
+  bool Submit(std::function<void()> task) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (shutdown_) return false;
       queue_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Enqueues a task ahead of all normal-priority work.
-  void SubmitHighPriority(std::function<void()> task) {
+  void SubmitHighPriority(std::function<void()> task) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (shutdown_) return;
       queue_.push_front(std::move(task));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   /// Blocks until every task submitted so far has finished.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  void Wait() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!(queue_.empty() && active_ == 0)) idle_cv_.Wait(mutex_);
   }
 
   /// Stops accepting work, drains in-flight tasks, joins threads. Idempotent.
-  void Shutdown() {
+  void Shutdown() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (shutdown_) return;
       shutdown_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& t : threads_) {
       if (t.joinable()) t.join();
     }
@@ -76,36 +81,43 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
  private:
-  void WorkerLoop() {
+  /// Blocks until a task is available (fills `*task`, increments `active_`,
+  /// returns true) or the pool is shut down with an empty queue (returns
+  /// false). Shutdown with queued work still hands out tasks: the pool
+  /// drains. The predicate over `queue_`/`shutdown_` is evaluated under the
+  /// lock the annotation requires.
+  bool PopTask(std::function<void()>* task) REQUIRES(mutex_) {
+    while (queue_.empty() && !shutdown_) cv_.Wait(mutex_);
+    if (queue_.empty()) return false;
+    *task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    return true;
+  }
+
+  void WorkerLoop() EXCLUDES(mutex_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-        if (queue_.empty()) {
-          if (shutdown_) return;
-          continue;
-        }
-        task = std::move(queue_.front());
-        queue_.pop_front();
-        ++active_;
+        MutexLock lock(mutex_);
+        if (!PopTask(&task)) return;
       }
       task();
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         --active_;
-        if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+        if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
       }
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
   std::vector<std::thread> threads_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  int active_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hillview

@@ -1,6 +1,7 @@
 #include "workload/operations.h"
 
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace hillview {
 namespace workload {
@@ -36,15 +37,15 @@ Status RunHistogramWithFirstPartial(Spreadsheet* sheet,
                                     OpMeasurement* m) {
   auto stream = sheet->HistogramStream(column);
   HV_RETURN_IF_ERROR(stream.status());
-  std::mutex mu;
+  Mutex mu;
   double first = 0;
   stream.value()->Subscribe([&](const PartialResult<HistogramResult>&) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (first == 0) first = watch.ElapsedSeconds();
   });
   stream.value()->BlockingLast();
   HV_RETURN_IF_ERROR(stream.value()->final_status());
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   m->first_partial_seconds = first;
   return Status::OK();
 }

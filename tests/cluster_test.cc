@@ -236,7 +236,7 @@ TEST(Cluster, ComputationCacheServesRepeatedQueries) {
   ASSERT_TRUE(r2.ok());
   // Second run is a cache hit: no new network traffic.
   EXPECT_EQ(tc->network.bytes_received_by_root(), bytes_after_first);
-  EXPECT_EQ(tc->root->cache().hits(), 1);
+  EXPECT_EQ(tc->root->cache().Snapshot().hits, 1);
   EXPECT_DOUBLE_EQ(r2.value().min, r1.value().min);
 }
 
@@ -261,14 +261,14 @@ TEST(Cluster, CacheKeysRandomizedSketchesBySeed) {
   auto r8 = tc->root->RunSketch<HistogramResult>("data", sketch, /*seed=*/8,
                                                  /*cacheable=*/true);
   ASSERT_TRUE(r8.ok());
-  EXPECT_EQ(tc->root->cache().size(), 2u);
-  EXPECT_EQ(tc->root->cache().hits(), 0);
+  EXPECT_EQ(tc->root->cache().Snapshot().entries, 2u);
+  EXPECT_EQ(tc->root->cache().Snapshot().hits, 0);
 
   // A repeat of seed 7 hits the cache and returns the seed-7 summary.
   auto again = tc->root->RunSketch<HistogramResult>("data", sketch, /*seed=*/7,
                                                     /*cacheable=*/true);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(tc->root->cache().hits(), 1);
+  EXPECT_EQ(tc->root->cache().Snapshot().hits, 1);
   EXPECT_EQ(again.value().counts, r7.value().counts);
 }
 
@@ -276,9 +276,9 @@ TEST(ComputationCache, CountsEvictions) {
   ComputationCache cache(/*max_entries=*/2);
   cache.Put("a", AnySummary::Wrap<int>(1));
   cache.Put("b", AnySummary::Wrap<int>(2));
-  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_EQ(cache.Snapshot().evictions, 0);
   cache.Put("c", AnySummary::Wrap<int>(3));
-  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.Snapshot().evictions, 1);
   EXPECT_FALSE(cache.Get("a").has_value());  // "a" was the LRU victim
   EXPECT_TRUE(cache.Get("c").has_value());
 }
@@ -299,12 +299,12 @@ TEST(Cluster, SortKeyCacheServesRepeatedScrolls) {
 
   auto hits = [&] {
     int64_t h = 0;
-    for (auto& w : tc->workers) h += w->key_cache()->hits();
+    for (auto& w : tc->workers) h += w->key_cache()->Snapshot().hits;
     return h;
   };
   auto misses = [&] {
     int64_t m = 0;
-    for (auto& w : tc->workers) m += w->key_cache()->misses();
+    for (auto& w : tc->workers) m += w->key_cache()->Snapshot().misses;
     return m;
   };
 
@@ -329,7 +329,7 @@ TEST(Cluster, SortKeyCacheServesRepeatedScrolls) {
   // Cache eviction drops the soft state; the next scroll is a miss again
   // and transparently rebuilds.
   for (auto& w : tc->workers) w->EvictCaches();
-  for (auto& w : tc->workers) EXPECT_EQ(w->key_cache()->size(), 0u);
+  for (auto& w : tc->workers) EXPECT_EQ(w->key_cache()->Snapshot().entries, 0u);
   auto r3 = tc->root->RunSketch<NextItemsResult>("data", scroll_at(50.0));
   ASSERT_TRUE(r3.ok());
   EXPECT_EQ(hits(), 4);

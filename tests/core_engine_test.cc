@@ -267,9 +267,9 @@ TEST(ComputationCache, HitMissAndLru) {
   EXPECT_TRUE(cache.Get("a").has_value());
   EXPECT_FALSE(cache.Get("b").has_value());
   EXPECT_TRUE(cache.Get("c").has_value());
-  EXPECT_EQ(cache.size(), 2u);
-  EXPECT_GT(cache.hits(), 0);
-  EXPECT_GT(cache.misses(), 0);
+  EXPECT_EQ(cache.Snapshot().entries, 2u);
+  EXPECT_GT(cache.Snapshot().hits, 0);
+  EXPECT_GT(cache.Snapshot().misses, 0);
 }
 
 TEST(ComputationCache, TypedRoundTrip) {

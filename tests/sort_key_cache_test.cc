@@ -94,24 +94,24 @@ TEST(SortKeyCache, MissThenHitThenClear) {
   ASSERT_TRUE(plan.valid());
 
   EXPECT_EQ(cache.Get(plan), nullptr);
-  EXPECT_EQ(cache.misses(), 1);
-  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.Snapshot().misses, 1);
+  EXPECT_EQ(cache.Snapshot().hits, 0);
 
   auto keys = plan.BuildKeys();
   cache.Put(plan, keys);
-  EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.bytes_used(), 300u * sizeof(uint64_t));
+  EXPECT_EQ(cache.Snapshot().entries, 1u);
+  EXPECT_EQ(cache.Snapshot().bytes_used, 300u * sizeof(uint64_t));
 
   auto cached = cache.Get(plan);
   ASSERT_NE(cached, nullptr);
   EXPECT_EQ(cached.get(), keys.get());  // the same vector, not a copy
-  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.Snapshot().hits, 1);
 
   cache.Clear();
-  EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.Snapshot().entries, 0u);
+  EXPECT_EQ(cache.Snapshot().bytes_used, 0u);
   EXPECT_EQ(cache.Get(plan), nullptr);
-  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.Snapshot().misses, 2);
 }
 
 TEST(SortKeyCache, ClearInvalidatesInFlightPuts) {
@@ -125,11 +125,11 @@ TEST(SortKeyCache, ClearInvalidatesInFlightPuts) {
   auto keys = plan.BuildKeys();
   cache.Clear();  // the memory manager fires mid-scan
   cache.Put(plan, keys, generation);
-  EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.Snapshot().entries, 0u);
+  EXPECT_EQ(cache.Snapshot().bytes_used, 0u);
   // A Put under the current generation is accepted again.
   cache.Put(plan, keys, cache.generation());
-  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Snapshot().entries, 1u);
 }
 
 TEST(SortKeyCache, HitRestoresEncodingsWithoutPrePasses) {
@@ -171,15 +171,15 @@ TEST(SortKeyCache, GetOrBuildKeysFillsOnceAndHonorsTheGate) {
   // Build not allowed (the caller's density gate said no) and nothing
   // cached: no keys, and nothing inserted.
   EXPECT_EQ(GetOrBuildKeys(&cache, plan, /*build_allowed=*/false), nullptr);
-  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Snapshot().entries, 0u);
   auto first = GetOrBuildKeys(&cache, plan, /*build_allowed=*/true);
   ASSERT_NE(first, nullptr);
   SortKeyPlan again(*t, order, SortKeyPlan::kDeferKeys);
   // A hit serves cached keys even when a build would not be allowed.
   auto second = GetOrBuildKeys(&cache, again, /*build_allowed=*/false);
   EXPECT_EQ(first.get(), second.get());
-  EXPECT_EQ(cache.misses(), 2);
-  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.Snapshot().misses, 2);
+  EXPECT_EQ(cache.Snapshot().hits, 1);
   // Cache-less callers build directly (when allowed).
   SortKeyPlan lone(*t, order, SortKeyPlan::kDeferKeys);
   EXPECT_EQ(GetOrBuildKeys(nullptr, lone, /*build_allowed=*/false), nullptr);
@@ -197,7 +197,7 @@ TEST(SortKeyCache, ConcurrentMissesCoalesceOnOneBuilder) {
   SortKeyCache cache;
   constexpr int kThreads = 6;
   cache.SetInFlightHookForTest([&cache] {
-    while (cache.waiters() < kThreads - 1) std::this_thread::yield();
+    while (cache.Snapshot().waiters < kThreads - 1) std::this_thread::yield();
   });
   std::vector<SortKeyCache::KeysPtr> results(kThreads);
   std::vector<std::thread> threads;
@@ -215,16 +215,16 @@ TEST(SortKeyCache, ConcurrentMissesCoalesceOnOneBuilder) {
     EXPECT_EQ(results[i].get(), results[0].get())
         << "thread " << i << " built a duplicate key vector";
   }
-  EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.misses(), kThreads);         // every thread's first lookup
-  EXPECT_EQ(cache.hits(), kThreads - 1);       // waiters adopting the build
-  EXPECT_EQ(cache.coalesced_builds(), kThreads - 1);
-  EXPECT_EQ(cache.waiters(), 0);
+  EXPECT_EQ(cache.Snapshot().entries, 1u);
+  EXPECT_EQ(cache.Snapshot().misses, kThreads);         // every thread's first lookup
+  EXPECT_EQ(cache.Snapshot().hits, kThreads - 1);       // waiters adopting the build
+  EXPECT_EQ(cache.Snapshot().coalesced_builds, kThreads - 1);
+  EXPECT_EQ(cache.Snapshot().waiters, 0);
 
   // A later caller is an ordinary hit, not a coalesced one.
   SortKeyPlan later(*t, order, SortKeyPlan::kDeferKeys);
   EXPECT_NE(cache.GetOrBuild(later, /*build_allowed=*/false), nullptr);
-  EXPECT_EQ(cache.coalesced_builds(), kThreads - 1);
+  EXPECT_EQ(cache.Snapshot().coalesced_builds, kThreads - 1);
 }
 
 TEST(SortKeyCache, WaitersAdoptBuildsTooLargeToCache) {
@@ -237,7 +237,7 @@ TEST(SortKeyCache, WaitersAdoptBuildsTooLargeToCache) {
   SortKeyCache cache(/*max_bytes=*/100 * sizeof(uint64_t));  // 600 > 100
   constexpr int kThreads = 3;
   cache.SetInFlightHookForTest([&cache] {
-    while (cache.waiters() < kThreads - 1) std::this_thread::yield();
+    while (cache.Snapshot().waiters < kThreads - 1) std::this_thread::yield();
   });
   std::vector<SortKeyCache::KeysPtr> results(kThreads);
   std::vector<std::thread> threads;
@@ -254,8 +254,8 @@ TEST(SortKeyCache, WaitersAdoptBuildsTooLargeToCache) {
   for (int i = 1; i < kThreads; ++i) {
     EXPECT_EQ(results[i].get(), results[0].get());
   }
-  EXPECT_EQ(cache.size(), 0u);  // still uncacheable
-  EXPECT_EQ(cache.coalesced_builds(), kThreads - 1);
+  EXPECT_EQ(cache.Snapshot().entries, 0u);  // still uncacheable
+  EXPECT_EQ(cache.Snapshot().coalesced_builds, kThreads - 1);
 }
 
 TEST(SortKeyCache, GetOrBuildWithoutPermissionOrFlightReturnsNull) {
@@ -265,8 +265,8 @@ TEST(SortKeyCache, GetOrBuildWithoutPermissionOrFlightReturnsNull) {
   // No cached entry, no in-flight build, and the density gate said no:
   // the caller falls back to the virtual comparator path.
   EXPECT_EQ(cache.GetOrBuild(plan, /*build_allowed=*/false), nullptr);
-  EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.Snapshot().entries, 0u);
+  EXPECT_EQ(cache.Snapshot().misses, 1);
 }
 
 TEST(SortKeyCache, ByteBudgetEvictsLeastRecentlyUsed) {
@@ -279,12 +279,12 @@ TEST(SortKeyCache, ByteBudgetEvictsLeastRecentlyUsed) {
   SortKeyPlan pc(*c, order, SortKeyPlan::kDeferKeys);
   cache.Put(pa, pa.BuildKeys());
   cache.Put(pb, pb.BuildKeys());
-  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Snapshot().entries, 2u);
   // Touch a so b becomes the LRU victim.
   EXPECT_NE(cache.Get(pa), nullptr);
   cache.Put(pc, pc.BuildKeys());
-  EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.Snapshot().entries, 2u);
+  EXPECT_EQ(cache.Snapshot().evictions, 1);
   EXPECT_NE(cache.Get(pa), nullptr);
   EXPECT_NE(cache.Get(pc), nullptr);
   EXPECT_EQ(cache.Get(pb), nullptr);  // evicted
@@ -302,7 +302,7 @@ TEST(SortKeyCache, DeadColumnsAreNeverServed) {
     TablePtr t = MakeTable(150);
     SortKeyPlan plan(*t, order, SortKeyPlan::kDeferKeys);
     cache.Put(plan, plan.BuildKeys());
-    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.Snapshot().entries, 1u);
   }
   // The table (and its columns) died; even if a new column were allocated at
   // the same address, the expired weak reference blocks the stale entry.
@@ -312,7 +312,7 @@ TEST(SortKeyCache, DeadColumnsAreNeverServed) {
   TablePtr fresh = MakeTable(150);
   SortKeyPlan plan(*fresh, order, SortKeyPlan::kDeferKeys);
   EXPECT_EQ(cache.Get(plan), nullptr);
-  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.Snapshot().misses, 1);
 }
 
 TEST(SortKeyCache, FilterDerivedTablesShareTheParentEntry) {
@@ -327,7 +327,7 @@ TEST(SortKeyCache, FilterDerivedTablesShareTheParentEntry) {
   SortKeyPlan zoom_plan(*zoomed, order, SortKeyPlan::kDeferKeys);
   EXPECT_EQ(zoom_plan.CacheKey(), full_plan.CacheKey());
   EXPECT_NE(cache.Get(zoom_plan), nullptr);
-  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.Snapshot().hits, 1);
 }
 
 }  // namespace
