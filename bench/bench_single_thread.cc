@@ -518,9 +518,7 @@ BENCHMARK(BM_FilterRangeVirtual)->Unit(benchmark::kMillisecond);
 void BM_FilterEqualsTyped(benchmark::State& state) {
   TablePtr t = MakeStringData();
   ColumnPtr col = t->GetColumnOrNull("s");
-  const auto& dict = col->Dictionary();
-  uint32_t code = static_cast<uint32_t>(
-      std::lower_bound(dict.begin(), dict.end(), "item500") - dict.begin());
+  uint32_t code = col->Dictionary().LowerBound("item500");
   for (auto _ : state) {
     MembershipPtr m = FilterEqualsCodeMembership(*col, *t->members(), code);
     benchmark::DoNotOptimize(m->size());
@@ -533,9 +531,7 @@ void BM_FilterEqualsVirtual(benchmark::State& state) {
   TablePtr t = MakeStringData();
   ColumnPtr col = t->GetColumnOrNull("s");
   const uint32_t* codes = col->RawCodes();
-  const auto& dict = col->Dictionary();
-  uint32_t code = static_cast<uint32_t>(
-      std::lower_bound(dict.begin(), dict.end(), "item500") - dict.begin());
+  uint32_t code = col->Dictionary().LowerBound("item500");
   for (auto _ : state) {
     TablePtr f = t->Filter(
         [codes, code](uint32_t row) { return codes[row] == code; });
@@ -577,7 +573,7 @@ void BM_FilterRegexVirtual(benchmark::State& state) {
     StringMatcher matcher(filter);
     const auto& dict = col->Dictionary();
     std::vector<uint8_t> match(dict.size());
-    for (size_t d = 0; d < dict.size(); ++d) {
+    for (uint32_t d = 0; d < dict.size(); ++d) {
       match[d] = matcher.Matches(dict[d]) ? 1 : 0;
     }
     TablePtr f = t->Filter([codes, match = std::move(match)](uint32_t row) {

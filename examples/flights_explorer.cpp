@@ -2,7 +2,11 @@
 // on-time performance dataset with charts, filtering (zoom-in), heavy
 // hitters, and derived columns, on a multi-worker deployment.
 //
-//   ./examples/flights_explorer [rows] [workers]
+//   ./examples/flights_explorer [rows] [workers] [mmap-dir]
+//
+// With a third argument, partitions are first spilled to HVCF files in that
+// directory and served through the mmap storage backend (zero-copy scans out
+// of the page cache) instead of being regenerated in memory.
 //
 // Walks an analyst session: overview histogram -> zoom into the delayed
 // flights -> which airlines dominate -> how delays correlate -> derive a
@@ -30,9 +34,21 @@ int main(int argc, char** argv) {
   }
   cluster::SimulatedNetwork network;
   cluster::RootSession root(workers, &network);
-  if (!root.LoadDataSet("flights",
-                        workload::FlightsLoaders(rows, 50000, 42))
-           .ok()) {
+  std::vector<LocalDataSet::Loader> loaders;
+  if (argc > 3) {
+    std::printf("spilling partitions to %s and serving them via mmap...\n",
+                argv[3]);
+    auto file_loaders = workload::FlightsFileLoaders(
+        argv[3], rows, 50000, 42, StorageBackend::kMmap);
+    if (!file_loaders.ok()) {
+      std::fprintf(stderr, "%s\n", file_loaders.status().ToString().c_str());
+      return 1;
+    }
+    loaders = file_loaders.Take();
+  } else {
+    loaders = workload::FlightsLoaders(rows, 50000, 42);
+  }
+  if (!root.LoadDataSet("flights", std::move(loaders)).ok()) {
     return 1;
   }
   ScreenResolution screen{72, 16};

@@ -18,6 +18,17 @@ std::shared_ptr<LocalDataSet> LocalDataSet::FromTable(std::string id,
                     [table]() -> Result<TablePtr> { return table; });
 }
 
+std::shared_ptr<LocalDataSet> LocalDataSet::FromColumnarFile(
+    std::string id, std::string path, StorageBackend backend,
+    ReadOptions options) {
+  return FromLoader(
+      std::move(id),
+      [path = std::move(path), backend,
+       options = std::move(options)]() -> Result<TablePtr> {
+        return OpenTableFile(path, backend, options);
+      });
+}
+
 Result<TablePtr> LocalDataSet::GetTable() {
   MutexLock lock(mutex_);
   if (cached_ != nullptr) return cached_;

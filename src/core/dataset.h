@@ -9,6 +9,7 @@
 
 #include "core/any_sketch.h"
 #include "reactive/observable.h"
+#include "storage/columnar_file.h"
 #include "storage/table.h"
 #include "util/random.h"
 #include "util/thread_annotations.h"
@@ -140,6 +141,16 @@ class LocalDataSet final : public IDataSet,
   /// no-op since the loader just returns the same table.
   static std::shared_ptr<LocalDataSet> FromTable(std::string id,
                                                  TablePtr table);
+
+  /// Dataset whose partition lives in an HVCF columnar file, opened through
+  /// the chosen storage backend (§5.4's repository path). With the mmap
+  /// backend, eviction drops only the column views — the kernel's page cache
+  /// keeps whatever stays hot, so a reload after Evict() costs no read at
+  /// all for resident pages. `options` (column subset, heap-read throttling)
+  /// is forwarded to the open.
+  static std::shared_ptr<LocalDataSet> FromColumnarFile(
+      std::string id, std::string path, StorageBackend backend,
+      ReadOptions options = {});
 
   const std::string& id() const override { return id_; }
 

@@ -28,8 +28,8 @@ std::string StringFilter::ToString() const {
 
 namespace {
 
-std::string Lower(const std::string& s) {
-  std::string out = s;
+std::string Lower(std::string_view s) {
+  std::string out(s);
   std::transform(out.begin(), out.end(), out.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return out;
@@ -58,32 +58,35 @@ Status StringMatcher::Validate(const StringFilter& filter) {
   return StringMatcher(filter).status();
 }
 
-bool StringMatcher::Matches(const std::string& s) const {
+bool StringMatcher::Matches(std::string_view s) const {
   switch (filter_.mode) {
     case StringFilter::Mode::kExact:
       if (filter_.case_sensitive) return s == filter_.text;
       return Lower(s) == lowered_text_;
     case StringFilter::Mode::kSubstring:
       if (filter_.case_sensitive) {
-        return s.find(filter_.text) != std::string::npos;
+        return s.find(filter_.text) != std::string_view::npos;
       }
       return Lower(s).find(lowered_text_) != std::string::npos;
     case StringFilter::Mode::kRegex:
       if (regex_ == nullptr) return false;  // failed compile matches nothing
+      // Iterator form: mapped dictionaries hand out views into the string
+      // pool, which regex_search can scan in place.
       return std::regex_search(
-          s, *static_cast<const std::regex*>(regex_.get()));
+          s.data(), s.data() + s.size(),
+          *static_cast<const std::regex*>(regex_.get()));
   }
   return false;
 }
 
 std::vector<uint8_t> MatchDictionary(const StringMatcher& matcher,
-                                     const std::vector<std::string>& dict,
+                                     const StringDictionary& dict,
                                      ThreadPool* pool) {
-  std::vector<uint8_t> match(dict.size(), 0);
   const size_t n = dict.size();
+  std::vector<uint8_t> match(n, 0);
   if (pool == nullptr || n < kParallelDictionaryThreshold) {
     for (size_t d = 0; d < n; ++d) {
-      match[d] = matcher.Matches(dict[d]) ? 1 : 0;
+      match[d] = matcher.Matches(dict[static_cast<uint32_t>(d)]) ? 1 : 0;
     }
     return match;
   }
@@ -106,7 +109,7 @@ std::vector<uint8_t> MatchDictionary(const StringMatcher& matcher,
     const size_t end = std::min(n, begin + per_chunk);
     auto task = [&, begin, end] {
       for (size_t d = begin; d < end; ++d) {
-        match[d] = matcher.Matches(dict[d]) ? 1 : 0;
+        match[d] = matcher.Matches(dict[static_cast<uint32_t>(d)]) ? 1 : 0;
       }
       MutexLock lock(mu);
       if (--remaining == 0) done_cv.NotifyAll();
@@ -203,7 +206,9 @@ FindResult FindTextSketch::Summarize(const Table& table, uint64_t seed,
     bool matches = false;
     for (size_t i = 0; i < cols.size(); ++i) {
       uint32_t code = codes[i][row];
-      if (code != StringColumn::kMissingCode && dict_match[i][code]) {
+      // Any code past the dictionary reads as missing (matches nothing) —
+      // same corrupt-tolerant rule the scan layer applies.
+      if (code < dict_match[i].size() && dict_match[i][code]) {
         matches = true;
         break;
       }

@@ -3,10 +3,12 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sketch/next_items.h"
 #include "sketch/sketch.h"
+#include "storage/column_storage.h"
 #include "storage/row_order.h"
 #include "util/serialize.h"
 
@@ -32,7 +34,7 @@ struct StringFilter {
 class StringMatcher {
  public:
   explicit StringMatcher(const StringFilter& filter);
-  bool Matches(const std::string& s) const;
+  bool Matches(std::string_view s) const;
 
   /// OK, or InvalidArgument describing the rejected pattern.
   const Status& status() const { return status_; }
@@ -62,7 +64,7 @@ inline constexpr size_t kParallelDictionaryThreshold = 4096;
 /// is what makes regex search O(distinct strings), not O(rows), and
 /// parallel on big dictionaries.
 std::vector<uint8_t> MatchDictionary(const StringMatcher& matcher,
-                                     const std::vector<std::string>& dict,
+                                     const StringDictionary& dict,
                                      ThreadPool* pool = nullptr);
 
 /// The "Find text" vizketch (§B.2): the first row matching the criteria

@@ -120,7 +120,10 @@ CountMap CountColumn(const Table& table, const std::string& column, int k,
     CodeCountTally tally{code_counts.data(), rows_counted, missing};
     ScanColumn(c, *table.members(), rate, seed, tally);
     for (size_t code = 0; code < code_counts.size(); ++code) {
-      if (code_counts[code] > 0) counts[Value(dict[code])] = code_counts[code];
+      if (code_counts[code] > 0) {
+        counts[Value(std::string(dict[static_cast<uint32_t>(code)]))] =
+            code_counts[code];
+      }
     }
     return counts;
   }

@@ -292,13 +292,12 @@ Result<Spreadsheet> Spreadsheet::FilterEquals(const std::string& column,
     }
     // One dictionary lookup, then the row test is a typed code compare in
     // the scan layer's dispatch-once loop.
-    const auto& dict = col->Dictionary();
-    auto it = std::lower_bound(dict.begin(), dict.end(), value);
-    if (it == dict.end() || *it != value) {
+    const StringDictionary& dict = col->Dictionary();
+    uint32_t code = dict.LowerBound(value);
+    if (code >= dict.size() || dict[code] != value) {
       return table->WithMembership(std::make_shared<SparseMembership>(
           std::vector<uint32_t>{}, table->universe_size()));
     }
-    uint32_t code = static_cast<uint32_t>(it - dict.begin());
     return table->WithMembership(
         FilterEqualsCodeMembership(*col, *table->members(), code));
   };

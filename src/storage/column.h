@@ -9,20 +9,42 @@
 #include <string_view>
 #include <vector>
 
+#include "storage/column_storage.h"
 #include "storage/value.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace hillview {
 
+class IMembershipSet;
+
 /// Bitmap of missing values. Empty mask means "no value is missing", which is
 /// the common case and costs nothing.
+///
+/// Like column payloads, the bitmap sits behind the storage-backend seam:
+/// either an owned word vector (builders, streaming reads) or a zero-copy
+/// view over the null-words segment of a mapped columnar file. Views are
+/// immutable — SetMissing is only legal on owned masks.
 class NullMask {
  public:
   NullMask() = default;
 
+  /// Owned mask from prebuilt words (file readers). `count` must equal the
+  /// number of set bits.
+  NullMask(std::vector<uint64_t> words, uint64_t count)
+      : words_(std::move(words)), count_(count) {}
+
+  /// Zero-copy view over mapped null words; `keeper` keeps the mapping (or
+  /// other backing storage) alive for the lifetime of the mask.
+  NullMask(const uint64_t* words, size_t num_words, uint64_t count,
+           std::shared_ptr<const void> keeper)
+      : view_(words),
+        view_words_(num_words),
+        keeper_(std::move(keeper)),
+        count_(count) {}
+
   /// Marks `row` missing, growing the bitmap as needed. Idempotent: marking
-  /// an already-missing row leaves count() unchanged.
+  /// an already-missing row leaves count() unchanged. Owned masks only.
   void SetMissing(uint32_t row) {
     size_t word = row >> 6;
     if (word >= words_.size()) words_.resize(word + 1, 0);
@@ -35,24 +57,38 @@ class NullMask {
 
   bool IsMissing(uint32_t row) const {
     size_t word = row >> 6;
-    if (word >= words_.size()) return false;
-    return (words_[word] >> (row & 63)) & 1;
+    if (word >= num_words()) return false;
+    return (word_data()[word] >> (row & 63)) & 1;
   }
 
   bool empty() const { return count_ == 0; }
   uint64_t count() const { return count_; }
-  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+  bool is_view() const { return view_ != nullptr; }
 
-  const std::vector<uint64_t>& words() const { return words_; }
+  /// Heap bytes (views report 0; their words live in the mapped file).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+  size_t MappedBytes() const { return view_words_ * sizeof(uint64_t); }
+
+  const uint64_t* word_data() const {
+    return view_ != nullptr ? view_ : words_.data();
+  }
+  size_t num_words() const {
+    return view_ != nullptr ? view_words_ : words_.size();
+  }
 
  private:
   std::vector<uint64_t> words_;
+  const uint64_t* view_ = nullptr;
+  size_t view_words_ = 0;
+  std::shared_ptr<const void> keeper_;
   uint64_t count_ = 0;
 };
 
 /// Read-only columnar data. The in-memory representation follows §6: plain
 /// arrays of base types to minimize allocator pressure; string columns use
-/// dictionary encoding for compression.
+/// dictionary encoding for compression. Payloads sit behind ColumnStorage,
+/// so the arrays are either heap-resident or mapped from a columnar file —
+/// interchangeable under the scan layer.
 ///
 /// Scans (vizketch summarize functions) should prefer the Raw* fast paths and
 /// fall back to the virtual per-row accessors only for generic code paths
@@ -84,9 +120,21 @@ class IColumn {
   /// and distinct-count sketches). Missing hashes to a fixed sentinel.
   virtual uint64_t HashRow(uint32_t row, uint64_t seed) const = 0;
 
+  /// Heap-resident bytes (soft-state accounting; mapped payloads report 0).
   virtual size_t MemoryBytes() const = 0;
 
+  /// File bytes served via mmap (0 for heap-resident columns).
+  virtual size_t MappedBytes() const { return 0; }
+
   virtual const NullMask& null_mask() const = 0;
+
+  /// Storage-backend hook the scan layer calls once per scan, before walking
+  /// rows: mapped columns translate the membership shape into madvise
+  /// prefetch (MADV_SEQUENTIAL for full/dense scans, batched MADV_WILLNEED
+  /// page ranges for sparse row lists). Heap columns do nothing.
+  virtual void PrepareScan(const IMembershipSet& members) const {
+    (void)members;
+  }
 
   // Fast-path raw accessors; each returns nullptr unless the column has that
   // physical representation.
@@ -96,8 +144,8 @@ class IColumn {
   virtual const uint32_t* RawCodes() const { return nullptr; }
 
   /// For dictionary-encoded columns: the sorted dictionary; empty otherwise.
-  virtual const std::vector<std::string>& Dictionary() const {
-    static const std::vector<std::string> kEmpty;
+  virtual const StringDictionary& Dictionary() const {
+    static const StringDictionary kEmpty;
     return kEmpty;
   }
 };
@@ -118,11 +166,20 @@ class NumericColumn final : public IColumn {
     // instead of each virtual accessor re-deciding; it also keeps
     // CompareRows a strict weak ordering (raw NaN comparisons are not).
     if constexpr (std::is_same_v<T, double>) {
+      const T* raw = data_.data();
       for (uint32_t row = 0; row < data_.size(); ++row) {
-        if (std::isnan(data_[row])) nulls_.SetMissing(row);
+        if (std::isnan(raw[row])) nulls_.SetMissing(row);
       }
     }
   }
+
+  /// Mapped-backend constructor. No NaN folding pass: touching every value
+  /// here would fault the whole file in and defeat the lazy mapping. The
+  /// columnar writer serialized the source column's already-folded mask, so
+  /// the invariant holds for well-formed files; scan.h's Emit still routes
+  /// any stray NaN in a corrupt file to OnMissing.
+  NumericColumn(ColumnStorage<T> data, NullMask nulls)
+      : data_(std::move(data)), nulls_(std::move(nulls)) {}
 
   DataKind kind() const override { return KIND; }
   uint32_t size() const override { return static_cast<uint32_t>(data_.size()); }
@@ -166,10 +223,18 @@ class NumericColumn final : public IColumn {
   }
 
   size_t MemoryBytes() const override {
-    return data_.size() * sizeof(T) + nulls_.MemoryBytes();
+    return data_.HeapBytes() + nulls_.MemoryBytes();
+  }
+
+  size_t MappedBytes() const override {
+    return data_.MappedBytes() + nulls_.MappedBytes();
   }
 
   const NullMask& null_mask() const override { return nulls_; }
+
+  void PrepareScan(const IMembershipSet& members) const override {
+    if (data_.mapped()) AdviseForScan(data_.segment(), members, sizeof(T));
+  }
 
   const int32_t* RawInt() const override {
     if constexpr (std::is_same_v<T, int32_t>) return data_.data();
@@ -184,10 +249,8 @@ class NumericColumn final : public IColumn {
     return nullptr;
   }
 
-  const std::vector<T>& data() const { return data_; }
-
  private:
-  std::vector<T> data_;
+  ColumnStorage<T> data_;
   NullMask nulls_;
 };
 
@@ -206,21 +269,40 @@ class StringColumn final : public IColumn {
 
   StringColumn(DataKind kind, std::vector<uint32_t> codes,
                std::vector<std::string> dictionary)
-      : kind_(kind), codes_(std::move(codes)), dict_(std::move(dictionary)) {
+      : kind_(kind),
+        codes_(std::move(codes)),
+        dict_(std::move(dictionary)) {
     // Missing rows are encoded in the code stream (kMissingCode); derive the
     // bitmap once so generic null-mask consumers see the same missing rows
     // as IsMissing().
+    const uint32_t* raw = codes_.data();
+    uint32_t limit = dict_.size();
     for (uint32_t row = 0; row < codes_.size(); ++row) {
-      if (codes_[row] == kMissingCode) nulls_.SetMissing(row);
+      if (raw[row] >= limit) nulls_.SetMissing(row);
     }
   }
+
+  /// Storage-backend constructor (mapped or pre-decoded): codes, dictionary
+  /// and null mask arrive ready-made. `nulls` must mark exactly the rows
+  /// whose code is out of dictionary range (the writer guarantees this for
+  /// well-formed files; every accessor also clamps, so a corrupt file
+  /// degrades to extra missing values, never out-of-bounds reads).
+  StringColumn(DataKind kind, ColumnStorage<uint32_t> codes,
+               StringDictionary dict, NullMask nulls)
+      : kind_(kind),
+        codes_(std::move(codes)),
+        dict_(std::move(dict)),
+        nulls_(std::move(nulls)) {}
 
   DataKind kind() const override { return kind_; }
   uint32_t size() const override {
     return static_cast<uint32_t>(codes_.size());
   }
+
+  /// Central corrupt-tolerant policy: any code at or beyond the dictionary
+  /// is missing. kMissingCode (max uint32) is simply the canonical such code.
   bool IsMissing(uint32_t row) const override {
-    return codes_[row] == kMissingCode;
+    return codes_[row] >= dict_.size();
   }
 
   double GetDouble(uint32_t row) const override {
@@ -229,12 +311,12 @@ class StringColumn final : public IColumn {
 
   Value GetValue(uint32_t row) const override {
     if (IsMissing(row)) return std::monostate{};
-    return dict_[codes_[row]];
+    return std::string(dict_[codes_[row]]);
   }
 
   std::string GetString(uint32_t row) const override {
     if (IsMissing(row)) return "";
-    return dict_[codes_[row]];
+    return std::string(dict_[codes_[row]]);
   }
 
   std::string_view GetStringView(uint32_t row) const {
@@ -244,34 +326,46 @@ class StringColumn final : public IColumn {
 
   int CompareRows(uint32_t a, uint32_t b) const override {
     uint32_t ca = codes_[a], cb = codes_[b];
-    // kMissingCode is the max uint32, so missing naturally sorts last.
+    // Clamp out-of-range codes to the missing sentinel so all missing rows
+    // compare equal (and last) even in a corrupt file.
+    uint32_t limit = dict_.size();
+    if (ca >= limit) ca = kMissingCode;
+    if (cb >= limit) cb = kMissingCode;
     if (ca != cb) return ca < cb ? -1 : 1;
     return 0;
   }
 
   uint64_t HashRow(uint32_t row, uint64_t seed) const override {
     if (IsMissing(row)) return MixSeed(seed, 0x6d697373);
-    const std::string& s = dict_[codes_[row]];
+    std::string_view s = dict_[codes_[row]];
     return HashBytes(s.data(), s.size(), seed);
   }
 
   size_t MemoryBytes() const override {
-    size_t bytes = codes_.size() * sizeof(uint32_t) + nulls_.MemoryBytes();
-    for (const auto& s : dict_) bytes += s.size() + sizeof(std::string);
-    return bytes;
+    return codes_.HeapBytes() + nulls_.MemoryBytes() + dict_.MemoryBytes();
+  }
+
+  size_t MappedBytes() const override {
+    return codes_.MappedBytes() + nulls_.MappedBytes() + dict_.MappedBytes();
   }
 
   const NullMask& null_mask() const override { return nulls_; }
 
-  const uint32_t* RawCodes() const override { return codes_.data(); }
-  const std::vector<std::string>& Dictionary() const override { return dict_; }
+  void PrepareScan(const IMembershipSet& members) const override {
+    if (codes_.mapped()) {
+      AdviseForScan(codes_.segment(), members, sizeof(uint32_t));
+    }
+  }
 
-  uint32_t dictionary_size() const { return static_cast<uint32_t>(dict_.size()); }
+  const uint32_t* RawCodes() const override { return codes_.data(); }
+  const StringDictionary& Dictionary() const override { return dict_; }
+
+  uint32_t dictionary_size() const { return dict_.size(); }
 
  private:
   DataKind kind_;
-  std::vector<uint32_t> codes_;
-  std::vector<std::string> dict_;
+  ColumnStorage<uint32_t> codes_;
+  StringDictionary dict_;
   NullMask nulls_;
 };
 

@@ -1,0 +1,127 @@
+#ifndef HILLVIEW_STORAGE_COLUMN_STORAGE_H_
+#define HILLVIEW_STORAGE_COLUMN_STORAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/mmap_file.h"
+
+namespace hillview {
+
+/// Storage-backend seam for a column's typed payload: either a heap-resident
+/// vector (what builders and streaming file reads produce) or a zero-copy
+/// span over a mapped columnar-file segment. Scans consume only
+/// data()/size() — the RawData() contract scan.h's devirtualized loops are
+/// built on — so the two backends are interchangeable without touching any
+/// sketch, and a later compressed-on-disk backend only has to produce the
+/// same span.
+template <typename T>
+class ColumnStorage {
+ public:
+  ColumnStorage() = default;
+
+  /// Heap backend: the storage owns the vector.
+  explicit ColumnStorage(std::vector<T> owned) : owned_(std::move(owned)) {}
+
+  /// Mapped backend: a view over `segment` (which keeps the mapping alive).
+  /// `data` must point into the segment and stay valid as long as the file
+  /// mapping does; the bytes are served straight from the page cache.
+  ColumnStorage(const T* data, size_t size, MappedSegment segment)
+      : view_(data), view_size_(size), segment_(std::move(segment)) {}
+
+  const T* data() const { return view_ != nullptr ? view_ : owned_.data(); }
+  size_t size() const { return view_ != nullptr ? view_size_ : owned_.size(); }
+  T operator[](size_t i) const { return data()[i]; }
+
+  bool mapped() const { return segment_.valid(); }
+  const MappedSegment& segment() const { return segment_; }
+
+  /// Heap bytes owned by this storage (0 for the mapped backend).
+  size_t HeapBytes() const { return owned_.capacity() * sizeof(T); }
+  /// File bytes this storage maps (0 for the heap backend).
+  size_t MappedBytes() const { return mapped() ? segment_.bytes : 0; }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_ = nullptr;
+  size_t view_size_ = 0;
+  MappedSegment segment_;
+};
+
+/// Sorted string dictionary behind the same seam: entries either live in an
+/// owned vector of strings, or are offset/length views into one contiguous
+/// string pool inside a mapped file (the disk_vector/string_pool idiom), so
+/// reopening a columnar file copies no string bytes at all.
+///
+/// Codes at or beyond size() are treated as missing by every consumer (the
+/// central corrupt-tolerant policy: StringColumn::kMissingCode is the max
+/// uint32, so the legacy sentinel is just the far end of the same rule).
+class StringDictionary {
+ public:
+  StringDictionary() = default;
+
+  /// Heap backend. Entries must already be sorted ascending.
+  explicit StringDictionary(std::vector<std::string> entries)
+      : owned_(std::move(entries)) {}
+
+  /// Mapped backend: `offsets` holds count+1 byte offsets into `pool`
+  /// (entry i is pool[offsets[i], offsets[i+1])); both point into `segment`.
+  StringDictionary(const char* pool, const uint32_t* offsets, uint32_t count,
+                   MappedSegment segment)
+      : pool_(pool),
+        offsets_(offsets),
+        view_count_(count),
+        segment_(std::move(segment)) {}
+
+  uint32_t size() const {
+    return pool_ != nullptr ? view_count_
+                            : static_cast<uint32_t>(owned_.size());
+  }
+  bool empty() const { return size() == 0; }
+
+  std::string_view operator[](uint32_t i) const {
+    if (pool_ != nullptr) {
+      return {pool_ + offsets_[i], offsets_[i + 1] - offsets_[i]};
+    }
+    return owned_[i];
+  }
+
+  /// First code whose entry is >= s (dictionaries are sorted, so code order
+  /// equals alphabetical order). Returns size() when all entries are smaller.
+  uint32_t LowerBound(std::string_view s) const {
+    uint32_t lo = 0;
+    uint32_t hi = size();
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      if ((*this)[mid] < s) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  bool mapped() const { return segment_.valid(); }
+  const MappedSegment& segment() const { return segment_; }
+
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (const auto& s : owned_) bytes += s.size() + sizeof(std::string);
+    return bytes;
+  }
+  size_t MappedBytes() const { return mapped() ? segment_.bytes : 0; }
+
+ private:
+  std::vector<std::string> owned_;
+  const char* pool_ = nullptr;
+  const uint32_t* offsets_ = nullptr;
+  uint32_t view_count_ = 0;
+  MappedSegment segment_;
+};
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_COLUMN_STORAGE_H_

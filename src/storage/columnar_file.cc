@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <thread>
 
 #include "util/serialize.h"
@@ -12,119 +14,231 @@ namespace hillview {
 namespace {
 
 constexpr uint32_t kMagic = 0x46435648;  // "HVCF"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint64_t kAlign = 64;        // segment alignment (cacheline; > any element)
+constexpr uint64_t kHeaderBytes = 32;
 
-// Serializes one column's payload (compacted to member rows).
-void WriteColumnPayload(const Table& table, int col_index, ByteWriter* w) {
-  const IColumn& col = *table.column(col_index);
-  const IMembershipSet& members = *table.members();
-  bool full = members.kind() == IMembershipSet::Kind::kFull;
+uint64_t AlignUp(uint64_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
 
-  switch (col.kind()) {
-    case DataKind::kInt: {
-      std::vector<int32_t> data;
-      std::vector<uint8_t> missing;
-      data.reserve(members.size());
-      missing.reserve(members.size());
-      ForEachRow(members, [&](uint32_t row) {
-        data.push_back(col.RawInt()[row]);
-        missing.push_back(col.IsMissing(row) ? 1 : 0);
-      });
-      w->WritePodVector(missing);
-      w->WritePodVector(data);
-      return;
-    }
-    case DataKind::kDouble: {
-      std::vector<double> data;
-      std::vector<uint8_t> missing;
-      ForEachRow(members, [&](uint32_t row) {
-        data.push_back(col.RawDouble()[row]);
-        missing.push_back(col.IsMissing(row) ? 1 : 0);
-      });
-      w->WritePodVector(missing);
-      w->WritePodVector(data);
-      return;
-    }
-    case DataKind::kDate: {
-      std::vector<int64_t> data;
-      std::vector<uint8_t> missing;
-      ForEachRow(members, [&](uint32_t row) {
-        data.push_back(col.RawDate()[row]);
-        missing.push_back(col.IsMissing(row) ? 1 : 0);
-      });
-      w->WritePodVector(missing);
-      w->WritePodVector(data);
-      return;
-    }
+size_t ElementBytes(DataKind kind) {
+  switch (kind) {
+    case DataKind::kInt:
+      return sizeof(int32_t);
+    case DataKind::kDouble:
+      return sizeof(double);
+    case DataKind::kDate:
+      return sizeof(int64_t);
     case DataKind::kString:
-    case DataKind::kCategory: {
-      const auto& dict = col.Dictionary();
-      w->WriteU32(static_cast<uint32_t>(dict.size()));
-      for (const auto& s : dict) w->WriteString(s);
-      std::vector<uint32_t> codes;
-      codes.reserve(members.size());
-      const uint32_t* raw = col.RawCodes();
-      ForEachRow(members, [&](uint32_t row) { codes.push_back(raw[row]); });
-      w->WritePodVector(codes);
-      (void)full;
-      return;
-    }
+    case DataKind::kCategory:
+      return sizeof(uint32_t);
   }
+  return 0;
 }
 
-Result<ColumnPtr> ReadColumnPayload(DataKind kind, ByteReader* r) {
-  switch (kind) {
-    case DataKind::kInt: {
-      std::vector<uint8_t> missing;
-      std::vector<int32_t> data;
-      HV_RETURN_IF_ERROR(r->ReadPodVector(&missing));
-      HV_RETURN_IF_ERROR(r->ReadPodVector(&data));
-      NullMask nulls;
-      for (uint32_t i = 0; i < missing.size(); ++i) {
-        if (missing[i]) nulls.SetMissing(i);
-      }
-      return ColumnPtr(
-          std::make_shared<Int32Column>(std::move(data), std::move(nulls)));
+/// Fixed-size portion of the file header, as laid out on disk.
+struct RawHeader {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t num_cols = 0;
+  uint32_t num_rows = 0;
+  uint64_t dir_offset = 0;
+  uint64_t file_bytes = 0;
+};
+static_assert(sizeof(RawHeader) == kHeaderBytes);
+
+struct ColumnEntry {
+  std::string name;
+  DataKind kind = DataKind::kInt;
+  uint64_t data_offset = 0;
+  uint64_t data_bytes = 0;
+  uint64_t null_offset = 0;
+  uint64_t null_words = 0;  // u64 word count; 0 = no row is missing
+  uint64_t null_count = 0;
+  uint64_t dict_count = 0;
+  uint64_t dict_offsets_offset = 0;
+  uint64_t dict_pool_offset = 0;
+  uint64_t dict_pool_bytes = 0;
+};
+
+struct FileHeader {
+  uint32_t num_rows = 0;
+  std::vector<ColumnEntry> entries;
+};
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::IoError("corrupt HVCF '" + path + "': " + what);
+}
+
+Status ValidateEntry(const ColumnEntry& e, uint64_t file_size,
+                     uint32_t num_rows, const std::string& path) {
+  auto bad = [&](const char* what) {
+    return Corrupt(path, std::string(what) + " (column '" + e.name + "')");
+  };
+  size_t elt = ElementBytes(e.kind);
+  if (elt == 0) return bad("unknown column kind");
+  auto segment_ok = [&](uint64_t offset, uint64_t bytes) {
+    return offset % kAlign == 0 && offset >= kHeaderBytes &&
+           offset <= file_size && bytes <= file_size - offset;
+  };
+  if (e.data_bytes != static_cast<uint64_t>(num_rows) * elt) {
+    return bad("data segment size does not match row count");
+  }
+  if (!segment_ok(e.data_offset, e.data_bytes)) {
+    return bad("data segment out of bounds or misaligned");
+  }
+  if (e.null_words == 0) {
+    if (e.null_count != 0) return bad("null count without null words");
+  } else {
+    if (e.null_words != (static_cast<uint64_t>(num_rows) + 63) / 64) {
+      return bad("null segment size does not match row count");
     }
-    case DataKind::kDouble: {
-      std::vector<uint8_t> missing;
-      std::vector<double> data;
-      HV_RETURN_IF_ERROR(r->ReadPodVector(&missing));
-      HV_RETURN_IF_ERROR(r->ReadPodVector(&data));
-      NullMask nulls;
-      for (uint32_t i = 0; i < missing.size(); ++i) {
-        if (missing[i]) nulls.SetMissing(i);
-      }
-      return ColumnPtr(
-          std::make_shared<DoubleColumn>(std::move(data), std::move(nulls)));
-    }
-    case DataKind::kDate: {
-      std::vector<uint8_t> missing;
-      std::vector<int64_t> data;
-      HV_RETURN_IF_ERROR(r->ReadPodVector(&missing));
-      HV_RETURN_IF_ERROR(r->ReadPodVector(&data));
-      NullMask nulls;
-      for (uint32_t i = 0; i < missing.size(); ++i) {
-        if (missing[i]) nulls.SetMissing(i);
-      }
-      return ColumnPtr(
-          std::make_shared<DateColumn>(std::move(data), std::move(nulls)));
-    }
-    case DataKind::kString:
-    case DataKind::kCategory: {
-      uint32_t dict_size = 0;
-      // Each dictionary entry carries at least its length prefix; a corrupt
-      // count must not drive a giant allocation.
-      HV_RETURN_IF_ERROR(r->ReadCount(&dict_size, /*min_element_bytes=*/4));
-      std::vector<std::string> dict(dict_size);
-      for (auto& s : dict) HV_RETURN_IF_ERROR(r->ReadString(&s));
-      std::vector<uint32_t> codes;
-      HV_RETURN_IF_ERROR(r->ReadPodVector(&codes));
-      return ColumnPtr(std::make_shared<StringColumn>(kind, std::move(codes),
-                                                      std::move(dict)));
+    if (e.null_count > num_rows) return bad("null count exceeds row count");
+    if (!segment_ok(e.null_offset, e.null_words * sizeof(uint64_t))) {
+      return bad("null segment out of bounds or misaligned");
     }
   }
-  return Status::Internal("unknown column kind");
+  if (IsStringKind(e.kind)) {
+    // Codes >= dict_count read as missing, so the count must stay below the
+    // sentinel; offsets are u32, bounding the pool at 4 GiB.
+    if (e.dict_count >= StringColumn::kMissingCode) {
+      return bad("dictionary too large");
+    }
+    if (e.dict_pool_bytes > std::numeric_limits<uint32_t>::max()) {
+      return bad("dictionary pool too large");
+    }
+    if (!segment_ok(e.dict_offsets_offset,
+                    (e.dict_count + 1) * sizeof(uint32_t))) {
+      return bad("dictionary offsets out of bounds or misaligned");
+    }
+    if (!segment_ok(e.dict_pool_offset, e.dict_pool_bytes)) {
+      return bad("dictionary pool out of bounds or misaligned");
+    }
+  } else if (e.dict_count != 0 || e.dict_pool_bytes != 0) {
+    return bad("numeric column carries dictionary segments");
+  }
+  return Status::OK();
+}
+
+/// Checks offset monotonicity, pool coverage and sort order of a dictionary
+/// (shared by the streaming and mapped open paths; for mapped files this is
+/// the only part of the open that touches dictionary pages).
+Status ValidateDictionary(const uint32_t* offsets, uint64_t count,
+                          uint64_t pool_bytes, const char* pool,
+                          const std::string& path, const std::string& col) {
+  auto bad = [&](const char* what) {
+    return Corrupt(path, std::string(what) + " (column '" + col + "')");
+  };
+  if (offsets[0] != 0) return bad("dictionary offsets do not start at 0");
+  for (uint64_t i = 0; i < count; ++i) {
+    if (offsets[i + 1] < offsets[i] || offsets[i + 1] > pool_bytes) {
+      return bad("dictionary offsets not monotone");
+    }
+  }
+  if (offsets[count] != pool_bytes) {
+    return bad("dictionary pool size mismatch");
+  }
+  for (uint64_t i = 1; i < count; ++i) {
+    std::string_view prev(pool + offsets[i - 1], offsets[i] - offsets[i - 1]);
+    std::string_view cur(pool + offsets[i], offsets[i + 1] - offsets[i]);
+    if (cur < prev) return bad("dictionary not sorted");
+  }
+  return Status::OK();
+}
+
+Status ValidateNullWords(const uint64_t* words, uint64_t num_words,
+                         uint64_t null_count, const std::string& path,
+                         const std::string& col) {
+  uint64_t bits = 0;
+  for (uint64_t w = 0; w < num_words; ++w) {
+    bits += static_cast<uint64_t>(__builtin_popcountll(words[w]));
+  }
+  if (bits != null_count) {
+    return Corrupt(path, "null-word popcount does not match null count "
+                         "(column '" + col + "')");
+  }
+  return Status::OK();
+}
+
+Result<FileHeader> BuildHeader(const RawHeader& raw, const uint8_t* dir_bytes,
+                               size_t dir_size, uint64_t file_size,
+                               const std::string& path) {
+  if (raw.magic != kMagic) {
+    return Status::IoError("'" + path + "' is not HVCF");
+  }
+  if (raw.version != kVersion) {
+    return Status::IoError("unsupported HVCF version in '" + path + "'");
+  }
+  if (raw.file_bytes != file_size) {
+    return Corrupt(path, "file size mismatch (truncated?)");
+  }
+  // Each directory entry is at least name-length + kind + nine u64 fields.
+  constexpr size_t kMinEntryBytes = 4 + 1 + 9 * 8;
+  if (raw.num_cols > dir_size / kMinEntryBytes) {
+    return Corrupt(path, "column count exceeds directory size");
+  }
+  FileHeader header;
+  header.num_rows = raw.num_rows;
+  ByteReader r(dir_bytes, dir_size);
+  for (uint32_t c = 0; c < raw.num_cols; ++c) {
+    ColumnEntry e;
+    uint8_t kind = 0;
+    if (!r.ReadString(&e.name).ok() || !r.ReadU8(&kind).ok() ||
+        !r.ReadU64(&e.data_offset).ok() || !r.ReadU64(&e.data_bytes).ok() ||
+        !r.ReadU64(&e.null_offset).ok() || !r.ReadU64(&e.null_words).ok() ||
+        !r.ReadU64(&e.null_count).ok() || !r.ReadU64(&e.dict_count).ok() ||
+        !r.ReadU64(&e.dict_offsets_offset).ok() ||
+        !r.ReadU64(&e.dict_pool_offset).ok() ||
+        !r.ReadU64(&e.dict_pool_bytes).ok()) {
+      return Corrupt(path, "truncated directory");
+    }
+    if (kind > static_cast<uint8_t>(DataKind::kCategory)) {
+      return Corrupt(path, "unknown column kind");
+    }
+    e.kind = static_cast<DataKind>(kind);
+    HV_RETURN_IF_ERROR(ValidateEntry(e, file_size, header.num_rows, path));
+    header.entries.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) return Corrupt(path, "trailing bytes after directory");
+  return header;
+}
+
+/// Closes the FILE* on scope exit so error paths can return directly.
+struct FileCloser {
+  std::FILE* f;
+  ~FileCloser() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+Result<uint64_t> FileSize(std::FILE* f, const std::string& path) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed in '" + path + "'");
+  }
+  long size = std::ftell(f);
+  if (size < 0) return Status::IoError("ftell failed in '" + path + "'");
+  return static_cast<uint64_t>(size);
+}
+
+/// Reads the fixed header plus the directory — no column data.
+Result<FileHeader> ReadFileHeader(std::FILE* f, const std::string& path) {
+  HV_ASSIGN_OR_RETURN(uint64_t file_size, FileSize(f, path));
+  if (file_size < kHeaderBytes) {
+    return Status::IoError("'" + path + "' is not HVCF (too small)");
+  }
+  RawHeader raw;
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fread(&raw, 1, sizeof(raw), f) != sizeof(raw)) {
+    return Status::IoError("short read in '" + path + "'");
+  }
+  if (raw.dir_offset < kHeaderBytes || raw.dir_offset > file_size) {
+    return Corrupt(path, "directory offset out of bounds");
+  }
+  std::vector<uint8_t> dir(file_size - raw.dir_offset);
+  if (std::fseek(f, static_cast<long>(raw.dir_offset), SEEK_SET) != 0 ||
+      (!dir.empty() && std::fread(dir.data(), 1, dir.size(), f) != dir.size())) {
+    return Status::IoError("short read in '" + path + "'");
+  }
+  return BuildHeader(raw, dir.data(), dir.size(), file_size, path);
 }
 
 // Sleeps long enough that reading `bytes` at `bytes_per_second` takes the
@@ -135,52 +249,183 @@ void Throttle(uint64_t bytes, double bytes_per_second) {
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
-struct ColumnEntry {
-  std::string name;
-  DataKind kind;
-  uint64_t payload_size;
-  uint64_t payload_offset;
+bool WantedColumn(const std::vector<std::string>& wanted,
+                  const std::string& name) {
+  if (wanted.empty()) return true;
+  return std::find(wanted.begin(), wanted.end(), name) != wanted.end();
+}
+
+// --- Writer -----------------------------------------------------------------
+
+/// One column's segments, compacted to member rows, ready to write.
+struct ColumnSegments {
+  std::vector<uint8_t> values;
+  std::vector<uint64_t> null_words;
+  uint64_t null_count = 0;
+  std::vector<uint32_t> dict_offsets;
+  std::string dict_pool;
 };
 
-struct FileHeader {
-  uint32_t num_rows = 0;
-  std::vector<ColumnEntry> entries;
-};
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, const std::vector<T>& v) {
+  if (v.empty()) return;
+  const auto* p = reinterpret_cast<const uint8_t*>(v.data());
+  out->insert(out->end(), p, p + v.size() * sizeof(T));
+}
 
-Result<FileHeader> ReadHeader(std::FILE* f, const std::string& path) {
-  auto read_bytes = [&](void* out, size_t n) -> Status {
-    if (std::fread(out, 1, n, f) != n) {
-      return Status::IoError("short read in '" + path + "'");
+Result<ColumnSegments> BuildSegments(const Table& table, int col_index) {
+  const IColumn& col = *table.column(col_index);
+  const IMembershipSet& members = *table.members();
+  const uint32_t n = members.size();
+  ColumnSegments seg;
+  seg.null_words.assign((static_cast<uint64_t>(n) + 63) / 64, 0);
+  uint32_t out = 0;
+  auto mark_null = [&seg](uint32_t row) {
+    seg.null_words[row >> 6] |= 1ULL << (row & 63);
+    ++seg.null_count;
+  };
+  auto compact_numeric = [&](const auto* raw) {
+    using T = std::remove_cv_t<std::remove_pointer_t<decltype(raw)>>;
+    std::vector<T> values;
+    values.reserve(n);
+    ForEachRow(members, [&](uint32_t row) {
+      values.push_back(raw[row]);
+      if (col.IsMissing(row)) mark_null(out);
+      ++out;
+    });
+    AppendPod(&seg.values, values);
+  };
+  switch (col.kind()) {
+    case DataKind::kInt:
+      compact_numeric(col.RawInt());
+      break;
+    case DataKind::kDouble:
+      compact_numeric(col.RawDouble());
+      break;
+    case DataKind::kDate:
+      compact_numeric(col.RawDate());
+      break;
+    case DataKind::kString:
+    case DataKind::kCategory: {
+      const uint32_t* raw = col.RawCodes();
+      const StringDictionary& dict = col.Dictionary();
+      const uint32_t limit = dict.size();
+      std::vector<uint32_t> codes;
+      codes.reserve(n);
+      ForEachRow(members, [&](uint32_t row) {
+        uint32_t code = raw[row];
+        if (code >= limit) {
+          // Normalize out-of-range codes to the canonical missing sentinel
+          // and mirror them in the null words, so a mapped reopen can serve
+          // the mask without scanning the code stream.
+          code = StringColumn::kMissingCode;
+          mark_null(out);
+        }
+        codes.push_back(code);
+        ++out;
+      });
+      AppendPod(&seg.values, codes);
+      seg.dict_offsets.reserve(limit + 1);
+      seg.dict_offsets.push_back(0);
+      for (uint32_t i = 0; i < limit; ++i) {
+        std::string_view s = dict[i];
+        if (seg.dict_pool.size() + s.size() >
+            std::numeric_limits<uint32_t>::max()) {
+          return Status::IoError(
+              "dictionary pool exceeds the 4 GiB HVCF limit");
+        }
+        seg.dict_pool.append(s.data(), s.size());
+        seg.dict_offsets.push_back(
+            static_cast<uint32_t>(seg.dict_pool.size()));
+      }
+      break;
+    }
+  }
+  if (seg.null_count == 0) seg.null_words.clear();
+  return seg;
+}
+
+Status WriteTableFileImpl(const Table& table, std::FILE* f,
+                          const std::string& path) {
+  auto write_bytes = [&](const void* data, size_t bytes) -> Status {
+    if (bytes == 0) return Status::OK();
+    if (std::fwrite(data, 1, bytes, f) != bytes) {
+      return Status::IoError("write failed for '" + path + "'");
     }
     return Status::OK();
   };
-  uint32_t magic = 0, version = 0, num_cols = 0;
-  FileHeader header;
-  HV_RETURN_IF_ERROR(read_bytes(&magic, 4));
-  HV_RETURN_IF_ERROR(read_bytes(&version, 4));
-  HV_RETURN_IF_ERROR(read_bytes(&num_cols, 4));
-  HV_RETURN_IF_ERROR(read_bytes(&header.num_rows, 4));
-  if (magic != kMagic) return Status::IoError("'" + path + "' is not HVCF");
-  if (version != kVersion) {
-    return Status::IoError("unsupported HVCF version in '" + path + "'");
-  }
-  for (uint32_t c = 0; c < num_cols; ++c) {
-    ColumnEntry entry;
-    uint32_t name_len = 0;
-    HV_RETURN_IF_ERROR(read_bytes(&name_len, 4));
-    entry.name.resize(name_len);
-    if (name_len > 0) HV_RETURN_IF_ERROR(read_bytes(entry.name.data(), name_len));
-    uint8_t kind = 0;
-    HV_RETURN_IF_ERROR(read_bytes(&kind, 1));
-    entry.kind = static_cast<DataKind>(kind);
-    HV_RETURN_IF_ERROR(read_bytes(&entry.payload_size, 8));
-    entry.payload_offset = static_cast<uint64_t>(std::ftell(f));
-    if (std::fseek(f, static_cast<long>(entry.payload_size), SEEK_CUR) != 0) {
-      return Status::IoError("seek failed in '" + path + "'");
+
+  RawHeader raw;
+  raw.magic = kMagic;
+  raw.version = kVersion;
+  raw.num_cols = static_cast<uint32_t>(table.num_columns());
+  raw.num_rows = table.num_rows();
+  // dir_offset / file_bytes are patched in after the segments are written.
+  HV_RETURN_IF_ERROR(write_bytes(&raw, sizeof(raw)));
+  uint64_t pos = kHeaderBytes;
+
+  static constexpr uint8_t kZeros[kAlign] = {};
+  auto write_segment = [&](const void* data, uint64_t bytes,
+                           uint64_t* offset_out) -> Status {
+    uint64_t aligned = AlignUp(pos);
+    HV_RETURN_IF_ERROR(
+        write_bytes(kZeros, static_cast<size_t>(aligned - pos)));
+    *offset_out = aligned;
+    HV_RETURN_IF_ERROR(write_bytes(data, static_cast<size_t>(bytes)));
+    pos = aligned + bytes;
+    return Status::OK();
+  };
+
+  std::vector<ColumnEntry> entries;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    HV_ASSIGN_OR_RETURN(ColumnSegments seg, BuildSegments(table, c));
+    ColumnEntry e;
+    e.name = table.schema().column(c).name;
+    e.kind = table.schema().column(c).kind;
+    e.data_bytes = seg.values.size();
+    HV_RETURN_IF_ERROR(
+        write_segment(seg.values.data(), e.data_bytes, &e.data_offset));
+    if (!seg.null_words.empty()) {
+      e.null_words = seg.null_words.size();
+      e.null_count = seg.null_count;
+      HV_RETURN_IF_ERROR(write_segment(seg.null_words.data(),
+                                       e.null_words * sizeof(uint64_t),
+                                       &e.null_offset));
     }
-    header.entries.push_back(std::move(entry));
+    if (IsStringKind(e.kind)) {
+      e.dict_count = seg.dict_offsets.size() - 1;
+      e.dict_pool_bytes = seg.dict_pool.size();
+      HV_RETURN_IF_ERROR(write_segment(
+          seg.dict_offsets.data(), seg.dict_offsets.size() * sizeof(uint32_t),
+          &e.dict_offsets_offset));
+      HV_RETURN_IF_ERROR(write_segment(seg.dict_pool.data(),
+                                       e.dict_pool_bytes,
+                                       &e.dict_pool_offset));
+    }
+    entries.push_back(std::move(e));
   }
-  return header;
+
+  raw.dir_offset = pos;
+  ByteWriter dir;
+  for (const ColumnEntry& e : entries) {
+    dir.WriteString(e.name);
+    dir.WriteU8(static_cast<uint8_t>(e.kind));
+    dir.WriteU64(e.data_offset);
+    dir.WriteU64(e.data_bytes);
+    dir.WriteU64(e.null_offset);
+    dir.WriteU64(e.null_words);
+    dir.WriteU64(e.null_count);
+    dir.WriteU64(e.dict_count);
+    dir.WriteU64(e.dict_offsets_offset);
+    dir.WriteU64(e.dict_pool_offset);
+    dir.WriteU64(e.dict_pool_bytes);
+  }
+  HV_RETURN_IF_ERROR(write_bytes(dir.bytes().data(), dir.size()));
+  raw.file_bytes = pos + dir.size();
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IoError("seek failed in '" + path + "'");
+  }
+  return write_bytes(&raw, sizeof(raw));
 }
 
 }  // namespace
@@ -188,112 +433,238 @@ Result<FileHeader> ReadHeader(std::FILE* f, const std::string& path) {
 Status WriteTableFile(const Table& table, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot create '" + path + "'");
-  auto write_bytes = [&](const void* data, size_t n) -> Status {
-    if (std::fwrite(data, 1, n, f) != n) {
-      return Status::IoError("write failed for '" + path + "'");
-    }
-    return Status::OK();
-  };
-  auto cleanup_and = [&](Status s) {
-    std::fclose(f);
-    return s;
-  };
-
-  uint32_t num_cols = table.num_columns();
-  uint32_t num_rows = table.num_rows();
-  Status s;
-  if (!(s = write_bytes(&kMagic, 4)).ok()) return cleanup_and(s);
-  if (!(s = write_bytes(&kVersion, 4)).ok()) return cleanup_and(s);
-  if (!(s = write_bytes(&num_cols, 4)).ok()) return cleanup_and(s);
-  if (!(s = write_bytes(&num_rows, 4)).ok()) return cleanup_and(s);
-
-  for (int c = 0; c < table.num_columns(); ++c) {
-    const std::string& name = table.schema().column(c).name;
-    uint32_t name_len = static_cast<uint32_t>(name.size());
-    uint8_t kind = static_cast<uint8_t>(table.schema().column(c).kind);
-    ByteWriter payload;
-    WriteColumnPayload(table, c, &payload);
-    uint64_t payload_size = payload.size();
-    if (!(s = write_bytes(&name_len, 4)).ok()) return cleanup_and(s);
-    if (!(s = write_bytes(name.data(), name_len)).ok()) return cleanup_and(s);
-    if (!(s = write_bytes(&kind, 1)).ok()) return cleanup_and(s);
-    if (!(s = write_bytes(&payload_size, 8)).ok()) return cleanup_and(s);
-    if (!(s = write_bytes(payload.bytes().data(), payload.size())).ok()) {
-      return cleanup_and(s);
-    }
-  }
-  return cleanup_and(Status::OK());
+  FileCloser closer{f};
+  return WriteTableFileImpl(table, f, path);
 }
 
 Result<TablePtr> ReadTableFile(const std::string& path,
                                const ReadOptions& options) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open '" + path + "'");
-  auto header_result = ReadHeader(f, path);
-  if (!header_result.ok()) {
-    std::fclose(f);
-    return header_result.status();
-  }
-  FileHeader header = header_result.Take();
+  FileCloser closer{f};
+  HV_ASSIGN_OR_RETURN(FileHeader header, ReadFileHeader(f, path));
+  const uint32_t n = header.num_rows;
 
-  auto wanted = [&](const std::string& name) {
-    if (options.columns.empty()) return true;
-    return std::find(options.columns.begin(), options.columns.end(), name) !=
-           options.columns.end();
+  // Reads one segment in chunks so throttling produces a smooth bandwidth
+  // model (the cold-storage SSD simulation).
+  auto read_segment = [&](uint64_t offset, uint64_t bytes,
+                          void* out) -> Status {
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("seek failed in '" + path + "'");
+    }
+    constexpr uint64_t kChunk = 1 << 22;  // 4 MiB
+    uint64_t off = 0;
+    auto* dst = static_cast<uint8_t*>(out);
+    while (off < bytes) {
+      size_t chunk = static_cast<size_t>(std::min(kChunk, bytes - off));
+      if (std::fread(dst + off, 1, chunk, f) != chunk) {
+        return Status::IoError("short read in '" + path + "'");
+      }
+      Throttle(chunk, options.bytes_per_second);
+      off += chunk;
+    }
+    return Status::OK();
   };
 
   std::vector<ColumnDescription> descs;
   std::vector<ColumnPtr> columns;
-  for (const auto& entry : header.entries) {
-    if (!wanted(entry.name)) continue;
-    if (std::fseek(f, static_cast<long>(entry.payload_offset), SEEK_SET) != 0) {
-      std::fclose(f);
-      return Status::IoError("seek failed in '" + path + "'");
+  for (const ColumnEntry& e : header.entries) {
+    if (!WantedColumn(options.columns, e.name)) continue;
+
+    NullMask nulls;
+    if (e.null_words != 0) {
+      std::vector<uint64_t> words(e.null_words);
+      HV_RETURN_IF_ERROR(read_segment(e.null_offset,
+                                      e.null_words * sizeof(uint64_t),
+                                      words.data()));
+      HV_RETURN_IF_ERROR(ValidateNullWords(words.data(), e.null_words,
+                                           e.null_count, path, e.name));
+      nulls = NullMask(std::move(words), e.null_count);
     }
-    std::vector<uint8_t> payload(entry.payload_size);
-    // Read in chunks so throttling produces a smooth bandwidth model.
-    constexpr size_t kChunk = 1 << 22;  // 4 MiB
-    size_t off = 0;
-    while (off < payload.size()) {
-      size_t n = std::min(kChunk, payload.size() - off);
-      if (std::fread(payload.data() + off, 1, n, f) != n) {
-        std::fclose(f);
-        return Status::IoError("short read in '" + path + "'");
+
+    ColumnPtr col;
+    switch (e.kind) {
+      case DataKind::kInt: {
+        std::vector<int32_t> values(n);
+        HV_RETURN_IF_ERROR(
+            read_segment(e.data_offset, e.data_bytes, values.data()));
+        col = std::make_shared<Int32Column>(std::move(values),
+                                            std::move(nulls));
+        break;
       }
-      Throttle(n, options.bytes_per_second);
-      off += n;
+      case DataKind::kDouble: {
+        std::vector<double> values(n);
+        HV_RETURN_IF_ERROR(
+            read_segment(e.data_offset, e.data_bytes, values.data()));
+        col = std::make_shared<DoubleColumn>(std::move(values),
+                                             std::move(nulls));
+        break;
+      }
+      case DataKind::kDate: {
+        std::vector<int64_t> values(n);
+        HV_RETURN_IF_ERROR(
+            read_segment(e.data_offset, e.data_bytes, values.data()));
+        col = std::make_shared<DateColumn>(std::move(values),
+                                           std::move(nulls));
+        break;
+      }
+      case DataKind::kString:
+      case DataKind::kCategory: {
+        std::vector<uint32_t> codes(n);
+        HV_RETURN_IF_ERROR(
+            read_segment(e.data_offset, e.data_bytes, codes.data()));
+        std::vector<uint32_t> offsets(e.dict_count + 1);
+        HV_RETURN_IF_ERROR(read_segment(e.dict_offsets_offset,
+                                        offsets.size() * sizeof(uint32_t),
+                                        offsets.data()));
+        std::string pool(e.dict_pool_bytes, '\0');
+        HV_RETURN_IF_ERROR(
+            read_segment(e.dict_pool_offset, e.dict_pool_bytes, pool.data()));
+        HV_RETURN_IF_ERROR(ValidateDictionary(offsets.data(), e.dict_count,
+                                              e.dict_pool_bytes, pool.data(),
+                                              path, e.name));
+        std::vector<std::string> dict;
+        dict.reserve(e.dict_count);
+        for (uint64_t i = 0; i < e.dict_count; ++i) {
+          dict.emplace_back(pool.data() + offsets[i],
+                            offsets[i + 1] - offsets[i]);
+        }
+        col = std::make_shared<StringColumn>(
+            e.kind, ColumnStorage<uint32_t>(std::move(codes)),
+            StringDictionary(std::move(dict)), std::move(nulls));
+        break;
+      }
     }
-    ByteReader reader(payload.data(), payload.size());
-    auto col = ReadColumnPayload(entry.kind, &reader);
-    if (!col.ok()) {
-      std::fclose(f);
-      return col.status();
-    }
-    descs.push_back({entry.name, entry.kind});
-    columns.push_back(col.Take());
+    descs.push_back({e.name, e.kind});
+    columns.push_back(std::move(col));
   }
-  std::fclose(f);
   if (columns.empty()) {
     return Status::NotFound("no requested columns found in '" + path + "'");
   }
   return Table::Create(Schema(std::move(descs)), std::move(columns));
 }
 
+Result<MappedTable> MapTableFile(const std::string& path,
+                                 const MapOptions& options) {
+  HV_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> file,
+                      MappedFile::Open(path));
+  const uint8_t* base = file->data();
+  const uint64_t size = file->size();
+  if (size < kHeaderBytes) {
+    return Status::IoError("'" + path + "' is not HVCF (too small)");
+  }
+  RawHeader raw;
+  std::memcpy(&raw, base, sizeof(raw));
+  if (raw.dir_offset < kHeaderBytes || raw.dir_offset > size) {
+    return Corrupt(path, "directory offset out of bounds");
+  }
+  HV_ASSIGN_OR_RETURN(
+      FileHeader header,
+      BuildHeader(raw, base + raw.dir_offset,
+                  static_cast<size_t>(size - raw.dir_offset), size, path));
+  const uint32_t n = header.num_rows;
+  std::shared_ptr<const MappedFile> mapping = file;
+
+  std::vector<ColumnDescription> descs;
+  std::vector<ColumnPtr> columns;
+  for (const ColumnEntry& e : header.entries) {
+    if (!WantedColumn(options.columns, e.name)) continue;
+
+    NullMask nulls;
+    if (e.null_words != 0) {
+      const auto* words =
+          reinterpret_cast<const uint64_t*>(base + e.null_offset);
+      HV_RETURN_IF_ERROR(
+          ValidateNullWords(words, e.null_words, e.null_count, path, e.name));
+      nulls = NullMask(words, static_cast<size_t>(e.null_words), e.null_count,
+                       mapping);
+    }
+    MappedSegment data_seg{mapping, e.data_offset, e.data_bytes};
+
+    ColumnPtr col;
+    switch (e.kind) {
+      case DataKind::kInt:
+        col = std::make_shared<Int32Column>(
+            ColumnStorage<int32_t>(
+                reinterpret_cast<const int32_t*>(base + e.data_offset), n,
+                std::move(data_seg)),
+            std::move(nulls));
+        break;
+      case DataKind::kDouble:
+        col = std::make_shared<DoubleColumn>(
+            ColumnStorage<double>(
+                reinterpret_cast<const double*>(base + e.data_offset), n,
+                std::move(data_seg)),
+            std::move(nulls));
+        break;
+      case DataKind::kDate:
+        col = std::make_shared<DateColumn>(
+            ColumnStorage<int64_t>(
+                reinterpret_cast<const int64_t*>(base + e.data_offset), n,
+                std::move(data_seg)),
+            std::move(nulls));
+        break;
+      case DataKind::kString:
+      case DataKind::kCategory: {
+        const auto* offsets =
+            reinterpret_cast<const uint32_t*>(base + e.dict_offsets_offset);
+        const auto* pool =
+            reinterpret_cast<const char*>(base + e.dict_pool_offset);
+        HV_RETURN_IF_ERROR(ValidateDictionary(offsets, e.dict_count,
+                                              e.dict_pool_bytes, pool, path,
+                                              e.name));
+        MappedSegment dict_seg{
+            mapping, e.dict_offsets_offset,
+            e.dict_pool_offset + e.dict_pool_bytes - e.dict_offsets_offset};
+        col = std::make_shared<StringColumn>(
+            e.kind,
+            ColumnStorage<uint32_t>(
+                reinterpret_cast<const uint32_t*>(base + e.data_offset), n,
+                std::move(data_seg)),
+            StringDictionary(pool, offsets,
+                             static_cast<uint32_t>(e.dict_count),
+                             std::move(dict_seg)),
+            std::move(nulls));
+        break;
+      }
+    }
+    descs.push_back({e.name, e.kind});
+    columns.push_back(std::move(col));
+  }
+  if (columns.empty()) {
+    return Status::NotFound("no requested columns found in '" + path + "'");
+  }
+  HV_ASSIGN_OR_RETURN(
+      TablePtr table,
+      Result<TablePtr>(Table::Create(Schema(std::move(descs)),
+                                     std::move(columns))));
+  return MappedTable{std::move(table), std::move(mapping)};
+}
+
+Result<TablePtr> OpenTableFile(const std::string& path, StorageBackend backend,
+                               const ReadOptions& options) {
+  if (backend == StorageBackend::kHeap) return ReadTableFile(path, options);
+  MapOptions map_options;
+  map_options.columns = options.columns;
+  HV_ASSIGN_OR_RETURN(MappedTable mapped, MapTableFile(path, map_options));
+  // The column views keep the mapping alive; the handle is only needed by
+  // callers who want residency stats.
+  return mapped.table;
+}
+
 Result<uint64_t> TableFileBytes(const std::string& path,
                                 const std::vector<std::string>& columns) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open '" + path + "'");
-  auto header_result = ReadHeader(f, path);
-  std::fclose(f);
-  if (!header_result.ok()) return header_result.status();
+  FileCloser closer{f};
+  HV_ASSIGN_OR_RETURN(FileHeader header, ReadFileHeader(f, path));
   uint64_t bytes = 0;
-  for (const auto& entry : header_result.value().entries) {
-    if (!columns.empty() &&
-        std::find(columns.begin(), columns.end(), entry.name) ==
-            columns.end()) {
-      continue;
-    }
-    bytes += entry.payload_size;
+  for (const ColumnEntry& e : header.entries) {
+    if (!WantedColumn(columns, e.name)) continue;
+    bytes += e.data_bytes + e.null_words * sizeof(uint64_t) +
+             (IsStringKind(e.kind)
+                  ? (e.dict_count + 1) * sizeof(uint32_t) + e.dict_pool_bytes
+                  : 0);
   }
   return bytes;
 }

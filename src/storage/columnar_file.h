@@ -1,24 +1,42 @@
 #ifndef HILLVIEW_STORAGE_COLUMNAR_FILE_H_
 #define HILLVIEW_STORAGE_COLUMNAR_FILE_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "storage/mmap_file.h"
 #include "storage/table.h"
 #include "util/status.h"
 
 namespace hillview {
 
-/// Binary columnar file format ("HVCF"): the repository format standing in
-/// for ORC/Parquet. One file holds one table partition; columns are stored
-/// contiguously so a reader enjoys "fast sequential access and columnar
-/// access" (§5.4). Member rows are compacted on write.
+/// Binary columnar file format ("HVCF", version 2): the repository format
+/// standing in for ORC/Parquet. One file holds one table partition; member
+/// rows are compacted on write. Every segment is 64-byte aligned, so a
+/// reader can either stream the file into heap columns or mmap it and serve
+/// scans zero-copy straight from the page cache (§5.4 "fast sequential
+/// access and columnar access"). Dictionaries are stored as one contiguous
+/// string pool plus an offset table, so mapped string columns copy no string
+/// bytes at all.
 ///
 /// Layout (little endian):
-///   magic "HVCF" | version u32 | num_cols u32 | num_rows u32
-///   per column: name | kind u8 | null-words vec | payload
-///     numeric payload: raw values vec
-///     string payload:  dictionary (u32 count + strings) | codes vec
+///   header (32 bytes):
+///     magic "HVCF" u32 | version u32 | num_cols u32 | num_rows u32
+///     | dir_offset u64 | file_bytes u64
+///   per column, 64-byte-aligned zero-padded segments:
+///     values        num_rows × element bytes (u32 codes for string kinds)
+///     null words    ceil(num_rows/64) × u64, present only if any row missing
+///     dict offsets  (dict_count + 1) × u32 byte offsets into the pool
+///     dict pool     concatenated entry bytes
+///   directory (at dir_offset): per column
+///     name | kind u8 | data/null/dictionary segment offsets and sizes
 Status WriteTableFile(const Table& table, const std::string& path);
+
+/// Which backend a columnar-file load should produce — the switch on the
+/// storage seam. kHeap copies the bytes into vectors; kMmap maps the file
+/// and serves scans zero-copy with madvise-driven prefetch.
+enum class StorageBackend { kHeap, kMmap };
 
 /// Read throttling to model cold-storage bandwidth (Fig 6's SSD runs).
 /// bytes_per_second <= 0 means unthrottled.
@@ -29,7 +47,37 @@ struct ReadOptions {
   std::vector<std::string> columns;
 };
 
+/// Streams the file into heap-resident columns (copies the bytes).
 Result<TablePtr> ReadTableFile(const std::string& path,
+                               const ReadOptions& options = {});
+
+struct MapOptions {
+  /// Build columns only for these names (empty = all). The whole file is
+  /// mapped either way; pages of unrequested columns are never touched.
+  std::vector<std::string> columns;
+};
+
+/// A table served zero-copy off a mapped columnar file. `mapping` is the
+/// shared region every column view holds a reference to; keep it around to
+/// read residency / prefetch counters via MappedFile::Snapshot().
+struct MappedTable {
+  TablePtr table;
+  std::shared_ptr<const MappedFile> mapping;
+};
+
+/// Maps the file and builds columns whose payloads, null masks and
+/// dictionaries are views into the mapping. File structure — header, segment
+/// offsets/sizes/alignment, null-count consistency, dictionary offset
+/// monotonicity and sort order — is validated up front (touching only the
+/// small null/dictionary segments); the column values themselves are paged
+/// in lazily as scans fault them.
+Result<MappedTable> MapTableFile(const std::string& path,
+                                 const MapOptions& options = {});
+
+/// Opens an HVCF file through the chosen backend and returns just the table.
+/// The mmap backend's table keeps its mapping alive through the column
+/// views; bytes_per_second throttling applies to the heap backend only.
+Result<TablePtr> OpenTableFile(const std::string& path, StorageBackend backend,
                                const ReadOptions& options = {});
 
 /// Size in bytes the named columns occupy in the file (for bandwidth math in

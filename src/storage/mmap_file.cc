@@ -1,0 +1,222 @@
+#include "storage/mmap_file.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "storage/membership.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace hillview {
+
+#if !defined(_WIN32)
+
+namespace {
+
+uint64_t PageSize() {
+  static const uint64_t kPage = static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+  return kPage;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat '" + path + "': " +
+                           std::strerror(errno));
+  }
+  auto size = static_cast<uint64_t>(st.st_size);
+  if (size == 0) {
+    // mmap(len=0) is EINVAL; an empty file still gets a (useless but valid)
+    // MappedFile so callers can report a format error instead of a map error.
+    ::close(fd);
+    return std::shared_ptr<MappedFile>(new MappedFile(path, nullptr, 0));
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (base == MAP_FAILED) {
+    return Status::IoError("cannot mmap '" + path + "': " +
+                           std::strerror(errno));
+  }
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(path, static_cast<const uint8_t*>(base), size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+void MappedFile::Advise(uint64_t offset, uint64_t bytes, Advice advice) const {
+  if (data_ == nullptr || bytes == 0 || offset >= size_) return;
+  bytes = std::min(bytes, size_ - offset);
+  // madvise wants a page-aligned start; round the range outward.
+  const uint64_t page = PageSize();
+  uint64_t begin = offset & ~(page - 1);
+  uint64_t end = std::min<uint64_t>(size_, (offset + bytes + page - 1) & ~(page - 1));
+  int native = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal:
+      native = MADV_NORMAL;
+      break;
+    case Advice::kSequential:
+      native = MADV_SEQUENTIAL;
+      break;
+    case Advice::kRandom:
+      native = MADV_RANDOM;
+      break;
+    case Advice::kWillNeed:
+      native = MADV_WILLNEED;
+      break;
+    case Advice::kDontNeed:
+      native = MADV_DONTNEED;
+      break;
+  }
+  int rc = ::madvise(const_cast<uint8_t*>(data_) + begin,
+                     static_cast<size_t>(end - begin), native);
+  MutexLock lock(mutex_);
+  if (rc != 0) {
+    ++advise_failures_;
+    return;
+  }
+  switch (advice) {
+    case Advice::kSequential:
+      ++sequential_advises_;
+      break;
+    case Advice::kWillNeed:
+      ++willneed_advises_;
+      willneed_bytes_ += end - begin;
+      break;
+    default:
+      break;
+  }
+}
+
+MappedFile::Stats MappedFile::Snapshot() const {
+  Stats stats;
+  stats.mapped_bytes = size_;
+  if (data_ != nullptr) {
+    // mincore gives one byte per page; walk the mapping in bounded chunks so
+    // the scratch vector stays small even for very large files.
+    const uint64_t page = PageSize();
+    constexpr size_t kChunkPages = 1 << 16;  // 256 MiB of 4K pages per call
+    std::vector<unsigned char> resident(kChunkPages);
+    uint64_t pages = (size_ + page - 1) / page;
+    for (uint64_t first = 0; first < pages; first += kChunkPages) {
+      size_t count = static_cast<size_t>(
+          std::min<uint64_t>(kChunkPages, pages - first));
+#if defined(__linux__)
+      using MincoreVec = unsigned char*;
+#else
+      using MincoreVec = char*;  // BSD/macOS prototype takes char*
+#endif
+      if (::mincore(const_cast<uint8_t*>(data_) + first * page,
+                    static_cast<size_t>(count) * page,
+                    reinterpret_cast<MincoreVec>(resident.data())) != 0) {
+        break;
+      }
+      for (size_t i = 0; i < count; ++i) {
+        if (resident[i] & 1) stats.resident_bytes += page;
+      }
+    }
+  }
+  MutexLock lock(mutex_);
+  stats.sequential_advises = sequential_advises_;
+  stats.willneed_advises = willneed_advises_;
+  stats.willneed_bytes = willneed_bytes_;
+  stats.advise_failures = advise_failures_;
+  return stats;
+}
+
+void AdviseForScan(const MappedSegment& segment, const IMembershipSet& members,
+                   size_t element_bytes) {
+  if (!segment.valid() || segment.bytes == 0 || element_bytes == 0) return;
+  const MappedFile& file = *segment.file;
+  switch (members.kind()) {
+    case IMembershipSet::Kind::kFull:
+    case IMembershipSet::Kind::kDense:
+      // Dense bitmaps still touch most pages in row order; sequential
+      // readahead covers both.
+      file.Advise(segment.offset, segment.bytes, MappedFile::Advice::kSequential);
+      return;
+    case IMembershipSet::Kind::kSparse: {
+      const std::vector<uint32_t>& rows = members.sparse_rows();
+      if (rows.empty()) return;
+      const uint64_t page = PageSize();
+      // Coalesce the sorted member rows into page-granular ranges and batch
+      // them as WILLNEED. If the scan is so scattered it would need more
+      // madvise calls than kMaxSparseAdviseRanges, one spanning WILLNEED is
+      // cheaper than the syscall storm.
+      uint64_t run_begin = 0;
+      uint64_t run_end = 0;  // exclusive, page aligned, file offsets
+      size_t ranges = 0;
+      bool open = false;
+      for (uint32_t row : rows) {
+        uint64_t byte = segment.offset +
+                        static_cast<uint64_t>(row) * element_bytes;
+        uint64_t lo = byte & ~(page - 1);
+        uint64_t hi = (byte + element_bytes + page - 1) & ~(page - 1);
+        if (open && lo <= run_end) {
+          run_end = std::max(run_end, hi);
+          continue;
+        }
+        if (open) {
+          file.Advise(run_begin, run_end - run_begin,
+                      MappedFile::Advice::kWillNeed);
+          if (++ranges >= kMaxSparseAdviseRanges) {
+            uint64_t span_end = segment.offset + segment.bytes;
+            file.Advise(lo, span_end > lo ? span_end - lo : 0,
+                        MappedFile::Advice::kWillNeed);
+            return;
+          }
+        }
+        run_begin = lo;
+        run_end = hi;
+        open = true;
+      }
+      if (open) {
+        file.Advise(run_begin, run_end - run_begin,
+                    MappedFile::Advice::kWillNeed);
+      }
+      return;
+    }
+  }
+}
+
+#else  // _WIN32: no mmap; the heap backend remains the only storage backend.
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  return Status::FailedPrecondition("mmap storage backend unsupported on this platform ('" +
+                                    path + "')");
+}
+
+MappedFile::~MappedFile() = default;
+
+void MappedFile::Advise(uint64_t, uint64_t, Advice) const {}
+
+MappedFile::Stats MappedFile::Snapshot() const {
+  Stats stats;
+  stats.mapped_bytes = size_;
+  return stats;
+}
+
+void AdviseForScan(const MappedSegment&, const IMembershipSet&, size_t) {}
+
+#endif
+
+}  // namespace hillview

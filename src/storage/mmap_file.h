@@ -1,0 +1,103 @@
+#ifndef HILLVIEW_STORAGE_MMAP_FILE_H_
+#define HILLVIEW_STORAGE_MMAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace hillview {
+
+class IMembershipSet;
+
+/// A read-only memory-mapped file: the single owner of one mmap region that
+/// every mapped column / null-mask / dictionary view of a columnar file
+/// shares. Views hold a shared_ptr back to it (via MappedSegment), so the
+/// mapping outlives any Table built over it and is unmapped exactly once.
+///
+/// This is the out-of-core half of the storage-backend seam: column bytes
+/// stay on disk, the kernel pages them in on demand, and scans run zero-copy
+/// over the mapped region — the §5.4 "fast sequential and columnar access"
+/// story extended to tables bigger than RAM (the LSST-class regime).
+class MappedFile {
+ public:
+  /// Maps `path` read-only in its entirety. Fails on platforms without mmap.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  enum class Advice { kNormal, kSequential, kRandom, kWillNeed, kDontNeed };
+
+  /// Forwards [offset, offset+bytes) to madvise, rounded outward to page
+  /// boundaries. Advisory: failures are counted, never fatal.
+  void Advise(uint64_t offset, uint64_t bytes, Advice advice) const;
+
+  /// Point-in-time view of the mapping's paging behavior. `resident_bytes`
+  /// is measured with mincore at snapshot time — the "how much of this file
+  /// does RAM hold right now" gauge the cold-data bench reports; the advise
+  /// counters record what prefetch the scan layer requested.
+  struct Stats {
+    uint64_t mapped_bytes = 0;       ///< size of the mapping
+    uint64_t resident_bytes = 0;     ///< bytes resident per mincore
+    int64_t sequential_advises = 0;  ///< MADV_SEQUENTIAL calls issued
+    int64_t willneed_advises = 0;    ///< MADV_WILLNEED ranges issued
+    uint64_t willneed_bytes = 0;     ///< bytes covered by those ranges
+    int64_t advise_failures = 0;     ///< madvise calls that errored
+  };
+  Stats Snapshot() const;
+
+ private:
+  MappedFile(std::string path, const uint8_t* data, uint64_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+
+  mutable Mutex mutex_;
+  mutable int64_t sequential_advises_ GUARDED_BY(mutex_) = 0;
+  mutable int64_t willneed_advises_ GUARDED_BY(mutex_) = 0;
+  mutable uint64_t willneed_bytes_ GUARDED_BY(mutex_) = 0;
+  mutable int64_t advise_failures_ GUARDED_BY(mutex_) = 0;
+};
+
+/// A byte range of a MappedFile: the keeper a mapped column storage, null
+/// mask or dictionary holds. Copying a segment only bumps the refcount.
+struct MappedSegment {
+  std::shared_ptr<const MappedFile> file;
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+
+  bool valid() const { return file != nullptr; }
+  const uint8_t* data() const { return file->data() + offset; }
+};
+
+/// Translates a scan's membership shape into prefetch advice for one mapped
+/// segment of `element_bytes`-wide values (the madvise half of the seam):
+///
+///   - full / dense membership touches (nearly) every page in order →
+///     MADV_SEQUENTIAL over the whole segment, so the kernel reads ahead
+///     aggressively and recycles pages behind the scan;
+///   - sparse membership touches isolated rows → the member rows are
+///     coalesced into page ranges and issued as batched MADV_WILLNEED, so
+///     the faults the scan would take serially are started asynchronously.
+///
+/// Sparse row lists that would need more than kMaxSparseAdviseRanges madvise
+/// calls fall back to one WILLNEED spanning the touched range.
+void AdviseForScan(const MappedSegment& segment, const IMembershipSet& members,
+                   size_t element_bytes);
+
+/// Upper bound on per-scan madvise calls for sparse memberships.
+inline constexpr size_t kMaxSparseAdviseRanges = 512;
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_MMAP_FILE_H_

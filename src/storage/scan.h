@@ -68,8 +68,8 @@ inline void Emit(Visitor& vis, uint32_t row, T value) {
 }
 
 /// Null-mask word `w`, or 0 when the mask does not extend that far.
-inline uint64_t NullWord(const std::vector<uint64_t>& words, size_t w) {
-  return w < words.size() ? words[w] : 0;
+inline uint64_t NullWord(const NullMask& nulls, size_t w) {
+  return w < nulls.num_words() ? nulls.word_data()[w] : 0;
 }
 
 // --- Streaming loops: one instantiation per membership representation. ---
@@ -82,10 +82,9 @@ void ScanFull(const T* data, uint32_t n, const NullMask& nulls, Visitor& vis) {
   }
   // Word-at-a-time: load each 64-row null word once; all-present blocks run
   // a branchless inner loop.
-  const auto& words = nulls.words();
   uint32_t full_words = n >> 6;
   for (uint32_t w = 0; w < full_words; ++w) {
-    uint64_t null_word = NullWord(words, w);
+    uint64_t null_word = NullWord(nulls, w);
     uint32_t base = w << 6;
     if (null_word == 0) {
       for (uint32_t i = 0; i < 64; ++i) Emit(vis, base + i, data[base + i]);
@@ -116,14 +115,13 @@ void ScanFull(const T* data, uint32_t n, const NullMask& nulls, Visitor& vis) {
 template <typename T, typename Visitor>
 void ScanDense(const T* data, const std::vector<uint64_t>& member_words,
                const NullMask& nulls, Visitor& vis) {
-  const auto& null_words = nulls.words();
   const bool check_nulls = !nulls.empty();
   for (size_t w = 0; w < member_words.size(); ++w) {
     uint64_t members = member_words[w];
     if (members == 0) continue;
     uint32_t base = static_cast<uint32_t>(w << 6);
     // One AND per 64 rows splits the word into missing and present lanes.
-    uint64_t null_word = check_nulls ? NullWord(null_words, w) : 0;
+    uint64_t null_word = check_nulls ? NullWord(nulls, w) : 0;
     if (members == ~0ULL && null_word == 0) {
       // Fully-set word (common for run-structured filters like range
       // zoom-ins): linear block, no bit juggling.
@@ -292,13 +290,17 @@ void ScanTyped(const T* data, const IMembershipSet& members,
 }
 
 /// Visitor adapter for dictionary-code layouts: missing is encoded in the
-/// code stream itself (kMissingCode), not the null mask, so codes scan as a
-/// no-null layout and missing is peeled off here.
+/// code stream itself, not the null mask, so codes scan as a no-null layout
+/// and missing is peeled off here. Any code at or beyond the dictionary is
+/// missing (kMissingCode is the canonical case; the same compare also makes
+/// corrupt codes from a damaged mapped file degrade to missing instead of
+/// out-of-bounds dictionary reads downstream).
 template <typename Visitor>
 struct CodeFilter {
   Visitor& vis;
+  uint32_t dict_limit;
   void OnValue(uint32_t row, uint32_t code) {
-    if (code == StringColumn::kMissingCode) {
+    if (code >= dict_limit) {
       vis.OnMissing(row);
     } else {
       vis.OnValue(row, code);
@@ -331,6 +333,9 @@ void ScanColumn(const IColumn& col, const IMembershipSet& members, double rate,
                 uint64_t seed, Visitor&& vis) {
   using scan_internal::ScanTyped;
   static const NullMask kNoNulls;
+  // Storage-backend hook: mmap-backed columns turn the membership shape into
+  // madvise prefetch before the loop starts faulting pages in.
+  col.PrepareScan(members);
   if (const double* raw = col.RawDouble()) {
     ScanTyped(raw, members, col.null_mask(), rate, seed, vis);
     return;
@@ -344,7 +349,8 @@ void ScanColumn(const IColumn& col, const IMembershipSet& members, double rate,
     return;
   }
   if (const uint32_t* raw = col.RawCodes()) {
-    scan_internal::CodeFilter<std::remove_reference_t<Visitor>> filter{vis};
+    scan_internal::CodeFilter<std::remove_reference_t<Visitor>> filter{
+        vis, col.Dictionary().size()};
     ScanTyped(raw, members, kNoNulls, rate, seed, filter);
     return;
   }
@@ -387,12 +393,11 @@ inline uint64_t PredicateWord(const T* block, Pred& pred) {
 template <typename T, typename Pred>
 void FilterFullTyped(const T* data, uint32_t n, const NullMask& nulls,
                      Pred& pred, std::vector<uint64_t>& words) {
-  const auto& null_words = nulls.words();
   const bool check_nulls = !nulls.empty();
   const uint32_t full_words = n >> 6;
   for (uint32_t w = 0; w < full_words; ++w) {
     uint64_t bits = PredicateWord(data + (static_cast<size_t>(w) << 6), pred);
-    if (check_nulls) bits &= ~NullWord(null_words, w);
+    if (check_nulls) bits &= ~NullWord(nulls, w);
     words[w] = bits;
   }
   for (uint32_t r = full_words << 6; r < n; ++r) {
@@ -406,7 +411,6 @@ template <typename T, typename Pred>
 void FilterDenseTyped(const T* data, const std::vector<uint64_t>& member_words,
                       uint32_t universe, const NullMask& nulls, Pred& pred,
                       std::vector<uint64_t>& words) {
-  const auto& null_words = nulls.words();
   const bool check_nulls = !nulls.empty();
   for (size_t w = 0; w < member_words.size(); ++w) {
     uint64_t members = member_words[w];
@@ -416,12 +420,12 @@ void FilterDenseTyped(const T* data, const std::vector<uint64_t>& member_words,
       // Fully-set word (run-structured zoom-in filters): same branchless
       // block as the full scan.
       uint64_t bits = PredicateWord(data + base, pred);
-      if (check_nulls) bits &= ~NullWord(null_words, w);
+      if (check_nulls) bits &= ~NullWord(nulls, w);
       words[w] = bits;
       continue;
     }
     uint64_t present =
-        check_nulls ? members & ~NullWord(null_words, w) : members;
+        check_nulls ? members & ~NullWord(nulls, w) : members;
     uint64_t bits = 0;
     // Partially-set word: the gather expansion evaluates the predicate over
     // the member positions without a serial ctz chain.
@@ -482,6 +486,7 @@ template <typename Pred>
 MembershipPtr FilterColumnMembership(const IColumn& col,
                                      const IMembershipSet& base, Pred&& pred) {
   const uint32_t universe = base.universe_size();
+  col.PrepareScan(base);
   std::vector<uint64_t> words((universe + 63) / 64, 0);
   if (const double* raw = col.RawDouble()) {
     scan_internal::FilterTyped(raw, base, col.null_mask(), pred, words);
@@ -579,6 +584,7 @@ class RawCursor {
       layout_ = Layout::kI64;
     } else if ((codes_ = col->RawCodes()) != nullptr) {
       layout_ = Layout::kCodes;
+      dict_limit_ = col->Dictionary().size();
     } else {
       col_ = col;
       layout_ = Layout::kGeneric;
@@ -598,7 +604,9 @@ class RawCursor {
       case Layout::kI64:
         return nulls_->IsMissing(row);
       case Layout::kCodes:
-        return codes_[row] == StringColumn::kMissingCode;
+        // Out-of-range codes (kMissingCode, or corrupt mapped data) are
+        // missing — same policy as StringColumn::IsMissing and CodeFilter.
+        return codes_[row] >= dict_limit_;
       case Layout::kGeneric:
         return col_->IsMissing(row);
       case Layout::kNone:
@@ -638,6 +646,7 @@ class RawCursor {
   const int32_t* i32_ = nullptr;
   const int64_t* i64_ = nullptr;
   const uint32_t* codes_ = nullptr;
+  uint32_t dict_limit_ = 0;
   const NullMask* nulls_ = nullptr;
   const IColumn* col_ = nullptr;
 };

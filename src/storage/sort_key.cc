@@ -394,10 +394,9 @@ std::optional<std::pair<uint32_t, bool>> SortKeyPlan::EncodePackedCell(
     if (s == nullptr) return std::nullopt;
     // The dictionary is sorted, so the insertion point partitions the codes;
     // exact only when the value is itself a dictionary entry.
-    const auto& dict = c.column->Dictionary();
-    auto it = std::lower_bound(dict.begin(), dict.end(), *s);
-    uint64_t idx = static_cast<uint64_t>(it - dict.begin());
-    value_exact = it != dict.end() && *it == *s;
+    const StringDictionary& dict = c.column->Dictionary();
+    uint64_t idx = dict.LowerBound(*s);
+    value_exact = idx < dict.size() && dict[static_cast<uint32_t>(idx)] == *s;
     if (idx > kMaxComponent) {
       idx = kMaxComponent;
       value_exact = false;
@@ -483,9 +482,8 @@ std::optional<uint64_t> SortKeyPlan::EncodeStartCell(const Value& v) const {
     // The dictionary is sorted, so the insertion point partitions the codes:
     // codes below it are lexicographically smaller than *s, codes at or
     // above are >= — and the `==` case falls back to a full compare anyway.
-    const auto& dict = first_.column->Dictionary();
-    auto it = std::lower_bound(dict.begin(), dict.end(), *s);
-    enc = static_cast<uint64_t>(it - dict.begin());
+    const StringDictionary& dict = first_.column->Dictionary();
+    enc = dict.LowerBound(*s);
   } else {
     // Numeric layouts: accept only values that embed exactly in the column's
     // key space; anything else falls back to per-row virtual compares.

@@ -1,5 +1,6 @@
 #include "storage/sort_key_cache.h"
 
+#include <iterator>
 #include <utility>
 
 namespace hillview {
@@ -17,6 +18,7 @@ SortKeyCache::KeysPtr SortKeyCache::LookupLocked(const std::string& key,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     if (count_miss) ++misses_;
+    AdoptEncodingsLocked(key, plan);
     return nullptr;
   }
   // Validate liveness: every column the entry was built from must still be
@@ -34,6 +36,9 @@ SortKeyCache::KeysPtr SortKeyCache::LookupLocked(const std::string& key,
     entries_.erase(it);
     ++evictions_;
     if (count_miss) ++misses_;
+    // Dead columns also invalidate the side-cached snapshot (same key, same
+    // liveness rule) — no adoption attempt.
+    encoding_entries_.erase(key);
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_position);
@@ -46,12 +51,15 @@ void SortKeyCache::Put(const SortKeyPlan& plan, KeysPtr keys,
                        uint64_t generation) {
   if (!plan.valid() || !plan.encodings_ready() || keys == nullptr) return;
   const size_t bytes = keys->size() * sizeof(uint64_t);
-  if (bytes > max_bytes_) return;  // would evict the whole cache for one view
   const std::string key = plan.CacheKey();
   std::vector<std::weak_ptr<const IColumn>> columns(
       plan.key_columns().begin(), plan.key_columns().end());
   MutexLock lock(mutex_);
   if (generation != generation_) return;  // raced a Clear(): state is stale
+  // The encodings are worth keeping even when the keys are not cacheable:
+  // later scans of the same view then skip the packed min/max pre-passes.
+  RecordEncodingsLocked(key, plan);
+  if (bytes > max_bytes_) return;  // would evict the whole cache for one view
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     bytes_used_ -= it->second.bytes;
@@ -101,6 +109,53 @@ void SortKeyCache::DropDeadEntriesLocked() {
 
 void SortKeyCache::Put(const SortKeyPlan& plan, KeysPtr keys) {
   Put(plan, std::move(keys), generation());
+}
+
+void SortKeyCache::RecordEncodingsLocked(const std::string& key,
+                                         const SortKeyPlan& plan) {
+  if (encoding_entries_.size() >= kMaxEncodingEntries &&
+      encoding_entries_.find(key) == encoding_entries_.end()) {
+    for (auto it = encoding_entries_.begin();
+         it != encoding_entries_.end();) {
+      bool dead = false;
+      for (const auto& column : it->second.columns) {
+        if (column.expired()) {
+          dead = true;
+          break;
+        }
+      }
+      it = dead ? encoding_entries_.erase(it) : std::next(it);
+    }
+    // Still full after the sweep: drop an arbitrary live entry. Snapshots
+    // cost one O(n) pre-pass to rebuild, so recency bookkeeping is not
+    // worth carrying for a cap this size.
+    if (encoding_entries_.size() >= kMaxEncodingEntries) {
+      encoding_entries_.erase(encoding_entries_.begin());
+    }
+  }
+  encoding_entries_[key] =
+      EncodingEntry{plan.encodings(),
+                    std::vector<std::weak_ptr<const IColumn>>(
+                        plan.key_columns().begin(), plan.key_columns().end())};
+}
+
+bool SortKeyCache::AdoptEncodingsLocked(const std::string& key,
+                                        SortKeyPlan& plan) {
+  auto it = encoding_entries_.find(key);
+  if (it == encoding_entries_.end()) return false;
+  const auto& plan_columns = plan.key_columns();
+  bool live = it->second.columns.size() == plan_columns.size();
+  for (size_t i = 0; live && i < plan_columns.size(); ++i) {
+    auto locked = it->second.columns[i].lock();
+    live = locked != nullptr && locked.get() == plan_columns[i].get();
+  }
+  if (!live) {
+    encoding_entries_.erase(it);
+    return false;
+  }
+  plan.AdoptEncodings(it->second.encodings);
+  ++encoding_hits_;
+  return true;
 }
 
 SortKeyCache::KeysPtr SortKeyCache::GetOrBuild(SortKeyPlan& plan,
@@ -199,6 +254,7 @@ void SortKeyCache::Clear() {
   MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
+  encoding_entries_.clear();
   bytes_used_ = 0;
   ++generation_;
 }
@@ -218,6 +274,7 @@ SortKeyCache::Stats SortKeyCache::Snapshot() const {
   stats.evictions = evictions_;
   stats.coalesced_builds = coalesced_builds_;
   stats.waiters = waiters_;
+  stats.encoding_hits = encoding_hits_;
   return stats;
 }
 

@@ -64,6 +64,10 @@ class SortKeyCache {
     int64_t coalesced_builds = 0;
     /// Threads currently parked on an in-flight build (test observability).
     int64_t waiters = 0;
+    /// Key misses that still skipped the O(n) encoding pre-passes (packed
+    /// min/max scans) by adopting a snapshot from the encoding side-cache —
+    /// the saving for views whose key vectors are too large to cache.
+    int64_t encoding_hits = 0;
   };
 
   explicit SortKeyCache(size_t max_bytes = kDefaultMaxBytes)
@@ -126,8 +130,26 @@ class SortKeyCache {
     std::list<std::string>::iterator lru_position;
   };
 
+  /// Encoding snapshots are O(components) — a few dozen bytes — so they get
+  /// their own side-cache outside the byte budget: even when a key vector is
+  /// too large to cache (or was evicted), a rescan of the same very wide
+  /// table skips the packed-transform min/max pre-passes. Capped by entry
+  /// count; dead entries are swept on insert like the main map.
+  struct EncodingEntry {
+    SortKeyPlan::EncodingSnapshot encodings;
+    std::vector<std::weak_ptr<const IColumn>> columns;
+  };
+  static constexpr size_t kMaxEncodingEntries = 256;
+
   void EvictOverBudgetLocked() REQUIRES(mutex_);
   void DropDeadEntriesLocked() REQUIRES(mutex_);
+
+  /// Saves `plan`'s finalized encodings in the side-cache.
+  void RecordEncodingsLocked(const std::string& key, const SortKeyPlan& plan)
+      REQUIRES(mutex_);
+  /// Adopts a live side-cached snapshot into `plan`; false on miss/dead.
+  bool AdoptEncodingsLocked(const std::string& key, SortKeyPlan& plan)
+      REQUIRES(mutex_);
 
   /// Serves a cache hit for `key` against `plan` under the lock, erasing the
   /// entry (and reporting a miss, unless `count_miss` is false — GetOrBuild
@@ -163,6 +185,9 @@ class SortKeyCache {
   std::unordered_map<std::string, std::shared_ptr<InFlightBuild>> in_flight_
       GUARDED_BY(mutex_);
   std::function<void()> in_flight_hook_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, EncodingEntry> encoding_entries_
+      GUARDED_BY(mutex_);
+  int64_t encoding_hits_ GUARDED_BY(mutex_) = 0;
   int64_t hits_ GUARDED_BY(mutex_) = 0;
   int64_t misses_ GUARDED_BY(mutex_) = 0;
   int64_t evictions_ GUARDED_BY(mutex_) = 0;

@@ -78,6 +78,12 @@ size_t Table::MemoryBytes() const {
   return bytes;
 }
 
+size_t Table::MappedBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col->MappedBytes();
+  return bytes;
+}
+
 std::vector<uint32_t> PartitionRowCounts(uint64_t total_rows,
                                          uint32_t rows_per_partition) {
   std::vector<uint32_t> counts;

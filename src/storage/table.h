@@ -66,8 +66,13 @@ class Table {
   std::vector<Value> GetRow(uint32_t row,
                             const std::vector<std::string>& names) const;
 
-  /// Total bytes of column data plus membership overhead.
+  /// Total heap bytes of column data plus membership overhead. Mapped
+  /// columns contribute only their (heap) null/bookkeeping bytes here.
   size_t MemoryBytes() const;
+
+  /// Total file bytes served by mapped column views (0 for heap tables).
+  /// MemoryBytes + MappedBytes is the table's full working-set bound.
+  size_t MappedBytes() const;
 
   /// Total cell count as the paper counts it: rows x columns.
   uint64_t CellCount() const {

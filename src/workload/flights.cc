@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 
+#include "storage/columnar_file.h"
 #include "util/random.h"
 
 namespace hillview {
@@ -214,6 +216,36 @@ std::vector<LocalDataSet::Loader> FlightsLoaders(
     loaders.push_back([rows, partition_seed, options]() -> Result<TablePtr> {
       return GenerateFlights(rows, partition_seed, options);
     });
+  }
+  return loaders;
+}
+
+Result<std::vector<LocalDataSet::Loader>> FlightsFileLoaders(
+    const std::string& dir, uint64_t total_rows, uint32_t rows_per_partition,
+    uint64_t seed, StorageBackend backend, ReadOptions read_options,
+    const FlightsOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create '" + dir + "': " + ec.message());
+  }
+  std::vector<uint32_t> counts =
+      PartitionRowCounts(total_rows, rows_per_partition);
+  std::vector<LocalDataSet::Loader> loaders;
+  loaders.reserve(counts.size());
+  for (size_t p = 0; p < counts.size(); ++p) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "flights_%04u.hvcf",
+                  static_cast<unsigned>(p));
+    std::string path = dir + "/" + name;
+    if (!std::filesystem::exists(path)) {
+      TablePtr t = GenerateFlights(counts[p], MixSeed(seed, p), options);
+      HV_RETURN_IF_ERROR(WriteTableFile(*t, path));
+    }
+    loaders.push_back(
+        [path = std::move(path), backend, read_options]() -> Result<TablePtr> {
+          return OpenTableFile(path, backend, read_options);
+        });
   }
   return loaders;
 }

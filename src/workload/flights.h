@@ -51,6 +51,19 @@ std::vector<LocalDataSet::Loader> FlightsLoaders(
     uint64_t total_rows, uint32_t rows_per_partition, uint64_t seed,
     const FlightsOptions& options = {});
 
+/// File-backed variant: spills each partition to `dir/flights_NNNN.hvcf`
+/// (skipping files that already exist — the spill is deterministic in
+/// (seed, partition), so an existing file is the same bytes) and returns
+/// loaders that reopen the files through `backend`. This is the full
+/// repository path of §5.4: with StorageBackend::kMmap the partitions are
+/// served zero-copy out of the page cache and eviction costs nothing for
+/// resident pages; with kHeap plus `read_options.bytes_per_second` the
+/// loaders model a cold medium. Returns an error status if any spill fails.
+Result<std::vector<LocalDataSet::Loader>> FlightsFileLoaders(
+    const std::string& dir, uint64_t total_rows, uint32_t rows_per_partition,
+    uint64_t seed, StorageBackend backend, ReadOptions read_options = {},
+    const FlightsOptions& options = {});
+
 }  // namespace workload
 }  // namespace hillview
 

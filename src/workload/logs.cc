@@ -35,7 +35,12 @@ constexpr int64_t kLogEpoch = 1546300800000LL;  // 2019-01-01
 
 std::string ServerName(int i) {
   std::string base = kServerNames[i % kNumServerNames];
-  if (i >= kNumServerNames) base += "-" + std::to_string(i / kNumServerNames);
+  if (i >= kNumServerNames) {
+    // Appended piecewise: gcc 12's -Wrestrict misfires on the
+    // `"-" + std::to_string(...)` temporary once surrounding code inlines.
+    base += '-';
+    base += std::to_string(i / kNumServerNames);
+  }
   return base;
 }
 

@@ -163,6 +163,42 @@ TEST(SortKeyCache, HitRestoresEncodingsWithoutPrePasses) {
   EXPECT_EQ(reader.keys(), *built);
 }
 
+TEST(SortKeyCache, EncodingSnapshotSurvivesUncacheableKeys) {
+  // A very wide view whose key vector exceeds the whole byte budget is never
+  // cached — but its packed-transform min/max pre-pass decisions are tiny
+  // and live in the encoding side-cache, so a rescan skips the O(n)
+  // pre-passes even though it must rebuild the keys.
+  ColumnBuilder a(DataKind::kInt);
+  ColumnBuilder b(DataKind::kDate);
+  for (int r = 0; r < 200; ++r) {
+    a.AppendInt(r % 7);
+    b.AppendDate(r % 5);
+  }
+  TablePtr t = Table::Create(
+      Schema({{"a", DataKind::kInt}, {"b", DataKind::kDate}}),
+      {a.Finish(), b.Finish()});
+  RecordOrder order({{"a", true}, {"b", false}});
+  SortKeyCache cache(/*max_bytes=*/10 * sizeof(uint64_t));  // 200 > 10
+  SortKeyPlan filler(*t, order, SortKeyPlan::kDeferKeys);
+  cache.Put(filler, filler.BuildKeys());
+  ASSERT_TRUE(filler.packed());
+  EXPECT_EQ(cache.Snapshot().entries, 0u);  // keys refused: over budget
+
+  SortKeyPlan reader(*t, order, SortKeyPlan::kDeferKeys);
+  EXPECT_FALSE(reader.encodings_ready());
+  EXPECT_EQ(cache.Get(reader), nullptr);  // still a key miss...
+  EXPECT_TRUE(reader.encodings_ready());  // ...but the shape was adopted
+  EXPECT_EQ(cache.Snapshot().encoding_hits, 1);
+  EXPECT_EQ(reader.packed(), filler.packed());
+  EXPECT_EQ(reader.TotalOrder(), filler.TotalOrder());
+  EXPECT_EQ(reader.exact(), filler.exact());
+  // Snapshots are soft state like everything else: Clear() drops them.
+  cache.Clear();
+  SortKeyPlan later(*t, order, SortKeyPlan::kDeferKeys);
+  EXPECT_EQ(cache.Get(later), nullptr);
+  EXPECT_FALSE(later.encodings_ready());
+}
+
 TEST(SortKeyCache, GetOrBuildKeysFillsOnceAndHonorsTheGate) {
   TablePtr t = MakeTable(200);
   SortKeyCache cache;
