@@ -7,6 +7,7 @@
 //  A3. Progressive aggregation window: emissions and root bytes at 0 ms /
 //      100 ms / infinite batching (the 0.1 s trade-off of §5.3).
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 

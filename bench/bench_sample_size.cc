@@ -6,6 +6,7 @@
 // This is the mechanism benchmark: sweep the dataset size at a fixed screen,
 // report the sample size, effective rate, rows actually touched, and time.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 

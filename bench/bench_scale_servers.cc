@@ -6,6 +6,7 @@
 // Servers are simulated workers, each with its own thread pool and leaf
 // partitions behind a serialization boundary with byte accounting.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>

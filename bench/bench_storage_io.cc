@@ -4,6 +4,7 @@
 // input and for escape-heavy JSONL (quotes, newlines, \uXXXX including
 // surrogate pairs), which stresses the per-character unescape loop.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>

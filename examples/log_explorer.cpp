@@ -6,6 +6,7 @@
 //
 //   ./examples/log_explorer [rows]
 
+#include <algorithm>
 #include <cstdio>
 
 #include "cluster/root.h"

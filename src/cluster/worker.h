@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,22 +22,20 @@ namespace cluster {
 class Worker {
  public:
   Worker(std::string name, int num_threads)
-      : name_(std::move(name)), num_threads_(num_threads), pool_(num_threads) {}
+      : name_(std::move(name)), pool_(num_threads) {}
 
   const std::string& name() const { return name_; }
   ThreadPool* pool() { return &pool_; }
 
-  /// Auxiliary pool for intra-sketch helper work (find-text dictionary
-  /// matching). Separate from pool(): partition summaries occupy pool()
-  /// threads and block on their helper chunks, so running those chunks on
-  /// the same pool would deadlock once every thread waits. Constructed
-  /// lazily so workers that never run sketches don't pay the extra threads.
-  ThreadPool* aux_pool() {
-    std::call_once(aux_pool_once_, [this] {
-      aux_pool_ = std::make_unique<ThreadPool>(num_threads_);
-    });
-    return aux_pool_.get();
-  }
+  /// Pool for intra-sketch helper work (morsel fan-out, find-text dictionary
+  /// matching): the SAME pool that runs partition summaries, so a worker
+  /// under full morsel fan-out still runs exactly its configured threads —
+  /// its "cores" — instead of oversubscribing 2× (the old separate aux pool).
+  /// Sharing is deadlock-free because all intra-sketch fan-out goes through
+  /// ParallelApply, where the calling thread participates: a summarize
+  /// blocked on its helper chunks is itself draining those chunks, even when
+  /// every pool thread is inside its own fan-out.
+  ThreadPool* aux_pool() { return &pool_; }
 
   /// Worker-resident sort-key cache (see storage/sort_key_cache.h): reused
   /// across scrolls of the same sorted view, handed to sketches via
@@ -85,12 +82,6 @@ class Worker {
 
  private:
   std::string name_;
-  int num_threads_;
-  // Declared before pool_: destruction runs in reverse order, so the main
-  // pool joins its in-flight partition tasks (which may still be using the
-  // aux pool) before the aux pool is torn down.
-  std::once_flag aux_pool_once_;
-  std::unique_ptr<ThreadPool> aux_pool_;
   SortKeyCache key_cache_;
   ThreadPool pool_;
   mutable Mutex mutex_;

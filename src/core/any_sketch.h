@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/morsel.h"
 #include "sketch/sketch.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -101,7 +102,11 @@ class AnySketch {
     }
     AnySummary summarize(const Table& t, uint64_t seed,
                          const SketchContext& context) const override {
-      return AnySummary::Wrap<R>(sketch->Summarize(t, seed, context));
+      // The morsel engine decides per (sketch, table, context) whether to
+      // fan this partition across the worker's pool; sketches without exact
+      // morsel merging fall straight through to the plain summarize.
+      return AnySummary::Wrap<R>(SummarizeWithMorsels(*sketch, t, seed,
+                                                      context));
     }
     AnySummary merge(const AnySummary& a,
                      const AnySummary& b) const override {

@@ -90,36 +90,23 @@ std::vector<uint8_t> MatchDictionary(const StringMatcher& matcher,
     }
     return match;
   }
-  // Chunk across the auxiliary pool. Chunks write disjoint byte ranges of
-  // `match`, so no synchronization is needed beyond the completion latch.
+  // Chunk across the pool with the caller participating (ParallelApply):
+  // chunks write disjoint byte ranges of `match`, so no synchronization is
+  // needed beyond the apply itself — and caller participation is what makes
+  // this safe even when `pool` is the same pool running this summarize.
   // Oversplit relative to the thread count so uneven string lengths (one
   // chunk full of long log lines) still balance.
   const size_t chunks =
       std::min<size_t>(static_cast<size_t>(pool->num_threads()) * 4,
                        (n + 511) / 512);
   const size_t per_chunk = (n + chunks - 1) / chunks;
-  // `remaining` is the completion latch, guarded by `mu` (a local cannot
-  // carry a GUARDED_BY annotation, so the discipline is by construction:
-  // every touch below is under a MutexLock).
-  Mutex mu;
-  CondVar done_cv;
-  size_t remaining = chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t begin = c * per_chunk;
+  ParallelApply(pool, static_cast<int>(chunks), [&](int c) {
+    const size_t begin = static_cast<size_t>(c) * per_chunk;
     const size_t end = std::min(n, begin + per_chunk);
-    auto task = [&, begin, end] {
-      for (size_t d = begin; d < end; ++d) {
-        match[d] = matcher.Matches(dict[static_cast<uint32_t>(d)]) ? 1 : 0;
-      }
-      MutexLock lock(mu);
-      if (--remaining == 0) done_cv.NotifyAll();
-    };
-    // A shut-down pool drops the task; run it inline so the latch always
-    // resolves (shutdown races only occur at worker teardown).
-    if (!pool->Submit(task)) task();
-  }
-  MutexLock lock(mu);
-  while (remaining != 0) done_cv.Wait(mu);
+    for (size_t d = begin; d < end; ++d) {
+      match[d] = matcher.Matches(dict[static_cast<uint32_t>(d)]) ? 1 : 0;
+    }
+  });
   return match;
 }
 

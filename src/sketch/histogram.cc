@@ -56,12 +56,20 @@ namespace {
 // select a trailing overflow slot via cmov, so every row ends as exactly one
 // unconditional `++slots[i]`. Missing accumulates in a visitor-local field;
 // everything is flushed into the result once after the scan.
+//
+// All-present runs arrive through OnBlock (scan.h's block protocol) and
+// tally via the runtime-dispatched hist_index kernels: the kernel fills a
+// small index buffer (count = out-of-range, count + 1 = NaN, mirroring the
+// per-row arithmetic bit for bit), and the increment loop stays scalar —
+// bucket counts are integers, so the result is identical to the per-row
+// path in any order.
 struct NumericTally {
   double min;
   double max;
   double scale;  // buckets / width, 0 for degenerate [min, min] ranges
   int count;
-  std::vector<int64_t> slots;  // [0, count) buckets, [count] out-of-range
+  std::vector<int64_t> slots;  // [0, count) buckets, [count] out-of-range,
+                               // [count + 1] NaN-missing (block path only)
   int64_t* slot = nullptr;     // cached slots.data(): keeps the loop in registers
   int64_t missing = 0;
 
@@ -72,7 +80,7 @@ struct NumericTally {
                   ? buckets.count() / (buckets.max() - buckets.min())
                   : 0.0),
         count(buckets.count()),
-        slots(static_cast<size_t>(buckets.count()) + 1, 0),
+        slots(static_cast<size_t>(buckets.count()) + 2, 0),
         slot(slots.data()) {}
 
   template <typename T>
@@ -87,6 +95,28 @@ struct NumericTally {
 
   void OnMissing(uint32_t /*row*/) { ++missing; }
 
+  template <typename T>
+  void TallyBlock(const T* values, uint32_t n,
+                  void (*kernel)(const T*, uint32_t, double, double, double,
+                                 int32_t, uint32_t*)) {
+    // Chunked so the index buffer stays in L1 while the kernel streams the
+    // values.
+    uint32_t idx[512];
+    for (uint32_t at = 0; at < n; at += 512) {
+      const uint32_t len = n - at < 512 ? n - at : 512;
+      kernel(values + at, len, min, max, scale, count, idx);
+      for (uint32_t i = 0; i < len; ++i) ++slot[idx[i]];
+    }
+  }
+
+  void OnBlock(uint32_t /*base*/, const double* values, uint32_t n) {
+    TallyBlock(values, n, GetScanKernels().hist_index_f64);
+  }
+
+  void OnBlock(uint32_t /*base*/, const int32_t* values, uint32_t n) {
+    TallyBlock(values, n, GetScanKernels().hist_index_i32);
+  }
+
   // Every visited row landed in exactly one slot or in `missing`.
   void Flush(HistogramResult* result) const {
     int64_t tallied = 0;
@@ -95,8 +125,8 @@ struct NumericTally {
       tallied += slots[b];
     }
     result->out_of_range += slots[count];
-    result->missing += missing;
-    result->rows_scanned += tallied + slots[count] + missing;
+    result->missing += missing + slots[count + 1];
+    result->rows_scanned += tallied + slots[count] + missing + slots[count + 1];
   }
 };
 

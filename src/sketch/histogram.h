@@ -54,6 +54,10 @@ class StreamingHistogramSketch final : public Sketch<HistogramResult> {
   HistogramResult Merge(const HistogramResult& left,
                         const HistogramResult& right) const override;
 
+  /// Integer bucket counts merged by pointwise addition: splitting the scan
+  /// into row ranges reorders only integer increments.
+  bool MorselMergeExact() const override { return true; }
+
   const Buckets& buckets() const { return buckets_; }
 
  private:
@@ -78,6 +82,11 @@ class SampledHistogramSketch final : public Sketch<HistogramResult> {
   HistogramResult Summarize(const Table& table, uint64_t seed) const override;
   HistogramResult Merge(const HistogramResult& left,
                         const HistogramResult& right) const override;
+
+  /// At rate >= 1 this degenerates to the streaming scan (exact integer
+  /// tallies); below 1 the geometric skip sequence restarts per morsel, so
+  /// the sampled row set — and thus the counts — would change.
+  bool MorselMergeExact() const override { return rate_ >= 1.0; }
 
   double rate() const { return rate_; }
   const Buckets& buckets() const { return buckets_; }

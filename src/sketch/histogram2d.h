@@ -60,6 +60,10 @@ class Histogram2DSketch final : public Sketch<Histogram2DResult> {
   Histogram2DResult Merge(const Histogram2DResult& left,
                           const Histogram2DResult& right) const override;
 
+  /// Pointwise integer adds; exact under splitting only when streaming
+  /// (sampling skips restart per morsel).
+  bool MorselMergeExact() const override { return rate_ >= 1.0; }
+
   double rate() const { return rate_; }
 
  private:
@@ -109,6 +113,9 @@ class TrellisSketch final : public Sketch<TrellisResult> {
   TrellisResult Summarize(const Table& table, uint64_t seed) const override;
   TrellisResult Merge(const TrellisResult& left,
                       const TrellisResult& right) const override;
+
+  /// Same rule as Histogram2DSketch: per-group integer adds.
+  bool MorselMergeExact() const override { return rate_ >= 1.0; }
 
  private:
   std::string w_column_;

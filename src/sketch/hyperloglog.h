@@ -49,6 +49,11 @@ class HyperLogLogSketch final : public Sketch<HllResult> {
   HllResult Summarize(const Table& table, uint64_t seed) const override;
   HllResult Merge(const HllResult& left, const HllResult& right) const override;
 
+  /// Registers merge by pointwise max and the hash seed is fixed, so any
+  /// row-range decomposition reproduces the whole-partition registers (and
+  /// missing counts sum) byte for byte.
+  bool MorselMergeExact() const override { return true; }
+
  private:
   std::string column_;
   int precision_;

@@ -1,0 +1,96 @@
+#include "sketch/morsel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+namespace hillview {
+
+namespace {
+
+std::atomic<uint32_t> g_morsel_min_rows_override{0};
+
+/// Rounds up to the next multiple of 64, saturating at the top.
+uint32_t RoundUp64(uint32_t rows) {
+  if (rows > std::numeric_limits<uint32_t>::max() - 63) {
+    return std::numeric_limits<uint32_t>::max() & ~63u;
+  }
+  return (rows + 63) & ~63u;
+}
+
+}  // namespace
+
+void SetMorselMinRowsForTest(uint32_t rows) {
+  g_morsel_min_rows_override.store(rows, std::memory_order_relaxed);
+}
+
+uint32_t MorselMinRows() {
+  uint32_t rows = g_morsel_min_rows_override.load(std::memory_order_relaxed);
+  if (rows == 0) rows = kDefaultMorselRows;
+  return std::max(RoundUp64(rows), 64u);
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> PlanMorselRanges(
+    uint32_t universe_size, uint32_t morsel_rows) {
+  morsel_rows = std::max(RoundUp64(morsel_rows), 64u);
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  if (universe_size == 0) return ranges;
+  ranges.reserve(universe_size / morsel_rows + 1);
+  for (uint32_t begin = 0; begin < universe_size; ) {
+    uint32_t end = universe_size - begin > morsel_rows ? begin + morsel_rows
+                                                       : universe_size;
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
+MembershipPtr SliceMembership(const IMembershipSet& base, uint32_t begin,
+                              uint32_t end) {
+  const uint32_t universe = base.universe_size();
+  end = std::min(end, universe);
+  if (begin >= end) {
+    return std::make_shared<SparseMembership>(std::vector<uint32_t>{},
+                                              universe);
+  }
+  switch (base.kind()) {
+    case IMembershipSet::Kind::kFull: {
+      // Ones over [begin, end): zero prefix words, full words, and a masked
+      // final word when `end` is unaligned (only the universe tail is).
+      const size_t first_word = begin >> 6;
+      const size_t last_word = (static_cast<size_t>(end) + 63) >> 6;
+      std::vector<uint64_t> words(last_word, 0);
+      for (size_t w = first_word; w < last_word; ++w) words[w] = ~0ULL;
+      if ((end & 63u) != 0) {
+        words[last_word - 1] = (1ULL << (end & 63u)) - 1;
+      }
+      return std::make_shared<DenseMembership>(std::move(words), universe);
+    }
+    case IMembershipSet::Kind::kDense: {
+      const std::vector<uint64_t>& base_words = base.bitmap_words();
+      const size_t first_word = begin >> 6;
+      const size_t last_word =
+          std::min<size_t>((static_cast<size_t>(end) + 63) >> 6,
+                           base_words.size());
+      std::vector<uint64_t> words(last_word, 0);
+      for (size_t w = first_word; w < last_word; ++w) {
+        words[w] = base_words[w];
+      }
+      if (last_word == ((static_cast<size_t>(end) + 63) >> 6) &&
+          (end & 63u) != 0 && last_word > first_word) {
+        words[last_word - 1] &= (1ULL << (end & 63u)) - 1;
+      }
+      return std::make_shared<DenseMembership>(std::move(words), universe);
+    }
+    case IMembershipSet::Kind::kSparse: {
+      const std::vector<uint32_t>& rows = base.sparse_rows();
+      auto lo = std::lower_bound(rows.begin(), rows.end(), begin);
+      auto hi = std::lower_bound(lo, rows.end(), end);
+      return std::make_shared<SparseMembership>(
+          std::vector<uint32_t>(lo, hi), universe);
+    }
+  }
+  return std::make_shared<SparseMembership>(std::vector<uint32_t>{}, universe);
+}
+
+}  // namespace hillview

@@ -81,6 +81,25 @@ class Sketch {
   /// and commutative for all sketches in this library (partial results can
   /// arrive in any order).
   virtual R Merge(const R& left, const R& right) const = 0;
+
+  /// Whether this sketch's summaries are BYTE-IDENTICAL under partition
+  /// splitting: for every decomposition of a table's member rows into
+  /// 64-row-aligned ranges r1 < r2 < ... < rk,
+  ///
+  ///   Merge(...Merge(Summarize(r1), Summarize(r2))..., Summarize(rk))
+  ///     == Summarize(whole table)   byte for byte,
+  ///
+  /// with every piece summarized under the SAME seed. This is a much
+  /// stronger property than mergeability: it is what lets the engine fan a
+  /// single partition's summarize across morsels (sketch/morsel.h) without
+  /// perturbing ComputationCache keys or redo-log replay. It typically
+  /// holds for integer-count tallies (histograms at rate >= 1) and
+  /// order-insensitive maxima (HyperLogLog registers), and typically FAILS
+  /// for: sampled scans (the skip sequence restarts per range), floating-
+  /// point accumulations (reassociated sums), lossy merges (Misra-Gries
+  /// decrements), and anything that recomputes over merged state. Default
+  /// is the safe answer.
+  virtual bool MorselMergeExact() const { return false; }
 };
 
 template <typename R>

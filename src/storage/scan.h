@@ -3,12 +3,14 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 #include <vector>
 
 #include "storage/bit_gather.h"
 #include "storage/column.h"
 #include "storage/membership.h"
+#include "storage/simd_dispatch.h"
 #include "util/random.h"
 
 namespace hillview {
@@ -72,12 +74,34 @@ inline uint64_t NullWord(const NullMask& nulls, size_t w) {
   return w < nulls.num_words() ? nulls.word_data()[w] : 0;
 }
 
+/// Visitors may additionally expose
+///
+///   void OnBlock(uint32_t base, const T* values, uint32_t n);
+///
+/// for the layouts they care about. The streaming loops hand such visitors
+/// whole runs of rows whose null-mask words are empty — `values` points at
+/// the column array for rows [base, base + n) — instead of one OnValue per
+/// row, which is what lets a visitor tally through the runtime-dispatched
+/// SIMD kernels (simd_dispatch.h). The NaN-is-missing policy moves INTO the
+/// block handler for double layouts: blocks are only pre-filtered against
+/// the null mask, so OnBlock must treat NaN exactly as OnMissing would.
+/// Overload only for the exact pointer types handled (e.g. const double*):
+/// layouts without a matching overload keep the per-row path.
+template <typename Visitor, typename T>
+concept HasOnBlock = requires(Visitor& v, const T* values) {
+  v.OnBlock(uint32_t{0}, values, uint32_t{0});
+};
+
 // --- Streaming loops: one instantiation per membership representation. ---
 
 template <typename T, typename Visitor>
 void ScanFull(const T* data, uint32_t n, const NullMask& nulls, Visitor& vis) {
   if (nulls.empty()) {
-    for (uint32_t r = 0; r < n; ++r) Emit(vis, r, data[r]);
+    if constexpr (HasOnBlock<Visitor, T>) {
+      vis.OnBlock(0, data, n);
+    } else {
+      for (uint32_t r = 0; r < n; ++r) Emit(vis, r, data[r]);
+    }
     return;
   }
   // Word-at-a-time: load each 64-row null word once; all-present blocks run
@@ -87,7 +111,15 @@ void ScanFull(const T* data, uint32_t n, const NullMask& nulls, Visitor& vis) {
     uint64_t null_word = NullWord(nulls, w);
     uint32_t base = w << 6;
     if (null_word == 0) {
-      for (uint32_t i = 0; i < 64; ++i) Emit(vis, base + i, data[base + i]);
+      if constexpr (HasOnBlock<Visitor, T>) {
+        // Coalesce the run of all-present words into one block call.
+        uint32_t end = w + 1;
+        while (end < full_words && NullWord(nulls, end) == 0) ++end;
+        vis.OnBlock(base, data + base, (end - w) << 6);
+        w = end - 1;
+      } else {
+        for (uint32_t i = 0; i < 64; ++i) Emit(vis, base + i, data[base + i]);
+      }
       continue;
     }
     uint64_t missing = null_word;
@@ -125,7 +157,19 @@ void ScanDense(const T* data, const std::vector<uint64_t>& member_words,
     if (members == ~0ULL && null_word == 0) {
       // Fully-set word (common for run-structured filters like range
       // zoom-ins): linear block, no bit juggling.
-      for (uint32_t i = 0; i < 64; ++i) Emit(vis, base + i, data[base + i]);
+      if constexpr (HasOnBlock<Visitor, T>) {
+        // Coalesce the run of fully-present words into one block call.
+        size_t end = w + 1;
+        while (end < member_words.size() && member_words[end] == ~0ULL &&
+               (!check_nulls || NullWord(nulls, end) == 0)) {
+          ++end;
+        }
+        vis.OnBlock(base, data + base,
+                    static_cast<uint32_t>((end - w) << 6));
+        w = end - 1;
+      } else {
+        for (uint32_t i = 0; i < 64; ++i) Emit(vis, base + i, data[base + i]);
+      }
       continue;
     }
     uint64_t missing = members & null_word;
@@ -390,6 +434,91 @@ inline uint64_t PredicateWord(const T* block, Pred& pred) {
   return bits;
 }
 
+/// The zoom-in range predicate [lo, hi] over a column's numeric view. For
+/// integer layouts the double bounds are converted ONCE to the closed
+/// integer range [ceil(lo), floor(hi)] (saturated at the int64 domain), so
+/// both the per-row calls and the word kernels compare in integer space —
+/// exact even beyond 2^53, where the old cast-to-double compare misrounded
+/// int64 dates. The invariant `ilo > ihi` encodes an empty intersection
+/// (including NaN bounds), which the kernels answer with an all-zero word.
+struct RangePredicate {
+  double lo;
+  double hi;
+  int64_t ilo;
+  int64_t ihi;
+  const ScanKernels* kernels;
+
+  RangePredicate(double lo_in, double hi_in)
+      : lo(lo_in), hi(hi_in), kernels(&GetScanKernels()) {
+    constexpr double kTwo63 = 9223372036854775808.0;  // 2^63, exact
+    const double cl = std::ceil(lo_in);
+    const double fh = std::floor(hi_in);
+    if (!(cl <= fh) || cl >= kTwo63 || fh < -kTwo63) {
+      ilo = 1;
+      ihi = 0;
+      return;
+    }
+    ilo = cl <= -kTwo63 ? std::numeric_limits<int64_t>::min()
+                        : static_cast<int64_t>(cl);
+    ihi = fh >= kTwo63 ? std::numeric_limits<int64_t>::max()
+                       : static_cast<int64_t>(fh);
+  }
+
+  bool operator()(double v) const { return v >= lo && v <= hi; }
+  bool operator()(int32_t v) const { return v >= ilo && v <= ihi; }
+  bool operator()(int64_t v) const { return v >= ilo && v <= ihi; }
+  bool operator()(uint32_t v) const {
+    return static_cast<int64_t>(v) >= ilo && static_cast<int64_t>(v) <= ihi;
+  }
+};
+
+/// Dictionary-code equality; non-code layouts never match.
+struct EqualsCodePredicate {
+  uint32_t code;
+  const ScanKernels* kernels;
+
+  explicit EqualsCodePredicate(uint32_t c)
+      : code(c), kernels(&GetScanKernels()) {}
+
+  bool operator()(uint32_t v) const { return v == code; }
+  bool operator()(double) const { return false; }
+  bool operator()(int32_t) const { return false; }
+  bool operator()(int64_t) const { return false; }
+};
+
+// Word-at-a-time overloads routing the known predicates through the
+// runtime-dispatched kernels. They take the predicate by NON-const reference
+// so they are exact matches that beat the generic template above (a const
+// overload would lose the reference-binding tiebreaker).
+
+inline uint64_t PredicateWord(const double* block, RangePredicate& pred) {
+  return pred.kernels->range_word_f64(block, pred.lo, pred.hi);
+}
+
+inline uint64_t PredicateWord(const int32_t* block, RangePredicate& pred) {
+  return pred.kernels->range_word_i32(block, pred.ilo, pred.ihi);
+}
+
+inline uint64_t PredicateWord(const int64_t* block, RangePredicate& pred) {
+  return pred.kernels->range_word_i64(block, pred.ilo, pred.ihi);
+}
+
+inline uint64_t PredicateWord(const uint32_t* block, RangePredicate& pred) {
+  constexpr int64_t kU32Max = std::numeric_limits<uint32_t>::max();
+  if (pred.ilo > pred.ihi || pred.ihi < 0 || pred.ilo > kU32Max) return 0;
+  const uint32_t l =
+      pred.ilo < 0 ? 0u : static_cast<uint32_t>(pred.ilo);
+  const uint32_t h = pred.ihi > kU32Max
+                         ? std::numeric_limits<uint32_t>::max()
+                         : static_cast<uint32_t>(pred.ihi);
+  return pred.kernels->range_word_u32(block, l, h);
+}
+
+inline uint64_t PredicateWord(const uint32_t* block,
+                              EqualsCodePredicate& pred) {
+  return pred.kernels->range_word_u32(block, pred.code, pred.code);
+}
+
 template <typename T, typename Pred>
 void FilterFullTyped(const T* data, uint32_t n, const NullMask& nulls,
                      Pred& pred, std::vector<uint64_t>& words) {
@@ -527,28 +656,23 @@ MembershipPtr FilterColumnMembership(const IColumn& col,
 }
 
 /// Rows whose numeric view (GetDouble semantics: native value, or the
-/// dictionary code for string layouts) lies in [lo, hi].
+/// dictionary code for string layouts) lies in [lo, hi]. Full 64-row blocks
+/// evaluate through the runtime-dispatched SIMD word kernels; integer
+/// layouts compare in integer space (exact beyond 2^53 — see
+/// scan_internal::RangePredicate).
 inline MembershipPtr FilterRangeMembership(const IColumn& col,
                                            const IMembershipSet& base,
                                            double lo, double hi) {
-  return FilterColumnMembership(col, base, [lo, hi](auto v) {
-    double d = static_cast<double>(v);
-    return d >= lo && d <= hi;
-  });
+  scan_internal::RangePredicate pred(lo, hi);
+  return FilterColumnMembership(col, base, pred);
 }
 
 /// Rows of a dictionary-code column whose code equals `code`.
 inline MembershipPtr FilterEqualsCodeMembership(const IColumn& col,
                                                 const IMembershipSet& base,
                                                 uint32_t code) {
-  return FilterColumnMembership(col, base, [code](auto v) {
-    if constexpr (std::is_same_v<decltype(v), uint32_t>) {
-      return v == code;
-    } else {
-      (void)v;
-      return false;
-    }
-  });
+  scan_internal::EqualsCodePredicate pred(code);
+  return FilterColumnMembership(col, base, pred);
 }
 
 /// Rows of a dictionary-code column whose code is marked in `match` (one

@@ -1,0 +1,100 @@
+#ifndef HILLVIEW_STORAGE_SIMD_DISPATCH_H_
+#define HILLVIEW_STORAGE_SIMD_DISPATCH_H_
+
+#include <cstdint>
+
+namespace hillview {
+
+/// Runtime-dispatched SIMD kernels for the scan layer's hot inner loops.
+///
+/// The existing BMI2 choice in bit_gather.h is compile-time (it only pays off
+/// when the whole binary targets the ISA); these kernels instead instantiate
+/// ONE loop body per ISA level from storage/scan_kernels.inc — the scalar
+/// body is the specification, the AVX2 body is the same arithmetic in vector
+/// registers — and pick a level once per process. Every kernel is
+/// bit-deterministic across levels: no FMA contraction, no reassociated
+/// float sums, truncating casts only (cvttpd == the C cast for the in-range
+/// values these loops produce). That is what lets the forced-scalar CI lane
+/// assert byte-identical summaries against the AVX2 path.
+///
+/// Adding a new ISA level (see README "SIMD dispatch policy"):
+///   1. add a `#elif defined(HV_SIMD_<LEVEL>)` branch per kernel in
+///      scan_kernels.inc (scalar tail stays shared),
+///   2. instantiate a new namespace for it in simd_kernels.cc and extend
+///      DetectLevel() + the kernel tables,
+///   3. extend SimdLevel below and the scalar-equivalence tests in
+///      tests/storage_scan_test.cc (they compare every level against
+///      kScalar on random inputs),
+///   4. record the bench evidence (bench_scale_threads / bench_single_thread
+///      METRIC deltas) in the PR.
+enum class SimdLevel {
+  kScalar,
+  kAvx2,
+};
+
+/// One function pointer per hot loop. All kernels are total functions over
+/// raw arrays with NO null-mask handling: callers apply the membership/null
+/// policy word-at-a-time around them (scan.h) or overwrite missing rows
+/// afterwards (sort_key.cc).
+struct ScanKernels {
+  // --- Predicate word assembly (FilterColumnMembership fast path). --------
+  // Each returns a 64-bit membership word for rows [0, 64) of `block`, bit i
+  // set when row i matches. Bounds for the integer kernels are CLOSED
+  // integer ranges; an empty range (lo > hi) yields 0. NaN never matches
+  // the double kernel (ordered compares on both sides).
+  uint64_t (*range_word_f64)(const double* block, double lo, double hi);
+  uint64_t (*range_word_i32)(const int32_t* block, int64_t lo, int64_t hi);
+  uint64_t (*range_word_i64)(const int64_t* block, int64_t lo, int64_t hi);
+  uint64_t (*range_word_u32)(const uint32_t* block, uint32_t lo, uint32_t hi);
+
+  // --- Histogram bucket indices (NumericTally block path). ----------------
+  // out[i] in [0, count + 1]: [0, count) = bucket, count = out-of-range,
+  // count + 1 = missing (NaN; only the f64 kernel produces it). Same
+  // clamp-multiply-truncate arithmetic as NumericTally::OnValue.
+  void (*hist_index_f64)(const double* data, uint32_t n, double min,
+                         double max, double scale, int32_t count,
+                         uint32_t* out);
+  void (*hist_index_i32)(const int32_t* data, uint32_t n, double min,
+                         double max, double scale, int32_t count,
+                         uint32_t* out);
+
+  // --- Min/max range pre-passes (sort_key.cc packed transforms). ----------
+  // Reduce over all n values; n must be >= 1. No null handling: only called
+  // for columns with an empty null mask.
+  void (*minmax_i32)(const int32_t* data, uint32_t n, int64_t* lo,
+                     int64_t* hi);
+  void (*minmax_i64)(const int64_t* data, uint32_t n, int64_t* lo,
+                     int64_t* hi);
+
+  // --- Order-preserving sort-key encoding (sort_key.cc). ------------------
+  // keys[i] = the ascending uint64 encoding of data[i] (sort_key.cc's
+  // EncodeF64 / EncodeI32 / EncodeI64). The f64 kernel maps NaN to the
+  // missing key (UINT64_MAX) and collapses -0.0 onto +0.0. The i64 kernel
+  // saturates INT64_MAX one below the missing key and returns whether any
+  // row saturated — callers with a null mask must re-verify against it
+  // (missing rows are encoded too and may carry INT64_MAX garbage).
+  void (*encode_keys_f64)(const double* data, uint32_t n, uint64_t* keys);
+  void (*encode_keys_i32)(const int32_t* data, uint32_t n, uint64_t* keys);
+  bool (*encode_keys_i64)(const int64_t* data, uint32_t n, uint64_t* keys);
+
+  const char* name;
+};
+
+/// The level the dispatcher selected for this process: the best the CPU
+/// supports, unless HILLVIEW_FORCE_SCALAR is set (non-empty, not "0") in the
+/// environment — the CI lane that proves both paths agree. Decided once, at
+/// first use.
+SimdLevel ActiveSimdLevel();
+
+/// Kernel table for the active level. Grab once per scan, not per row.
+const ScanKernels& GetScanKernels();
+
+/// Kernel table for an explicit level; levels the build or CPU cannot run
+/// fall back to kScalar. Tests use this to diff levels against each other.
+const ScanKernels& GetScanKernelsFor(SimdLevel level);
+
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_STORAGE_SIMD_DISPATCH_H_

@@ -1,0 +1,102 @@
+#include "storage/simd_dispatch.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+// Runtime dispatch only makes sense where more than one level can exist:
+// x86-64 with a compiler that supports per-function target attributes (so
+// the AVX2 translation unit body can use intrinsics without the whole build
+// being compiled -mavx2). Everywhere else the table degenerates to scalar.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HV_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace hillview {
+namespace {
+
+namespace scalar_kernels {
+#define HV_KERNEL_TARGET
+#include "storage/scan_kernels.inc"
+#undef HV_KERNEL_TARGET
+}  // namespace scalar_kernels
+
+#ifdef HV_SIMD_X86
+namespace avx2_kernels {
+#define HV_SIMD_AVX2 1
+#define HV_KERNEL_TARGET __attribute__((target("avx2")))
+#include "storage/scan_kernels.inc"
+#undef HV_KERNEL_TARGET
+#undef HV_SIMD_AVX2
+}  // namespace avx2_kernels
+#endif  // HV_SIMD_X86
+
+constexpr ScanKernels kScalarKernels = {
+    &scalar_kernels::RangeWordF64,  &scalar_kernels::RangeWordI32,
+    &scalar_kernels::RangeWordI64,  &scalar_kernels::RangeWordU32,
+    &scalar_kernels::HistIndexF64,  &scalar_kernels::HistIndexI32,
+    &scalar_kernels::MinMaxI32,     &scalar_kernels::MinMaxI64,
+    &scalar_kernels::EncodeKeysF64, &scalar_kernels::EncodeKeysI32,
+    &scalar_kernels::EncodeKeysI64, "scalar",
+};
+
+#ifdef HV_SIMD_X86
+constexpr ScanKernels kAvx2Kernels = {
+    &avx2_kernels::RangeWordF64,  &avx2_kernels::RangeWordI32,
+    &avx2_kernels::RangeWordI64,  &avx2_kernels::RangeWordU32,
+    &avx2_kernels::HistIndexF64,  &avx2_kernels::HistIndexI32,
+    &avx2_kernels::MinMaxI32,     &avx2_kernels::MinMaxI64,
+    &avx2_kernels::EncodeKeysF64, &avx2_kernels::EncodeKeysI32,
+    &avx2_kernels::EncodeKeysI64, "avx2",
+};
+#endif  // HV_SIMD_X86
+
+SimdLevel DetectLevel() {
+  // The forced-scalar CI lane: any non-empty value other than "0" pins the
+  // dispatcher to the specification path.
+  const char* force = std::getenv("HILLVIEW_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return SimdLevel::kScalar;
+  }
+#ifdef HV_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DetectLevel();
+  return level;
+}
+
+const ScanKernels& GetScanKernelsFor(SimdLevel level) {
+#ifdef HV_SIMD_X86
+  if (level == SimdLevel::kAvx2 && __builtin_cpu_supports("avx2")) {
+    return kAvx2Kernels;
+  }
+#else
+  (void)level;
+#endif
+  return kScalarKernels;
+}
+
+const ScanKernels& GetScanKernels() {
+  static const ScanKernels& kernels = GetScanKernelsFor(ActiveSimdLevel());
+  return kernels;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace hillview

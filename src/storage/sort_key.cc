@@ -6,6 +6,8 @@
 #include <limits>
 #include <utility>
 
+#include "storage/simd_dispatch.h"
+
 namespace hillview {
 
 namespace {
@@ -92,10 +94,22 @@ static void ComputePackTransformImpl(const IColumn& col, int64_t* min,
       }
     }
   };
+  // No-null columns reduce through the runtime-dispatched min/max kernels;
+  // integer min/max is order-insensitive, so the result is exact either way.
   if (const int32_t* raw = col.RawInt()) {
-    reduce(raw);
+    if (!check_nulls && n > 0) {
+      GetScanKernels().minmax_i32(raw, n, &lo, &hi);
+      any = true;
+    } else {
+      reduce(raw);
+    }
   } else if (const int64_t* raw64 = col.RawDate()) {
-    reduce(raw64);
+    if (!check_nulls && n > 0) {
+      GetScanKernels().minmax_i64(raw64, n, &lo, &hi);
+      any = true;
+    } else {
+      reduce(raw64);
+    }
   }
   if (!any) return;  // all missing: encode is never consulted
   *min = lo;
@@ -250,32 +264,51 @@ bool SortKeyPlan::BuildSingleKeys(std::vector<uint64_t>& keys) const {
   const bool check_nulls = !nulls.empty();
   bool saturated = false;
 
+  // The numeric layouts encode through the runtime-dispatched kernels
+  // (simd_dispatch.h), which produce exactly EncodeF64/EncodeI32/EncodeI64
+  // over every row; missing rows are then stamped with the missing key, one
+  // ctz per set null bit.
+  const ScanKernels& kern = GetScanKernels();
+  auto stamp_missing = [&keys, &nulls, n] {
+    const uint64_t* words = nulls.word_data();
+    const size_t num_words = nulls.num_words();
+    for (size_t w = 0; w < num_words; ++w) {
+      uint64_t m = words[w];
+      const uint32_t base = static_cast<uint32_t>(w << 6);
+      while (m != 0) {
+        const uint32_t r = base + static_cast<uint32_t>(__builtin_ctzll(m));
+        if (r < n) keys[r] = kMissingKey;
+        m &= m - 1;
+      }
+    }
+  };
+
   if (const double* raw = col.RawDouble()) {
-    for (uint32_t r = 0; r < n; ++r) {
-      double d = raw[r];
-      keys[r] = (check_nulls && nulls.IsMissing(r)) || std::isnan(d)
-                    ? kMissingKey
-                    : EncodeF64(d);
-    }
+    if (n > 0) kern.encode_keys_f64(raw, n, keys.data());  // NaN -> missing
+    if (check_nulls) stamp_missing();
   } else if (const int32_t* raw32 = col.RawInt()) {
-    for (uint32_t r = 0; r < n; ++r) {
-      keys[r] = (check_nulls && nulls.IsMissing(r)) ? kMissingKey
-                                                    : EncodeI32(raw32[r]);
-    }
+    if (n > 0) kern.encode_keys_i32(raw32, n, keys.data());
+    if (check_nulls) stamp_missing();
   } else if (const int64_t* raw64 = col.RawDate()) {
-    for (uint32_t r = 0; r < n; ++r) {
-      if (check_nulls && nulls.IsMissing(r)) {
-        keys[r] = kMissingKey;
-        continue;
+    // INT64_MAX collides with the missing key: the kernel saturates it to
+    // kMissingKey - 1 and reports it, so key ties re-compare the first
+    // column.
+    if (n > 0) saturated = kern.encode_keys_i64(raw64, n, keys.data());
+    if (check_nulls) {
+      stamp_missing();
+      if (saturated) {
+        // The bulk pass encodes missing slots too, so their garbage can
+        // raise the flag; re-verify against the null mask before giving up
+        // key exactness.
+        saturated = false;
+        for (uint32_t r = 0; r < n; ++r) {
+          if (raw64[r] == std::numeric_limits<int64_t>::max() &&
+              !nulls.IsMissing(r)) {
+            saturated = true;
+            break;
+          }
+        }
       }
-      uint64_t k = EncodeI64(raw64[r]);
-      // INT64_MAX collides with the missing key: saturate and report the
-      // inexactness, so key ties re-compare the first column.
-      if (k == kMissingKey) {
-        k = kMissingKey - 1;
-        saturated = true;
-      }
-      keys[r] = k;
     }
   } else if (const uint32_t* codes = col.RawCodes()) {
     // Dictionary codes: missing is in the code stream (kMissingCode is the

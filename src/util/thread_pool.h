@@ -1,8 +1,10 @@
 #ifndef HILLVIEW_UTIL_THREAD_POOL_H_
 #define HILLVIEW_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -119,6 +121,69 @@ class ThreadPool {
   int active_ GUARDED_BY(mutex_) = 0;
   bool shutdown_ GUARDED_BY(mutex_) = false;
 };
+
+/// Runs `fn(0) .. fn(num_items - 1)` with the pool's threads *and the calling
+/// thread working together*, returning once every item has finished. Items
+/// are claimed from a shared counter, so uneven item costs still balance.
+///
+/// The caller participates, which is what makes this safe to run on the SAME
+/// pool the caller occupies: the caller never parks waiting for queue
+/// capacity, only for items that some thread is actively executing — so even
+/// when every pool thread is blocked inside its own ParallelApply (nested
+/// fan-out on a saturated pool), each caller drains its own items and
+/// terminates. Helper tasks that wake up after all items are claimed exit
+/// immediately. `fn` must not block on work queued behind it on the same
+/// pool.
+///
+/// Item index order across threads is unspecified; callers needing a
+/// deterministic result must combine per-item outputs by item index (write
+/// into a pre-sized slot array), never by completion order.
+inline void ParallelApply(ThreadPool* pool, int num_items,
+                          const std::function<void(int)>& fn) {
+  if (num_items <= 0) return;
+  if (pool == nullptr || num_items == 1 || pool->num_threads() < 1) {
+    for (int i = 0; i < num_items; ++i) fn(i);
+    return;
+  }
+  // Heap-shared state: helper tasks can outlive this call (they may be
+  // dequeued after every item is claimed and finished), so the latch cannot
+  // live on the caller's stack. `fn` itself is only dereferenced for claimed
+  // items, all of which complete before the caller returns.
+  struct State {
+    Mutex mu;
+    CondVar done_cv;
+    int next GUARDED_BY(mu) = 0;
+    int done GUARDED_BY(mu) = 0;
+    int total = 0;
+    const std::function<void(int)>* fn = nullptr;
+  };
+  auto state = std::make_shared<State>();
+  state->total = num_items;
+  state->fn = &fn;
+  auto run_items = [state] {
+    for (;;) {
+      int item;
+      {
+        MutexLock lock(state->mu);
+        if (state->next >= state->total) return;
+        item = state->next++;
+      }
+      (*state->fn)(item);
+      MutexLock lock(state->mu);
+      if (++state->done == state->total) state->done_cv.NotifyAll();
+    }
+  };
+  // The caller is one worker already; extra helpers beyond num_items - 1
+  // would only wake up to find nothing left. A shut-down pool drops the
+  // submission and the caller simply runs everything itself.
+  const int helpers = std::min(pool->num_threads(), num_items - 1);
+  for (int h = 0; h < helpers; ++h) {
+    if (!pool->Submit(run_items)) break;
+  }
+  run_items();
+  MutexLock lock(state->mu);
+  while (state->done < state->total) state->done_cv.Wait(state->mu);
+}
 
 }  // namespace hillview
 

@@ -16,6 +16,8 @@
 #include "cluster/root.h"
 #include "core/computation_cache.h"
 #include "core/dataset.h"
+#include "sketch/histogram.h"
+#include "sketch/morsel.h"
 #include "sketch/next_items.h"
 #include "sketch/range_moments.h"
 #include "storage/sort_key.h"
@@ -289,6 +291,72 @@ TEST(ConcurrencyStress, WorkerEvictCachesRacingSummarize) {
     stop = true;
     evictor.join();
   }
+}
+
+// Morsel fan-out racing worker teardown: with the morsel threshold lowered,
+// every streaming-histogram summarize splits its partition into dozens of
+// morsels that run on the worker's own pool (shared with the partition
+// tasks, via ParallelApply's caller participation) while EvictCaches() and
+// Restart() rip the soft state out from under them. Results must stay exact
+// and byte-stable: the morsel merge is deterministic, so every query returns
+// the identical histogram no matter the interleaving.
+TEST(ConcurrencyStress, MorselFanOutRacingEvictAndRestart) {
+  SetMorselMinRowsForTest(64);
+  const int rounds = 4 * StressIters();
+  for (int round = 0; round < rounds; ++round) {
+    auto values = UniformDoubles(8000, 0, 100, 23 + round);
+    std::vector<TablePtr> partitions;
+    for (const auto& chunk : SplitValues(values, 4)) {
+      partitions.push_back(MakeDoubleTable("x", chunk));
+    }
+    auto tc = TestCluster::Create(partitions, /*workers=*/2, /*threads=*/2);
+    ASSERT_NE(tc, nullptr);
+
+    auto make_sketch = [] {
+      return std::make_shared<StreamingHistogramSketch>(
+          "x", Buckets(NumericBuckets(0, 100, 16)));
+    };
+
+    // Reference run before any interference; morsels are already active
+    // here, so this also pins the byte-deterministic merge order.
+    auto expected =
+        tc->root->RunSketch<HistogramResult>("data", make_sketch());
+    ASSERT_TRUE(expected.ok());
+
+    std::atomic<bool> stop{false};
+    std::thread evictor([&] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& w : tc->workers) {
+          if (++i % 5 == 0) {
+            w->Restart();
+          } else {
+            w->EvictCaches();
+          }
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    constexpr int kQueriers = 3;
+    std::vector<std::thread> queriers;
+    queriers.reserve(kQueriers);
+    for (int q = 0; q < kQueriers; ++q) {
+      queriers.emplace_back([&] {
+        for (int iter = 0; iter < 10; ++iter) {
+          auto r = tc->root->RunSketch<HistogramResult>("data", make_sketch());
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          ASSERT_EQ(r.value().counts, expected.value().counts);
+          ASSERT_EQ(r.value().missing, expected.value().missing);
+          ASSERT_EQ(r.value().rows_scanned, expected.value().rows_scanned);
+        }
+      });
+    }
+    for (auto& th : queriers) th.join();
+    stop = true;
+    evictor.join();
+  }
+  SetMorselMinRowsForTest(0);
 }
 
 }  // namespace

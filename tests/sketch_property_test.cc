@@ -27,6 +27,7 @@
 
 #include "sketch/find_text.h"
 #include "sketch/heavy_hitters.h"
+#include "sketch/morsel.h"
 #include "sketch/histogram.h"
 #include "sketch/histogram2d.h"
 #include "sketch/hyperloglog.h"
@@ -35,10 +36,12 @@
 #include "sketch/quantile.h"
 #include "sketch/range_moments.h"
 #include "sketch/string_quantiles.h"
+#include "storage/membership.h"
 #include "storage/table.h"
 #include "test_util.h"
 #include "util/random.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace hillview {
 namespace {
@@ -982,6 +985,207 @@ TEST(SketchPropertyCluster, HistogramMatchesSinglePartitionAcrossRestarts) {
             "d", Buckets(NumericBuckets(lo, hi, buckets)));
       },
       EqHistogram);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel byte-identity (sketch/morsel.h): for every sketch family that
+// declares MorselMergeExact(), fanning one partition across a pool in
+// cache-sized morsels must produce a summary whose *serialized bytes* equal
+// the single-thread Summarize — not just semantically equal. Cache keys and
+// the redo log assume summaries are a pure function of (sketch, table,
+// seed); intra-worker parallelism must be invisible to both.
+
+template <typename R>
+std::vector<uint8_t> SummaryBytes(const R& summary) {
+  ByteWriter w;
+  summary.Serialize(&w);
+  return w.Take();
+}
+
+/// Restores the production morsel threshold even when an assertion bails
+/// out of the test early.
+struct MorselRowsGuard {
+  explicit MorselRowsGuard(uint32_t rows) { SetMorselMinRowsForTest(rows); }
+  ~MorselRowsGuard() { SetMorselMinRowsForTest(0); }
+};
+
+template <typename R>
+void RunMorselByteIdentity(
+    const char* name, int cases, bool expect_exact,
+    const std::function<SketchPtr<R>(const TestData&, const TablePtr&,
+                                     Random&)>& make_sketch) {
+  const uint64_t name_hash = HashBytes(name, std::strlen(name), 0x30D5);
+  // 64-row morsels against a few-hundred-row table: dozens of morsels, so a
+  // broken decomposition or merge order cannot hide. The pool is wider than
+  // the morsel count is deep to encourage genuinely interleaved execution.
+  MorselRowsGuard guard(/*rows=*/64);
+  ThreadPool pool(4);
+  SketchContext fanned;
+  fanned.aux_pool = [&pool]() { return &pool; };
+  for (int c = 0; c < cases; ++c) {
+    const uint64_t seed = MixSeed(name_hash, static_cast<uint64_t>(c));
+    Random rng(seed);
+    const size_t n = 256 + rng.NextUint64(1024);
+    TestData data = MakeData(n, rng);
+    std::vector<uint32_t> active(n);
+    std::iota(active.begin(), active.end(), 0);
+    TablePtr whole = BuildTable(data, active);
+    SketchPtr<R> sketch = make_sketch(data, whole, rng);
+    ASSERT_EQ(sketch->MorselMergeExact(), expect_exact) << name;
+
+    // Full membership: the common leaf shape.
+    std::vector<uint8_t> serial =
+        SummaryBytes(sketch->Summarize(*whole, seed, {}));
+    std::vector<uint8_t> morsel =
+        SummaryBytes(SummarizeWithMorsels(*sketch, *whole, seed, fanned));
+    ASSERT_EQ(serial, morsel)
+        << name << " case " << c << " (seed 0x" << std::hex << seed
+        << std::dec << ", n=" << n << "): full-membership morsel summary "
+        << "is not byte-identical to single-thread";
+
+    // A filtered leaf: SliceMembership must slice sparse and dense
+    // representations identically to the serial scan over the same rows.
+    std::vector<uint32_t> kept;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (rng.NextUint64(3) != 0) kept.push_back(r);
+    }
+    TablePtr filtered = whole->WithMembership(std::make_shared<SparseMembership>(
+        kept, static_cast<uint32_t>(n)));
+    std::vector<uint8_t> serial_f =
+        SummaryBytes(sketch->Summarize(*filtered, seed, {}));
+    std::vector<uint8_t> morsel_f =
+        SummaryBytes(SummarizeWithMorsels(*sketch, *filtered, seed, fanned));
+    ASSERT_EQ(serial_f, morsel_f)
+        << name << " case " << c << " (seed 0x" << std::hex << seed
+        << std::dec << ", n=" << n << ", kept=" << kept.size()
+        << "): filtered-membership morsel summary differs";
+  }
+}
+
+constexpr int kMorselCases = 40;
+
+TEST(SketchMorsel, StreamingHistogramByteIdentical) {
+  RunMorselByteIdentity<HistogramResult>(
+      "morsel-streaming-histogram", kMorselCases, /*expect_exact=*/true,
+      [](const TestData&, const TablePtr&, Random& rng) {
+        double lo = -120.0 + rng.NextDouble() * 60.0;
+        double hi = lo + 20.0 + rng.NextDouble() * 180.0;
+        int buckets = 1 + static_cast<int>(rng.NextUint64(9));
+        return std::make_shared<StreamingHistogramSketch>(
+            "d", Buckets(NumericBuckets(lo, hi, buckets)));
+      });
+}
+
+TEST(SketchMorsel, SampledHistogramAtFullRateByteIdentical) {
+  RunMorselByteIdentity<HistogramResult>(
+      "morsel-sampled-histogram", kMorselCases, /*expect_exact=*/true,
+      [](const TestData&, const TablePtr&, Random& rng) {
+        int buckets = 1 + static_cast<int>(rng.NextUint64(9));
+        return std::make_shared<SampledHistogramSketch>(
+            "i", Buckets(NumericBuckets(-55, 55, buckets)), /*rate=*/1.0);
+      });
+}
+
+TEST(SketchMorsel, Histogram2DByteIdentical) {
+  RunMorselByteIdentity<Histogram2DResult>(
+      "morsel-histogram2d", kMorselCases, /*expect_exact=*/true,
+      [](const TestData&, const TablePtr&, Random& rng) {
+        int xb = 1 + static_cast<int>(rng.NextUint64(7));
+        int yb = 1 + static_cast<int>(rng.NextUint64(4));
+        return std::make_shared<Histogram2DSketch>(
+            "i", Buckets(NumericBuckets(-55, 55, xb)), "c",
+            CategoryBuckets(yb, rng));
+      });
+}
+
+TEST(SketchMorsel, TrellisByteIdentical) {
+  RunMorselByteIdentity<TrellisResult>(
+      "morsel-trellis", kMorselCases, /*expect_exact=*/true,
+      [](const TestData&, const TablePtr&, Random& rng) {
+        int wb = 1 + static_cast<int>(rng.NextUint64(4));
+        return std::make_shared<TrellisSketch>(
+            "c", CategoryBuckets(wb, rng), "i",
+            Buckets(NumericBuckets(-55, 55, 5)), "d",
+            Buckets(NumericBuckets(-110, 110, 4)));
+      });
+}
+
+TEST(SketchMorsel, HyperLogLogByteIdentical) {
+  RunMorselByteIdentity<HllResult>(
+      "morsel-hyperloglog", kMorselCases, /*expect_exact=*/true,
+      [](const TestData&, const TablePtr&, Random& rng) {
+        int precision = 6 + static_cast<int>(rng.NextUint64(5));
+        return std::make_shared<HyperLogLogSketch>("s", precision);
+      });
+}
+
+// Sketches that do NOT declare exact morsel merging must fall straight
+// through to the plain summarize — same bytes because it IS the same call.
+TEST(SketchMorsel, NonExactSketchFallsThrough) {
+  RunMorselByteIdentity<QuantileResult>(
+      "morsel-quantile-fallthrough", /*cases=*/10, /*expect_exact=*/false,
+      [](const TestData&, const TablePtr&, Random& rng) {
+        return std::make_shared<QuantileSketch>(RandomOrder(rng),
+                                                /*rate=*/1.0,
+                                                /*max_size=*/1 << 20);
+      });
+}
+
+// Sampled sketches below full rate must not fan out: per-morsel sampling
+// draws a different row subset than a single whole-partition pass.
+TEST(SketchMorsel, SampledBelowFullRateIsNotExact) {
+  EXPECT_FALSE(SampledHistogramSketch("i", Buckets(NumericBuckets(-55, 55, 4)),
+                                      /*rate=*/0.5)
+                   .MorselMergeExact());
+  EXPECT_TRUE(SampledHistogramSketch("i", Buckets(NumericBuckets(-55, 55, 4)),
+                                     /*rate=*/1.0)
+                  .MorselMergeExact());
+}
+
+// PlanMorselRanges / SliceMembership unit coverage: 64-aligned ranges that
+// tile the universe exactly, and slices that agree with the base set.
+TEST(SketchMorsel, PlanMorselRangesTilesUniverse) {
+  auto ranges = PlanMorselRanges(/*universe_size=*/1000, /*morsel_rows=*/256);
+  ASSERT_EQ(ranges.size(), 4u);
+  uint32_t expect_begin = 0;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.first, expect_begin);
+    EXPECT_EQ(r.first % 64, 0u);
+    EXPECT_LT(r.first, r.second);
+    expect_begin = r.second;
+  }
+  EXPECT_EQ(ranges.back().second, 1000u);
+  EXPECT_TRUE(PlanMorselRanges(0, 256).empty());
+}
+
+TEST(SketchMorsel, SliceMembershipMatchesBaseAcrossRepresentations) {
+  const uint32_t universe = 517;  // deliberately not a multiple of 64
+  Random rng(0x511CEu);
+  std::vector<uint32_t> sparse_rows;
+  std::vector<uint64_t> dense_words((universe + 63) / 64, 0);
+  for (uint32_t r = 0; r < universe; ++r) {
+    if (rng.NextUint64(3) == 0) sparse_rows.push_back(r);
+    if (rng.NextUint64(2) == 0) dense_words[r >> 6] |= 1ULL << (r & 63);
+  }
+  std::vector<MembershipPtr> bases = {
+      std::make_shared<FullMembership>(universe),
+      std::make_shared<DenseMembership>(dense_words, universe),
+      std::make_shared<SparseMembership>(sparse_rows, universe)};
+  for (const auto& base : bases) {
+    for (auto [begin, end] : {std::pair<uint32_t, uint32_t>{0, 64},
+                              {64, 512}, {448, universe}, {0, universe},
+                              {192, 192}}) {
+      MembershipPtr slice = SliceMembership(*base, begin, end);
+      ASSERT_NE(slice, nullptr);
+      EXPECT_EQ(slice->universe_size(), universe);
+      std::vector<uint32_t> expect, got;
+      ForEachRow(*base, [&](uint32_t r) {
+        if (r >= begin && r < end) expect.push_back(r);
+      });
+      ForEachRow(*slice, [&](uint32_t r) { got.push_back(r); });
+      EXPECT_EQ(got, expect) << "slice [" << begin << "," << end << ")";
+    }
+  }
 }
 
 }  // namespace

@@ -739,5 +739,250 @@ TEST(NullMask, AgreesWithIsMissingAcrossAllColumnKinds) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SIMD kernel equivalence (storage/simd_dispatch.h): the active kernel table
+// — AVX2 where the CPU has it, scalar otherwise — must be bit-identical to
+// the scalar reference on adversarial inputs (NaN, ±inf, ±0.0, INT64_MAX,
+// denormals, saturating bounds). On machines without AVX2 both tables are
+// the same functions and these tests pass trivially; the CI forced-scalar
+// lane covers the other direction (scalar correctness under AVX2 hardware).
+
+class KernelPair : public ::testing::Test {
+ protected:
+  const ScanKernels& scalar_ = GetScanKernelsFor(SimdLevel::kScalar);
+  const ScanKernels& active_ = GetScanKernels();
+};
+
+TEST_F(KernelPair, ScalarTableIsScalar) {
+  EXPECT_STREQ(scalar_.name, "scalar");
+}
+
+TEST_F(KernelPair, RangeWordsMatch) {
+  Random rng(0x5EED01);
+  for (int iter = 0; iter < 200; ++iter) {
+    double f64[64];
+    int32_t i32[64];
+    int64_t i64[64];
+    uint32_t u32[64];
+    for (int r = 0; r < 64; ++r) {
+      uint64_t roll = rng.NextUint64(20);
+      double v = (rng.NextDouble() - 0.5) * 400.0;
+      if (roll == 0) v = std::numeric_limits<double>::quiet_NaN();
+      if (roll == 1) v = std::numeric_limits<double>::infinity();
+      if (roll == 2) v = -std::numeric_limits<double>::infinity();
+      if (roll == 3) v = rng.NextUint64(2) ? 0.0 : -0.0;
+      f64[r] = v;
+      i32[r] = static_cast<int32_t>(rng.NextUint64()) >> (rng.NextUint64(28));
+      i64[r] = static_cast<int64_t>(rng.NextUint64()) >> (rng.NextUint64(60));
+      if (roll == 4) i64[r] = std::numeric_limits<int64_t>::max();
+      if (roll == 5) i64[r] = std::numeric_limits<int64_t>::min();
+      u32[r] = static_cast<uint32_t>(rng.NextUint64()) >> (rng.NextUint64(28));
+    }
+    double lo = (rng.NextDouble() - 0.5) * 300.0;
+    double hi = lo + rng.NextDouble() * 200.0;
+    EXPECT_EQ(scalar_.range_word_f64(f64, lo, hi),
+              active_.range_word_f64(f64, lo, hi));
+    // NaN bounds match nothing in both paths.
+    EXPECT_EQ(scalar_.range_word_f64(f64, kNaN, hi),
+              active_.range_word_f64(f64, kNaN, hi));
+    int64_t ilo = static_cast<int64_t>(lo);
+    int64_t ihi = static_cast<int64_t>(hi);
+    EXPECT_EQ(scalar_.range_word_i32(i32, ilo, ihi),
+              active_.range_word_i32(i32, ilo, ihi));
+    EXPECT_EQ(scalar_.range_word_i64(i64, ilo, ihi),
+              active_.range_word_i64(i64, ilo, ihi));
+    EXPECT_EQ(scalar_.range_word_i64(i64, std::numeric_limits<int64_t>::min(),
+                                     std::numeric_limits<int64_t>::max()),
+              active_.range_word_i64(i64, std::numeric_limits<int64_t>::min(),
+                                     std::numeric_limits<int64_t>::max()));
+    uint32_t ulo = static_cast<uint32_t>(rng.NextUint64(1000));
+    uint32_t uhi = ulo + static_cast<uint32_t>(rng.NextUint64(1u << 30));
+    EXPECT_EQ(scalar_.range_word_u32(u32, ulo, uhi),
+              active_.range_word_u32(u32, ulo, uhi));
+    // Empty interval (lo > hi) matches nothing.
+    EXPECT_EQ(active_.range_word_i64(i64, 1, 0), 0u);
+    EXPECT_EQ(active_.range_word_u32(u32, 5, 4), 0u);
+  }
+}
+
+TEST_F(KernelPair, HistogramIndicesMatch) {
+  Random rng(0x5EED02);
+  for (int iter = 0; iter < 100; ++iter) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextUint64(200));
+    std::vector<double> f64(n);
+    std::vector<int32_t> i32(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      uint64_t roll = rng.NextUint64(12);
+      double v = (rng.NextDouble() - 0.5) * 400.0;
+      if (roll == 0) v = std::numeric_limits<double>::quiet_NaN();
+      if (roll == 1) v = std::numeric_limits<double>::infinity();
+      if (roll == 2) v = -std::numeric_limits<double>::infinity();
+      f64[r] = v;
+      i32[r] = static_cast<int32_t>(rng.NextUint64(200)) - 100;
+    }
+    const double min = -90.0 + rng.NextDouble() * 20.0;
+    const double max = min + 50.0 + rng.NextDouble() * 120.0;
+    const int32_t count = 1 + static_cast<int32_t>(rng.NextUint64(30));
+    const double scale = count / (max - min);
+    std::vector<uint32_t> a(n, 0xAAu), b(n, 0xBBu);
+    scalar_.hist_index_f64(f64.data(), n, min, max, scale, count, a.data());
+    active_.hist_index_f64(f64.data(), n, min, max, scale, count, b.data());
+    EXPECT_EQ(a, b) << "f64 iter " << iter;
+    scalar_.hist_index_i32(i32.data(), n, min, max, scale, count, a.data());
+    active_.hist_index_i32(i32.data(), n, min, max, scale, count, b.data());
+    EXPECT_EQ(a, b) << "i32 iter " << iter;
+    // Sentinel sanity: every index is in [0, count+1].
+    for (uint32_t r = 0; r < n; ++r) {
+      EXPECT_LE(a[r], static_cast<uint32_t>(count) + 1);
+    }
+  }
+}
+
+TEST_F(KernelPair, MinMaxMatch) {
+  Random rng(0x5EED03);
+  for (int iter = 0; iter < 100; ++iter) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextUint64(100));
+    std::vector<int32_t> i32(n);
+    std::vector<int64_t> i64(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      i32[r] = static_cast<int32_t>(rng.NextUint64());
+      i64[r] = static_cast<int64_t>(rng.NextUint64());
+      if (rng.NextUint64(16) == 0) {
+        i64[r] = rng.NextUint64(2) ? std::numeric_limits<int64_t>::max()
+                                   : std::numeric_limits<int64_t>::min();
+      }
+    }
+    int64_t lo_a = 0, hi_a = 0, lo_b = 0, hi_b = 0;
+    scalar_.minmax_i32(i32.data(), n, &lo_a, &hi_a);
+    active_.minmax_i32(i32.data(), n, &lo_b, &hi_b);
+    EXPECT_EQ(lo_a, lo_b);
+    EXPECT_EQ(hi_a, hi_b);
+    scalar_.minmax_i64(i64.data(), n, &lo_a, &hi_a);
+    active_.minmax_i64(i64.data(), n, &lo_b, &hi_b);
+    EXPECT_EQ(lo_a, lo_b);
+    EXPECT_EQ(hi_a, hi_b);
+  }
+}
+
+TEST_F(KernelPair, SortKeyEncodingsMatch) {
+  Random rng(0x5EED04);
+  for (int iter = 0; iter < 100; ++iter) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextUint64(150));
+    std::vector<double> f64(n);
+    std::vector<int32_t> i32(n);
+    std::vector<int64_t> i64(n);
+    bool want_saturation = rng.NextUint64(2) == 0;
+    for (uint32_t r = 0; r < n; ++r) {
+      uint64_t roll = rng.NextUint64(10);
+      double v = (rng.NextDouble() - 0.5) * 1e6;
+      if (roll == 0) v = std::numeric_limits<double>::quiet_NaN();
+      if (roll == 1) v = std::numeric_limits<double>::infinity();
+      if (roll == 2) v = -std::numeric_limits<double>::infinity();
+      if (roll == 3) v = rng.NextUint64(2) ? 0.0 : -0.0;
+      if (roll == 4) v = 5e-324;  // denormal
+      f64[r] = v;
+      i32[r] = static_cast<int32_t>(rng.NextUint64());
+      i64[r] = static_cast<int64_t>(rng.NextUint64());
+      if (want_saturation && roll == 5) {
+        i64[r] = std::numeric_limits<int64_t>::max();
+      }
+    }
+    std::vector<uint64_t> a(n, 1), b(n, 2);
+    scalar_.encode_keys_f64(f64.data(), n, a.data());
+    active_.encode_keys_f64(f64.data(), n, b.data());
+    EXPECT_EQ(a, b) << "f64 iter " << iter;
+    // ±0.0 collapse to one key; NaN sorts last.
+    scalar_.encode_keys_i32(i32.data(), n, a.data());
+    active_.encode_keys_i32(i32.data(), n, b.data());
+    EXPECT_EQ(a, b) << "i32 iter " << iter;
+    bool sat_a = scalar_.encode_keys_i64(i64.data(), n, a.data());
+    bool sat_b = active_.encode_keys_i64(i64.data(), n, b.data());
+    EXPECT_EQ(a, b) << "i64 iter " << iter;
+    EXPECT_EQ(sat_a, sat_b) << "i64 saturation flag, iter " << iter;
+    bool has_max = std::find(i64.begin(), i64.end(),
+                             std::numeric_limits<int64_t>::max()) != i64.end();
+    EXPECT_EQ(sat_a, has_max);
+  }
+  // Order preservation spot checks on the f64 encoding.
+  double ordered[5] = {-std::numeric_limits<double>::infinity(), -1.5, -0.0,
+                       2.5, std::numeric_limits<double>::infinity()};
+  uint64_t keys[5];
+  active_.encode_keys_f64(ordered, 5, keys);
+  EXPECT_TRUE(std::is_sorted(keys, keys + 5));
+  double zeros[2] = {0.0, -0.0};
+  uint64_t zero_keys[2];
+  active_.encode_keys_f64(zeros, 2, zero_keys);
+  EXPECT_EQ(zero_keys[0], zero_keys[1]);
+  double nan_val[1] = {kNaN};
+  uint64_t nan_key[1];
+  active_.encode_keys_f64(nan_val, 1, nan_key);
+  EXPECT_EQ(nan_key[0], std::numeric_limits<uint64_t>::max());
+}
+
+TEST_F(KernelPair, ForceScalarFallbackLookupIsScalar) {
+  // GetScanKernelsFor on a level the CPU lacks must hand back the scalar
+  // table rather than faulting; asking for kScalar is always scalar.
+  const ScanKernels& k = GetScanKernelsFor(SimdLevel::kAvx2);
+  EXPECT_TRUE(std::string(k.name) == "avx2" ||
+              std::string(k.name) == "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+// RangePredicate's double→integer bound conversion: closed integer bounds
+// [ceil(lo), floor(hi)] with saturation at ±2^63, exact beyond 2^53, and an
+// always-false encoding for empty intersections.
+using scan_internal::RangePredicate;
+
+TEST(RangePredicateBounds, IntegerConversionEdges) {
+  {
+    RangePredicate p(-2.5, 3.5);
+    EXPECT_EQ(p.ilo, -2);
+    EXPECT_EQ(p.ihi, 3);
+  }
+  {
+    RangePredicate p(2.0, 2.0);  // single integer point
+    EXPECT_EQ(p.ilo, 2);
+    EXPECT_EQ(p.ihi, 2);
+  }
+  {
+    RangePredicate p(2.1, 2.9);  // no integer inside
+    EXPECT_GT(p.ilo, p.ihi);
+    EXPECT_FALSE(p(int64_t{0}));
+    EXPECT_FALSE(p(int64_t{2}));
+    EXPECT_FALSE(p(int64_t{3}));
+  }
+  {
+    // Saturation: bounds beyond ±2^63 clamp to the full int64 range.
+    RangePredicate p(-1e300, 1e300);
+    EXPECT_EQ(p.ilo, std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(p.ihi, std::numeric_limits<int64_t>::max());
+    EXPECT_TRUE(p(std::numeric_limits<int64_t>::max()));
+    EXPECT_TRUE(p(std::numeric_limits<int64_t>::min()));
+  }
+  {
+    // Entirely above / below the int64 range: empty for integers.
+    RangePredicate above(1e300, 2e300);
+    EXPECT_GT(above.ilo, above.ihi);
+    RangePredicate below(-2e300, -1e300);
+    EXPECT_GT(below.ilo, below.ihi);
+  }
+  {
+    // NaN bounds: empty.
+    RangePredicate p(kNaN, 10.0);
+    EXPECT_GT(p.ilo, p.ihi);
+    EXPECT_FALSE(p(1.0));
+  }
+  {
+    // Exactness beyond 2^53: a double bound of 2^62 is representable; the
+    // closed bound must include exactly values <= 2^62.
+    const double two62 = 4611686018427387904.0;
+    RangePredicate p(0.0, two62);
+    EXPECT_EQ(p.ihi, int64_t{1} << 62);
+    EXPECT_TRUE(p(int64_t{1} << 62));
+    EXPECT_FALSE(p((int64_t{1} << 62) + 1));
+  }
+}
+
 }  // namespace
 }  // namespace hillview
