@@ -1,0 +1,94 @@
+#include "cluster/fault_injection.h"
+
+#include "util/random.h"
+
+namespace hillview {
+namespace cluster {
+namespace {
+
+/// Maps a channel to a PRNG stream id: workers get two streams each (down and
+/// up); worker -1 ("broadcast"/untracked) is folded onto a reserved pair so
+/// the arithmetic below never collides with a real worker's streams.
+uint64_t ChannelStream(int worker, Direction direction) {
+  const uint64_t w =
+      worker < 0 ? 0x7fffffffULL : static_cast<uint64_t>(worker);
+  return w * 2 + static_cast<uint64_t>(direction);
+}
+
+}  // namespace
+
+FaultVerdict FaultInjector::Judge(int worker, Direction direction) {
+  MutexLock lock(mutex_);
+  const uint64_t idx = counters_[{worker, static_cast<int>(direction)}]++;
+  ++stats_.judged;
+
+  FaultVerdict verdict;
+
+  // Scripted faults take priority, first match wins. They are exact — no
+  // randomness — so tests can say "drop the Nth summary from worker w".
+  for (const ScriptedFault& fault : plan_.schedule) {
+    if (fault.worker != -1 && fault.worker != worker) continue;
+    if (fault.direction != direction) continue;
+    if (idx < fault.begin || idx >= fault.end) continue;
+    verdict.action = fault.action;
+    ++stats_.scripted_hits;
+    break;
+  }
+
+  // The message's own PRNG, indexed by (seed, channel, message counter): the
+  // verdict is a pure function of those three, independent of thread timing
+  // on other channels. Draws happen in a fixed order (drop, corrupt,
+  // duplicate, latency) so a plan change to one probability never perturbs
+  // the draws of the others.
+  Random rng(MixSeed(MixSeed(plan_.seed, ChannelStream(worker, direction)),
+                     idx));
+  const FaultPlan::Probabilities& p =
+      direction == Direction::kDown ? plan_.down : plan_.up;
+  const double draw_drop = rng.NextDouble();
+  const double draw_corrupt = rng.NextDouble();
+  const double draw_duplicate = rng.NextDouble();
+  const double draw_latency = rng.NextDouble();
+  const uint64_t corrupt_seed = rng.NextUint64();
+
+  if (verdict.action == FaultAction::kDeliver) {
+    if (draw_drop < p.drop) {
+      verdict.action = FaultAction::kDrop;
+    } else if (draw_corrupt < p.corrupt) {
+      verdict.action = FaultAction::kCorrupt;
+    } else if (draw_duplicate < p.duplicate) {
+      verdict.action = FaultAction::kDuplicate;
+    }
+  }
+  if (draw_latency < p.latency_spike) {
+    verdict.extra_latency_ms = p.latency_spike_ms;
+    ++stats_.latency_spikes;
+  }
+  if (verdict.action == FaultAction::kCorrupt) {
+    verdict.corrupt_seed = corrupt_seed;
+  }
+
+  switch (verdict.action) {
+    case FaultAction::kDeliver:
+      ++stats_.delivered;
+      break;
+    case FaultAction::kDrop:
+      ++stats_.dropped;
+      break;
+    case FaultAction::kCorrupt:
+      ++stats_.corrupted;
+      break;
+    case FaultAction::kDuplicate:
+      ++stats_.duplicated;
+      break;
+  }
+  return verdict;
+}
+
+uint64_t FaultInjector::ChannelCount(int worker, Direction direction) const {
+  MutexLock lock(mutex_);
+  auto it = counters_.find({worker, static_cast<int>(direction)});
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace cluster
+}  // namespace hillview

@@ -1,0 +1,141 @@
+#ifndef HILLVIEW_CLUSTER_FAULT_INJECTION_H_
+#define HILLVIEW_CLUSTER_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace hillview {
+namespace cluster {
+
+/// Which way a message crosses the simulated interconnect.
+enum class Direction {
+  kDown = 0,  // root -> worker (requests)
+  kUp = 1,    // worker -> root (partial summaries)
+};
+
+/// What the network decided to do with one message.
+enum class FaultAction {
+  kDeliver,    // pass through untouched
+  kDrop,       // the message vanishes
+  kCorrupt,    // bit-flip the payload in transit (checksums catch it)
+  kDuplicate,  // deliver twice (RPCs are idempotent by construction)
+};
+
+/// The verdict for one message. `corrupt_seed` drives the deterministic
+/// bit-flip when action == kCorrupt; `extra_latency_ms` is a latency spike
+/// applied on top of the bandwidth/latency model.
+struct FaultVerdict {
+  FaultAction action = FaultAction::kDeliver;
+  double extra_latency_ms = 0.0;
+  uint64_t corrupt_seed = 0;
+};
+
+/// One scripted fault: applies `action` to every message whose per-channel
+/// index falls in [begin, end) on channel (worker, direction). Channel
+/// indices count messages from plan installation, so "drop the 3rd summary
+/// coming up from worker 1" is `DropNth(1, Direction::kUp, 2)` and "mute
+/// worker 2's responses forever" is `Mute(2, Direction::kUp, 0, kForever)`.
+/// Scripted faults take precedence over the probabilistic faults below.
+struct ScriptedFault {
+  static constexpr uint64_t kForever = ~0ULL;
+
+  int worker = -1;  // -1 matches every worker
+  Direction direction = Direction::kUp;
+  uint64_t begin = 0;
+  uint64_t end = 0;  // half-open
+  FaultAction action = FaultAction::kDrop;
+
+  static ScriptedFault DropNth(int worker, Direction direction, uint64_t n) {
+    return ScriptedFault{worker, direction, n, n + 1, FaultAction::kDrop};
+  }
+  static ScriptedFault Mute(int worker, Direction direction, uint64_t begin,
+                            uint64_t end) {
+    return ScriptedFault{worker, direction, begin, end, FaultAction::kDrop};
+  }
+  static ScriptedFault CorruptNth(int worker, Direction direction,
+                                  uint64_t n) {
+    return ScriptedFault{worker, direction, n, n + 1, FaultAction::kCorrupt};
+  }
+};
+
+/// A deterministic fault schedule for the whole cluster: per-direction
+/// probabilities plus scripted windows, all derived from one seed.
+///
+/// Determinism contract: the verdict for a message is a pure function of
+/// (plan seed, worker, direction, per-channel message index). No wall clock,
+/// no shared PRNG stream — each message gets its own counter-indexed PRNG —
+/// so two runs that send the same message sequence per channel see the very
+/// same faults, regardless of thread interleaving across channels. (Message
+/// *counts* per channel are deterministic whenever aggregation runs with
+/// progressive=false, the chaos-test configuration: exactly one summary
+/// crosses up per worker per attempt.)
+struct FaultPlan {
+  struct Probabilities {
+    double drop = 0.0;
+    double corrupt = 0.0;
+    double duplicate = 0.0;
+    double latency_spike = 0.0;
+    double latency_spike_ms = 0.0;
+  };
+
+  uint64_t seed = 0;
+  Probabilities down;  // root -> worker requests
+  Probabilities up;    // worker -> root summaries
+  std::vector<ScriptedFault> schedule;
+};
+
+/// Applies a FaultPlan to the message flow of a SimulatedNetwork: every
+/// message is judged (scripted faults first, then the per-direction
+/// probability draws in a fixed order) and the injected-fault counters are
+/// tallied under a lock, exposed only as a consistent Snapshot() like the
+/// caches.
+class FaultInjector {
+ public:
+  /// One consistent observability snapshot, taken under the lock.
+  struct Stats {
+    uint64_t judged = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t corrupted = 0;
+    uint64_t duplicated = 0;
+    uint64_t latency_spikes = 0;
+    uint64_t scripted_hits = 0;
+  };
+
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Judges the next message on channel (worker, direction) and advances the
+  /// channel counter. Pure in the plan seed and the counter value (see the
+  /// determinism contract on FaultPlan).
+  FaultVerdict Judge(int worker, Direction direction) EXCLUDES(mutex_);
+
+  /// The number of messages judged so far on one channel.
+  uint64_t ChannelCount(int worker, Direction direction) const
+      EXCLUDES(mutex_);
+
+  Stats Snapshot() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  const FaultPlan plan_;
+  mutable Mutex mutex_;
+  std::map<std::pair<int, int>, uint64_t> counters_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
+};
+
+using FaultInjectorPtr = std::shared_ptr<FaultInjector>;
+
+}  // namespace cluster
+}  // namespace hillview
+
+#endif  // HILLVIEW_CLUSTER_FAULT_INJECTION_H_

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
+#include <utility>
 
+#include "cluster/fault_injection.h"
 #include "util/thread_annotations.h"
 
 namespace hillview {
@@ -40,18 +43,42 @@ class SimulatedNetwork {
     model_ = model;
   }
 
-  /// Records a request flowing root -> worker.
-  void SendDown(uint64_t bytes) {
-    messages_down_.fetch_add(1, std::memory_order_relaxed);
-    bytes_down_.fetch_add(bytes, std::memory_order_relaxed);
-    Delay(bytes);
+  /// Installs (or, with nullptr, removes) a fault injector. Subsequent sends
+  /// that identify their worker endpoint are judged against its FaultPlan;
+  /// sends with worker == -1 (untracked callers) always deliver.
+  void InstallFaultInjector(FaultInjectorPtr injector)
+      EXCLUDES(model_mutex_) {
+    MutexLock lock(model_mutex_);
+    injector_ = std::move(injector);
   }
 
-  /// Records a (partial) summary flowing worker -> root.
-  void SendUp(uint64_t bytes) {
+  FaultInjectorPtr fault_injector() const EXCLUDES(model_mutex_) {
+    MutexLock lock(model_mutex_);
+    return injector_;
+  }
+
+  /// Records a request flowing root -> worker and returns the fault verdict
+  /// for it. Byte/message counters tally on send — before faults — because
+  /// the sender paid the bandwidth regardless of what happens in transit
+  /// (duplicates are charged once: the copy is a delivery-side event).
+  FaultVerdict SendDown(uint64_t bytes, int worker = -1)
+      EXCLUDES(model_mutex_) {
+    messages_down_.fetch_add(1, std::memory_order_relaxed);
+    bytes_down_.fetch_add(bytes, std::memory_order_relaxed);
+    const FaultVerdict verdict = JudgeSend(worker, Direction::kDown);
+    Delay(bytes, verdict.extra_latency_ms);
+    return verdict;
+  }
+
+  /// Records a (partial) summary flowing worker -> root; same contract as
+  /// SendDown.
+  FaultVerdict SendUp(uint64_t bytes, int worker = -1)
+      EXCLUDES(model_mutex_) {
     messages_up_.fetch_add(1, std::memory_order_relaxed);
     bytes_up_.fetch_add(bytes, std::memory_order_relaxed);
-    Delay(bytes);
+    const FaultVerdict verdict = JudgeSend(worker, Direction::kUp);
+    Delay(bytes, verdict.extra_latency_ms);
+    return verdict;
   }
 
   uint64_t bytes_received_by_root() const { return bytes_up_.load(); }
@@ -67,14 +94,27 @@ class SimulatedNetwork {
   }
 
  private:
-  void Delay(uint64_t bytes) EXCLUDES(model_mutex_) {
+  FaultVerdict JudgeSend(int worker, Direction direction)
+      EXCLUDES(model_mutex_) {
+    if (worker < 0) return FaultVerdict{};  // untracked endpoint: no faults
+    FaultInjectorPtr injector;
+    {
+      MutexLock lock(model_mutex_);
+      injector = injector_;
+    }
+    if (!injector) return FaultVerdict{};
+    return injector->Judge(worker, direction);
+  }
+
+  void Delay(uint64_t bytes, double extra_latency_ms = 0.0)
+      EXCLUDES(model_mutex_) {
     Model model;
     {
       // Copy under the lock; the sleep itself must not serialize senders.
       MutexLock lock(model_mutex_);
       model = model_;
     }
-    double seconds = model.latency_ms / 1e3;
+    double seconds = model.latency_ms / 1e3 + extra_latency_ms / 1e3;
     if (model.bandwidth_bytes_per_sec > 0) {
       seconds += static_cast<double>(bytes) / model.bandwidth_bytes_per_sec;
     }
@@ -85,6 +125,7 @@ class SimulatedNetwork {
 
   mutable Mutex model_mutex_;
   Model model_ GUARDED_BY(model_mutex_);
+  FaultInjectorPtr injector_ GUARDED_BY(model_mutex_);
   std::atomic<uint64_t> bytes_up_{0};
   std::atomic<uint64_t> bytes_down_{0};
   std::atomic<uint64_t> messages_up_{0};

@@ -1,5 +1,13 @@
 #include "cluster/remote_dataset.h"
 
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+#include "util/stopwatch.h"
+
 namespace hillview {
 namespace cluster {
 
@@ -10,47 +18,286 @@ namespace {
 /// only keeps the downstream counters non-zero and honest.
 constexpr uint64_t kRequestOverheadBytes = 64;
 
+/// Per-summary frame overhead: the progress field plus the 64-bit payload
+/// checksum. The checksum matters for fault injection: a bit-flipped payload
+/// can still deserialize into a plausible summary, so corruption detection
+/// cannot rely on the decoder alone.
+constexpr uint64_t kFrameOverheadBytes = sizeof(double) + sizeof(uint64_t);
+
+/// Deterministically flips one payload bit chosen by the verdict's corrupt
+/// seed — the simulated in-transit corruption.
+void CorruptBytes(std::vector<uint8_t>* bytes, uint64_t corrupt_seed) {
+  if (bytes->empty()) return;
+  Random rng(corrupt_seed);
+  const uint64_t bit = rng.NextUint64(bytes->size() * 8);
+  (*bytes)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+/// Capped exponential backoff with deterministic seeded jitter in
+/// [0.5, 1.0)x. Pure in (seed, worker, attempt): replays of the same seeded
+/// schedule back off identically.
+double BackoffMs(const SketchOptions::RpcPolicy& rpc, uint64_t seed,
+                 int worker, int attempt) {
+  double ms = rpc.backoff_base_ms;
+  for (int i = 1; i < attempt; ++i) ms *= 2.0;
+  ms = std::min(ms, rpc.backoff_cap_ms);
+  Random rng(MixSeed(MixSeed(seed, static_cast<uint64_t>(worker) + 1),
+                     static_cast<uint64_t>(attempt)));
+  return ms * (0.5 + 0.5 * rng.NextDouble());
+}
+
+/// True for statuses the retry layer may act on by re-running the sketch.
+/// Only deadline misses retry *here*; Unavailable means soft state is gone
+/// and must heal via the root's redo-log replay instead.
+bool IsDeadline(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// One remote sketch RPC with deadline + bounded retry. Each attempt gets an
+/// epoch number; events from a superseded attempt (late partials of a timed-
+/// out run) are rejected by epoch so the output stream only ever sees one
+/// coherent attempt. Retrying a sketch is safe: sketches are pure functions
+/// of (data, seed), so a re-run returns byte-identical summaries.
+///
+/// Lifetime: shared_from_this keeps the driver alive inside the worker
+/// stream's callbacks; when the last attempt settles, the callbacks' copies
+/// are the only remaining owners and the driver dies with its worker stream.
+class RpcDriver : public std::enable_shared_from_this<RpcDriver> {
+ public:
+  RpcDriver(WorkerPtr worker, std::string dataset_id,
+            SimulatedNetwork* network, int worker_index, WorkerHealth* health,
+            AnySketch sketch, SketchOptions options,
+            StreamPtr<PartialResult<AnySummary>> out)
+      : worker_(std::move(worker)),
+        dataset_id_(std::move(dataset_id)),
+        network_(network),
+        worker_index_(worker_index),
+        health_(health),
+        sketch_(std::move(sketch)),
+        options_(std::move(options)),
+        out_(std::move(out)) {}
+
+  void Start() EXCLUDES(mutex_) {
+    int epoch;
+    {
+      MutexLock lock(mutex_);
+      epoch = attempt_;
+      attempt_watch_.Restart();
+    }
+    RunAttempt(epoch);
+  }
+
+ private:
+  void RunAttempt(int epoch) EXCLUDES(mutex_) {
+    const FaultVerdict down = network_->SendDown(
+        kRequestOverheadBytes + sketch_.name().size(), worker_index_);
+    if (down.action == FaultAction::kDrop ||
+        down.action == FaultAction::kCorrupt) {
+      // The request never arrives intact: the worker stays silent and the
+      // attempt's deadline (eventually) fires. The simulation settles the
+      // miss immediately instead of wall-clock-waiting for it. A corrupted
+      // request is a dropped one the worker could at least count.
+      if (down.action == FaultAction::kCorrupt) {
+        worker_->RecordCorruptMessageDropped();
+      }
+      SettleAttempt(epoch,
+                    Status::DeadlineExceeded("request lost in transit"));
+      return;
+    }
+    // kDuplicate on a request is coalesced: running the same pure sketch
+    // twice on the worker would double simulated work but return identical
+    // bytes, so the model delivers it once.
+
+    auto dataset = worker_->GetDataSet(dataset_id_);
+    if (!dataset.ok()) {
+      // Soft state is gone (worker restarted): not retriable here — only
+      // redo-log replay at the root can rebuild the dataset.
+      SettleAttempt(epoch, dataset.status());
+      return;
+    }
+    // This is the machine boundary: from here on the sketch runs on the
+    // worker, so hand it the worker's auxiliary pool for intra-partition
+    // helper work (find-text dictionary matching). Deliberately a provider:
+    // the aux pool's threads spawn only if a sketch actually asks. The
+    // capture is a raw pointer on purpose — the provider only runs inside
+    // Summarize on the worker's own pool, which the worker drains before
+    // dying, and a shared_ptr here could make a task closure the last owner
+    // and destroy the Worker from its own pool thread (a self-join).
+    SketchOptions worker_options = options_;
+    worker_options.aux_pool = [w = worker_.get()] { return w->aux_pool(); };
+    worker_options.key_cache = [w = worker_.get()] { return w->key_cache(); };
+    auto worker_stream = dataset.value()->RunSketch(sketch_, worker_options);
+    auto self = shared_from_this();
+    worker_stream->Subscribe(
+        [self, epoch](const PartialResult<AnySummary>& p) {
+          self->OnPartial(epoch, p);
+        },
+        [self, epoch](const Status& s) { self->OnWorkerComplete(epoch, s); });
+  }
+
+  void OnPartial(int epoch, const PartialResult<AnySummary>& p)
+      EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      if (epoch != attempt_ || settled_) return;  // stale attempt's event
+    }
+    // Cross the machine boundary: serialize, checksum, charge, deserialize.
+    std::vector<uint8_t> bytes = sketch_.Serialize(p.value);
+    const uint64_t checksum = HashBytes(bytes.data(), bytes.size());
+    const FaultVerdict up =
+        network_->SendUp(bytes.size() + kFrameOverheadBytes, worker_index_);
+    if (up.action == FaultAction::kDrop) {
+      // The summary vanishes; the attempt's silence becomes a deadline miss
+      // when the worker stream completes without a final summary delivered.
+      return;
+    }
+    if (up.action == FaultAction::kCorrupt) {
+      CorruptBytes(&bytes, up.corrupt_seed);
+    }
+    if (HashBytes(bytes.data(), bytes.size()) != checksum) {
+      // Checksum catches the in-transit corruption even when the payload
+      // would still deserialize. Corrupt messages are dropped, counted, and
+      // healed by the retry layer (the silence turns into a deadline miss).
+      worker_->RecordCorruptMessageDropped();
+      return;
+    }
+    auto decoded = sketch_.Deserialize(bytes);
+    if (!decoded.ok()) {
+      worker_->RecordCorruptMessageDropped();
+      return;
+    }
+    const double deadline_ms = options_.rpc.deadline_ms;
+    bool late = false;
+    {
+      MutexLock lock(mutex_);
+      if (epoch != attempt_ || settled_) return;
+      if (deadline_ms > 0 && attempt_watch_.ElapsedMillis() > deadline_ms) {
+        // The summary arrived, but late: the deadline already passed. Treat
+        // the attempt as missed and discard the late message (the retry —
+        // pure and seeded — will reproduce it).
+        late = true;
+      } else if (p.progress >= 1.0) {
+        saw_final_ = true;
+      }
+    }
+    if (late) {
+      SettleAttempt(epoch, Status::DeadlineExceeded(
+                               "summary arrived after the deadline"));
+      return;
+    }
+    PartialResult<AnySummary> delivered{p.progress, decoded.Take(),
+                                        p.coverage};
+    out_->OnNext(delivered);
+    if (up.action == FaultAction::kDuplicate) {
+      // Idempotent delivery: merging the same summary twice is harmless
+      // because the merger's per-child update is replacement, not addition.
+      out_->OnNext(delivered);
+    }
+  }
+
+  void OnWorkerComplete(int epoch, const Status& s) EXCLUDES(mutex_) {
+    bool missing_final;
+    {
+      MutexLock lock(mutex_);
+      if (epoch != attempt_ || settled_) return;
+      missing_final = s.ok() && !saw_final_;
+    }
+    if (missing_final) {
+      // The worker finished but its final summary never made it across
+      // (dropped or corrupted in transit): from the root's side this is
+      // indistinguishable from a slow worker, and it heals the same way.
+      SettleAttempt(epoch,
+                    Status::DeadlineExceeded("final summary lost in transit"));
+      return;
+    }
+    SettleAttempt(epoch, s);
+  }
+
+  void SettleAttempt(int epoch, const Status& status) EXCLUDES(mutex_) {
+    int next_epoch = -1;
+    {
+      MutexLock lock(mutex_);
+      if (epoch != attempt_ || settled_) return;
+      if (IsDeadline(status) && attempt_ < options_.rpc.max_retries) {
+        ++attempt_;
+        saw_final_ = false;
+        attempt_watch_.Restart();
+        next_epoch = attempt_;
+      } else {
+        settled_ = true;
+      }
+    }
+    if (next_epoch > 0) {
+      const double backoff = BackoffMs(options_.rpc, options_.seed,
+                                       worker_index_, next_epoch);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      }
+      RunAttempt(next_epoch);
+      return;
+    }
+    FinishRpc(status);
+  }
+
+  void FinishRpc(const Status& status) {
+    if (health_ != nullptr && worker_index_ >= 0) {
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        // Only unresponsiveness feeds the breaker: a deadline means the
+        // worker never answered despite the per-RPC retry budget.
+        health_->RecordFailure(worker_index_);
+      } else {
+        // Any response — including Unavailable (soft state lost after a
+        // crash, healable by replay) or an application error — proves the
+        // worker is alive. Counting healable Unavailable as breaker failure
+        // would trip the circuit on a worker that replay is about to fix,
+        // and a half-open probe answered with Unavailable must still close
+        // the breaker or every later request fast-fails forever.
+        health_->RecordSuccess(worker_index_);
+      }
+    }
+    out_->OnComplete(status);
+  }
+
+  WorkerPtr worker_;
+  const std::string dataset_id_;
+  SimulatedNetwork* network_;
+  const int worker_index_;
+  WorkerHealth* health_;
+  const AnySketch sketch_;
+  const SketchOptions options_;
+  StreamPtr<PartialResult<AnySummary>> out_;
+
+  Mutex mutex_;
+  int attempt_ GUARDED_BY(mutex_) = 0;   // current attempt epoch
+  bool settled_ GUARDED_BY(mutex_) = false;
+  bool saw_final_ GUARDED_BY(mutex_) = false;  // final summary delivered
+  Stopwatch attempt_watch_ GUARDED_BY(mutex_);
+};
+
 }  // namespace
 
 StreamPtr<PartialResult<AnySummary>> RemoteDataSet::RunSketch(
     const AnySketch& sketch, const SketchOptions& options) {
   auto out = std::make_shared<Stream<PartialResult<AnySummary>>>();
-  network_->SendDown(kRequestOverheadBytes + sketch.name().size());
-
-  auto dataset = worker_->GetDataSet(dataset_id_);
-  if (!dataset.ok()) {
-    out->OnComplete(dataset.status());
+  if (health_ != nullptr && worker_index_ >= 0 &&
+      !health_->AllowRequest(worker_index_)) {
+    // Circuit open: fast-fail without burning the deadline+retry budget on a
+    // known-dead worker. Unavailable keeps the healing semantics — replay
+    // can still resurrect it, and a degraded merger counts it as lost.
+    out->OnComplete(Status::Unavailable(
+        "worker " + worker_->name() + ": circuit breaker open"));
     return out;
   }
-  // This is the machine boundary: from here on the sketch runs on the
-  // worker, so hand it the worker's auxiliary pool for intra-partition
-  // helper work (find-text dictionary matching). Deliberately a provider:
-  // the aux pool's threads spawn only if a sketch actually asks. The
-  // capture is a raw pointer on purpose — the provider only runs inside
-  // Summarize on the worker's own pool, which the worker drains before
-  // dying, and a shared_ptr here could make a task closure the last owner
-  // and destroy the Worker from its own pool thread (a self-join).
-  SketchOptions worker_options = options;
-  worker_options.aux_pool = [w = worker_.get()] { return w->aux_pool(); };
-  worker_options.key_cache = [w = worker_.get()] { return w->key_cache(); };
-  auto worker_stream = dataset.value()->RunSketch(sketch, worker_options);
-  SimulatedNetwork* network = network_;
-  AnySketch sketch_copy = sketch;
-  worker_stream->Subscribe(
-      [out, network, sketch_copy](const PartialResult<AnySummary>& p) {
-        // Cross the machine boundary: serialize, charge, deserialize.
-        std::vector<uint8_t> bytes = sketch_copy.Serialize(p.value);
-        network->SendUp(bytes.size() + sizeof(double));  // + progress field
-        auto decoded = sketch_copy.Deserialize(bytes);
-        if (!decoded.ok()) return;  // Corrupt message: dropped (tested path).
-        out->OnNext(PartialResult<AnySummary>{p.progress, decoded.Take()});
-      },
-      [out](const Status& s) { out->OnComplete(s); });
+  auto driver = std::make_shared<RpcDriver>(worker_, dataset_id_, network_,
+                                            worker_index_, health_, sketch,
+                                            options, out);
+  driver->Start();
   return out;
 }
 
 DataSetPtr RemoteDataSet::Map(TableMap map, const std::string& op_name) {
-  network_->SendDown(kRequestOverheadBytes + op_name.size());
+  network_->SendDown(kRequestOverheadBytes + op_name.size(), worker_index_);
   std::string new_id = dataset_id_ + "/" + op_name;
   Status s = worker_->ApplyMap(dataset_id_, new_id, std::move(map), op_name);
   // A failed remote map still returns a proxy; the error surfaces as
@@ -58,7 +305,8 @@ DataSetPtr RemoteDataSet::Map(TableMap map, const std::string& op_name) {
   // records the dropped status so fault-injection tests can assert this
   // path fired instead of silently losing the failure.
   if (!s.ok()) worker_->RecordDroppedMapFailure(s);
-  return std::make_shared<RemoteDataSet>(worker_, new_id, network_);
+  return std::make_shared<RemoteDataSet>(worker_, new_id, network_,
+                                         worker_index_, health_);
 }
 
 int RemoteDataSet::NumPartitions() const {

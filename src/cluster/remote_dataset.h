@@ -6,6 +6,7 @@
 
 #include "cluster/network.h"
 #include "cluster/worker.h"
+#include "cluster/worker_health.h"
 #include "core/dataset.h"
 
 namespace hillview {
@@ -13,22 +14,38 @@ namespace cluster {
 
 /// Root-side proxy for a dataset hosted on one worker: the machine-boundary
 /// edge of the execution tree (Fig 1). Every partial summary crossing this
-/// edge is serialized with the sketch's wire format, charged to the
-/// SimulatedNetwork, and deserialized on the other side — so byte accounting
-/// and wire-format round-trips are faithful even though both "machines"
-/// share a process.
+/// edge is serialized with the sketch's wire format, checksummed, charged to
+/// the SimulatedNetwork, and deserialized on the other side — so byte
+/// accounting and wire-format round-trips are faithful even though both
+/// "machines" share a process.
 ///
 /// The reference is soft (§5.7): if the worker restarted and no longer has
 /// the dataset, RunSketch completes with Unavailable and the root session
 /// replays the redo log.
+///
+/// Fault handling (options.rpc): each attempt is bounded by a deadline — a
+/// leaf that produced no final summary in time completes kDeadlineExceeded —
+/// and deadline misses are retried here with capped exponential backoff and
+/// deterministic seeded jitter, which is safe because sketches are pure
+/// functions of (data, seed). Transport losses (dropped requests, dropped or
+/// corrupted summaries) surface as deadline misses and heal the same way.
+/// Unavailable is NOT retried here: it means soft state is gone and only the
+/// root's redo-log replay can heal it.
+///
+/// When constructed with a WorkerHealth tracker and worker index, the proxy
+/// consults the circuit breaker before each RPC (fast-failing Unavailable
+/// while the breaker is open) and reports each RPC's terminal outcome back.
 class RemoteDataSet final : public IDataSet {
  public:
   RemoteDataSet(WorkerPtr worker, std::string dataset_id,
-                SimulatedNetwork* network)
+                SimulatedNetwork* network, int worker_index = -1,
+                WorkerHealth* health = nullptr)
       : worker_(std::move(worker)),
         dataset_id_(std::move(dataset_id)),
         id_("remote:" + worker_->name() + "/" + dataset_id_),
-        network_(network) {}
+        network_(network),
+        worker_index_(worker_index),
+        health_(health) {}
 
   const std::string& id() const override { return id_; }
 
@@ -52,6 +69,8 @@ class RemoteDataSet final : public IDataSet {
   std::string dataset_id_;
   std::string id_;
   SimulatedNetwork* network_;
+  int worker_index_;       // channel id for fault injection; -1 = untracked
+  WorkerHealth* health_;   // root's breaker; may be null (no gating)
 };
 
 }  // namespace cluster

@@ -1,11 +1,54 @@
 #include "cluster/root.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "util/random.h"
+
 namespace hillview {
 namespace cluster {
 
+namespace {
+
+/// Retriable at the query level: soft-state loss (heals via replay) and
+/// transport/deadline faults (heal via re-running the pure sketch). Anything
+/// else is a real error and fails the query immediately.
+bool Retriable(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Query-level backoff before transport retry `retry` (1-based): capped
+/// exponential scaled by deterministic seeded jitter in [0.5, 1.0)x — the
+/// same shape as the per-RPC backoff, one level up.
+double QueryBackoffMs(const SketchOptions::RpcPolicy& rpc, uint64_t seed,
+                      int retry) {
+  double ms = rpc.backoff_base_ms;
+  for (int i = 1; i < retry; ++i) ms *= 2.0;
+  ms = std::min(ms, rpc.backoff_cap_ms);
+  Random rng(MixSeed(MixSeed(seed, 0x9e3779b97f4a7c15ULL),
+                     static_cast<uint64_t>(retry)));
+  return ms * (0.5 + 0.5 * rng.NextDouble());
+}
+
+}  // namespace
+
 RootSession::RootSession(std::vector<WorkerPtr> workers,
                          SimulatedNetwork* network, Options options)
-    : workers_(std::move(workers)), network_(network), options_(options) {}
+    : workers_(std::move(workers)),
+      network_(network),
+      options_(options),
+      health_(static_cast<int>(workers_.size()), options.health) {}
+
+RootSession::~RootSession() {
+  // Abandoned attempts (deadline misses, degraded completions) leave worker
+  // pool tasks running after their query returned; those tasks reach back
+  // into this session (health reports) and the network. Drain every pool
+  // before any member dies so stragglers cannot dangle — and so the last
+  // reference to a Worker is never dropped on that worker's own pool thread
+  // (a self-join in its destructor).
+  for (auto& worker : workers_) worker->pool()->Wait();
+}
 
 Status RootSession::LoadDataSet(
     const std::string& dataset_id,
@@ -51,51 +94,152 @@ Result<std::string> RootSession::MapDataSet(const std::string& parent_id,
 }
 
 DataSetPtr RootSession::GetRootDataSet(const std::string& dataset_id) {
+  return BuildRootDataSet(dataset_id,
+                          options_.aggregation.tolerate_child_failures);
+}
+
+DataSetPtr RootSession::BuildRootDataSet(const std::string& dataset_id,
+                                         bool tolerant) {
   std::vector<DataSetPtr> children;
   children.reserve(workers_.size());
-  for (auto& worker : workers_) {
-    children.push_back(
-        std::make_shared<RemoteDataSet>(worker, dataset_id, network_));
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    // Every machine-boundary edge knows its worker index (the fault-injection
+    // channel id) and reports RPC outcomes to the shared health tracker, so
+    // the breaker learns from all traffic regardless of degraded mode.
+    children.push_back(std::make_shared<RemoteDataSet>(
+        workers_[w], dataset_id, network_, static_cast<int>(w), &health_));
   }
+  ParallelDataSet::Options aggregation = options_.aggregation;
+  aggregation.tolerate_child_failures =
+      aggregation.tolerate_child_failures || tolerant;
   // The root aggregation node; children recurse into the workers' own
   // parallel trees (nullptr pool: remote children schedule on worker pools).
-  return std::make_shared<ParallelDataSet>("root/" + dataset_id,
-                                           std::move(children), nullptr,
-                                           options_.aggregation);
+  return std::make_shared<ParallelDataSet>(
+      "root/" + dataset_id, std::move(children), nullptr, aggregation);
 }
 
 Result<AnySummary> RootSession::RunErased(const std::string& dataset_id,
                                           const AnySketch& sketch,
-                                          uint64_t seed, bool cacheable) {
+                                          uint64_t seed, bool cacheable,
+                                          QueryStats* stats) {
+  QueryStats local_stats;
+  QueryStats& q = stats != nullptr ? *stats : local_stats;
+  q = QueryStats{};
   std::string cache_key = ComputationCache::Key(dataset_id, sketch.name(), seed);
   if (cacheable) {
-    if (auto hit = cache_.Get(cache_key)) return *hit;
+    if (auto hit = cache_.Get(cache_key)) {
+      // The cache only ever holds full-coverage results (degraded summaries
+      // are never stored), so a hit is always complete.
+      q.from_cache = true;
+      return *hit;
+    }
   }
   redo_log_.Append("sketch", dataset_id + "#" + sketch.name(), seed);
 
   Status last_error = Status::OK();
-  for (int attempt = 0; attempt <= options_.max_replay_retries; ++attempt) {
-    if (attempt > 0) {
-      // Lazy replay (§5.7): re-execute the logged operations to rebuild the
-      // missing soft state, then retry the query.
-      HV_RETURN_IF_ERROR(redo_log_.ReplayAll());
-    }
-    DataSetPtr root = GetRootDataSet(dataset_id);
+  int replay_attempts = 0;
+  int transport_retries = 0;
+  bool degraded_pass = false;
+  // Total attempts: the first run, every healing retry, plus the one final
+  // degraded pass.
+  const int max_attempts =
+      1 + options_.max_replay_retries + options_.max_transport_retries + 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Degrade as soon as a breaker is open: the breaker's verdict is the
+    // signal that retrying into that worker is pointless, so the merge
+    // should complete over the survivors (§5.7). The final degraded pass
+    // also tolerates losses regardless of breaker state.
+    const bool tolerant =
+        degraded_pass || (options_.allow_degraded && health_.AnyOpen());
+    DataSetPtr root = BuildRootDataSet(dataset_id, tolerant);
     SketchOptions options;
     options.seed = seed;
+    options.rpc = options_.rpc;
     auto stream = root->RunSketch(sketch, options);
-    auto last = stream->BlockingLast();
-    Status status = stream->final_status();
+
+    std::optional<PartialResult<AnySummary>> last;
+    bool backstop_fired = false;
+    if (options_.rpc.deadline_ms > 0) {
+      // Backstop against a truly hung worker whose stream never completes
+      // at all — distinct from (and far above) the per-RPC deadline, which
+      // handles merely late or lost responses.
+      const double backstop_ms =
+          (options_.rpc.deadline_ms * (options_.rpc.max_retries + 1) +
+           options_.rpc.backoff_cap_ms * options_.rpc.max_retries) *
+              10.0 +
+          1000.0;
+      last = stream->BlockingLastFor(backstop_ms, &backstop_fired);
+    } else {
+      last = stream->BlockingLast();
+    }
+    Status status = backstop_fired
+                        ? Status::DeadlineExceeded(
+                              "query exceeded its completion backstop")
+                        : stream->final_status();
+
     if (status.ok()) {
       if (!last.has_value()) {
         return Status::Internal("sketch completed without a result");
       }
-      if (cacheable) cache_.Put(cache_key, last->value);
+      q.coverage = last->coverage;
+      q.degraded = last->coverage < 1.0;
+      q.replay_heals = replay_attempts;
+      q.transport_retries = transport_retries;
+      // Degraded results are never cached: after the cluster heals, the
+      // same query must recompute at full coverage, not serve the partial
+      // view forever.
+      if (cacheable && !q.degraded) cache_.Put(cache_key, last->value);
       return last->value;
     }
-    if (status.code() != StatusCode::kUnavailable) return status;
     last_error = status;
+    if (!Retriable(status)) break;
+
+    if (status.code() == StatusCode::kUnavailable &&
+        replay_attempts < options_.max_replay_retries) {
+      // Lazy replay (§5.7): re-execute the logged operations to rebuild the
+      // missing soft state, then retry the query.
+      ++replay_attempts;
+      Status replayed = redo_log_.ReplayAll();
+      if (!replayed.ok()) {
+        if (!Retriable(replayed)) {
+          q.replay_heals = replay_attempts;
+          q.transport_retries = transport_retries;
+          return replayed;
+        }
+        // The replay itself hit soft-state loss or a transport fault (e.g.
+        // a worker died again mid-heal): that is just another failure of
+        // this attempt. It already consumed a slot in the replay budget;
+        // loop and heal again rather than giving up.
+        last_error = replayed;
+      }
+      if (retry_hook_) retry_hook_(attempt, status);
+      continue;
+    }
+    if (status.code() == StatusCode::kDeadlineExceeded &&
+        transport_retries < options_.max_transport_retries) {
+      // Transport-level failure: the sketch is pure and seeded, so simply
+      // re-running it is safe. Back off (capped, seeded jitter) first.
+      ++transport_retries;
+      const double backoff =
+          QueryBackoffMs(options_.rpc, seed, transport_retries);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      }
+      if (retry_hook_) retry_hook_(attempt, status);
+      continue;
+    }
+    if (!degraded_pass && options_.allow_degraded) {
+      // Every healing budget is spent. Last resort: accept losing the dead
+      // workers and complete over the survivors, marking the coverage.
+      degraded_pass = true;
+      if (retry_hook_) retry_hook_(attempt, status);
+      continue;
+    }
+    break;
   }
+  q.replay_heals = replay_attempts;
+  q.transport_retries = transport_retries;
   return last_error;
 }
 

@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "cluster/network.h"
 #include "cluster/remote_dataset.h"
 #include "cluster/worker.h"
+#include "cluster/worker_health.h"
 #include "core/computation_cache.h"
 #include "core/dataset.h"
 #include "core/redo_log.h"
@@ -18,6 +21,15 @@ namespace cluster {
 /// The root node (web-server side of Fig 1): tracks workers, builds
 /// execution trees over remote datasets, owns the redo log and the
 /// computation cache, and heals soft-state loss by lazy replay (§5.7–5.8).
+///
+/// Fault handling is layered by failure class (the ISSUE's three-tier
+/// contract): soft-state loss (kUnavailable) heals by redo-log replay;
+/// transport faults (kDeadlineExceeded, after the remote edge's own per-RPC
+/// retries) get bounded query-level retries with capped, seeded backoff; a
+/// worker that keeps failing trips its circuit breaker, after which queries
+/// degrade gracefully — the merge completes over the survivors and the
+/// result carries a coverage fraction instead of an error. Degraded results
+/// are never stored in the computation cache.
 class RootSession {
  public:
   struct Options {
@@ -25,12 +37,42 @@ class RootSession {
     /// Attempts after an Unavailable failure (each preceded by a full
     /// redo-log replay).
     int max_replay_retries = 2;
+    /// Query-level retries after a kDeadlineExceeded failure (on top of the
+    /// per-RPC retries the remote edge already performed).
+    int max_transport_retries = 3;
+    /// Per-RPC deadline/retry policy handed to every machine-boundary edge.
+    SketchOptions::RpcPolicy rpc{/*deadline_ms=*/0.0, /*max_retries=*/2,
+                                 /*backoff_base_ms=*/1.0,
+                                 /*backoff_cap_ms=*/50.0};
+    /// Once every healing budget is exhausted (or a breaker is open), run
+    /// one final pass that tolerates lost workers and returns a
+    /// coverage-marked partial result instead of an error (§5.7). False
+    /// restores strict all-or-nothing semantics.
+    bool allow_degraded = true;
+    /// Circuit-breaker tuning for the per-worker health tracker.
+    WorkerHealth::Options health;
+  };
+
+  /// Per-query fault-handling observability, filled in by RunSketch /
+  /// RunErased when the caller passes a stats out-param.
+  struct QueryStats {
+    double coverage = 1.0;     // partitions merged / total partitions
+    int replay_heals = 0;      // redo-log replays this query triggered
+    int transport_retries = 0; // query-level deadline retries
+    bool degraded = false;     // coverage < 1.0
+    bool from_cache = false;   // served from the computation cache
   };
 
   RootSession(std::vector<WorkerPtr> workers, SimulatedNetwork* network)
       : RootSession(std::move(workers), network, Options{}) {}
   RootSession(std::vector<WorkerPtr> workers, SimulatedNetwork* network,
               Options options);
+
+  /// Quiesces the deployment: drains every worker pool so no in-flight RPC
+  /// machinery (retry drivers, health reports) can outlive the session's
+  /// members. Abandoned degraded/timed-out attempts make such stragglers
+  /// normal, not exceptional.
+  ~RootSession();
 
   /// Registers a base dataset: `partition_loaders[i]` produces micropartition
   /// i, assigned to worker i % num_workers. Logged: replay re-registers the
@@ -49,13 +91,16 @@ class RootSession {
   DataSetPtr GetRootDataSet(const std::string& dataset_id);
 
   /// Runs a sketch to completion with computation-cache lookup (when
-  /// `cacheable`) and Unavailable-healing replay. The seed is logged.
+  /// `cacheable`), Unavailable-healing replay, deadline retries and — as a
+  /// last resort — coverage-marked degradation. The seed is logged. `stats`
+  /// (optional) receives what the fault machinery did for this query.
   template <typename R>
   Result<R> RunSketch(const std::string& dataset_id, SketchPtr<R> sketch,
-                      uint64_t seed = 0, bool cacheable = false) {
+                      uint64_t seed = 0, bool cacheable = false,
+                      QueryStats* stats = nullptr) {
     AnySketch erased = AnySketch::Wrap<R>(std::move(sketch));
     HV_ASSIGN_OR_RETURN(AnySummary summary,
-                        RunErased(dataset_id, erased, seed, cacheable));
+                        RunErased(dataset_id, erased, seed, cacheable, stats));
     return summary.As<R>();
   }
 
@@ -77,22 +122,36 @@ class RootSession {
   /// Simulates a crash of worker `index` (drops all its soft state).
   void RestartWorker(int index) { workers_[index]->Restart(); }
 
+  /// Hook fired just before each query retry (after the heal/backoff step),
+  /// with the 0-based attempt number that failed and its status. Tests use
+  /// it to crash workers *between* the retry attempts of one query.
+  void set_retry_hook(std::function<void(int, const Status&)> hook) {
+    retry_hook_ = std::move(hook);
+  }
+
   int num_workers() const { return static_cast<int>(workers_.size()); }
   const std::vector<WorkerPtr>& workers() const { return workers_; }
   RedoLog& redo_log() { return redo_log_; }
   ComputationCache& cache() { return cache_; }
   SimulatedNetwork* network() { return network_; }
+  WorkerHealth& health() { return health_; }
 
  private:
   Result<AnySummary> RunErased(const std::string& dataset_id,
                                const AnySketch& sketch, uint64_t seed,
-                               bool cacheable);
+                               bool cacheable, QueryStats* stats = nullptr);
+
+  /// Execution tree with explicit degraded-mode choice; the public
+  /// GetRootDataSet builds the strict (configured) variant.
+  DataSetPtr BuildRootDataSet(const std::string& dataset_id, bool tolerant);
 
   std::vector<WorkerPtr> workers_;
   SimulatedNetwork* network_;
   Options options_;
   RedoLog redo_log_;
   ComputationCache cache_;
+  WorkerHealth health_;
+  std::function<void(int, const Status&)> retry_hook_;
 };
 
 }  // namespace cluster

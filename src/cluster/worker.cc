@@ -8,7 +8,7 @@ Status Worker::RegisterBase(
     std::vector<std::shared_ptr<LocalDataSet>> partitions) {
   std::vector<DataSetPtr> children(partitions.begin(), partitions.end());
   auto dataset = std::make_shared<ParallelDataSet>(
-      name_ + "/" + dataset_id, std::move(children), &pool_);
+      name_ + "/" + dataset_id, std::move(children), &pool_, aggregation_);
   MutexLock lock(mutex_);
   datasets_[dataset_id] = std::move(dataset);
   return Status::OK();
@@ -81,6 +81,16 @@ int64_t Worker::dropped_map_failures() const {
 std::string Worker::last_dropped_map_error() const {
   MutexLock lock(mutex_);
   return last_dropped_map_error_;
+}
+
+void Worker::RecordCorruptMessageDropped() {
+  MutexLock lock(mutex_);
+  ++corrupt_messages_dropped_;
+}
+
+int64_t Worker::corrupt_messages_dropped() const {
+  MutexLock lock(mutex_);
+  return corrupt_messages_dropped_;
 }
 
 }  // namespace cluster

@@ -21,8 +21,16 @@ namespace cluster {
 /// it.
 class Worker {
  public:
-  Worker(std::string name, int num_threads)
-      : name_(std::move(name)), pool_(num_threads) {}
+  /// `aggregation` configures the worker's internal ParallelDataSet fan-out
+  /// over its micropartitions. Chaos tests set progressive=false so exactly
+  /// one summary crosses the wire per query attempt — which makes the
+  /// per-channel message counts (and hence the seeded fault schedule)
+  /// deterministic.
+  Worker(std::string name, int num_threads,
+         ParallelDataSet::Options aggregation = {})
+      : name_(std::move(name)),
+        pool_(num_threads),
+        aggregation_(aggregation) {}
 
   const std::string& name() const { return name_; }
   ThreadPool* pool() { return &pool_; }
@@ -80,15 +88,25 @@ class Worker {
   int64_t dropped_map_failures() const EXCLUDES(mutex_);
   std::string last_dropped_map_error() const EXCLUDES(mutex_);
 
+  /// Records a summary frame that failed its checksum or did not deserialize
+  /// at the machine boundary and was silently dropped there (the retry layer
+  /// turns the resulting silence into kDeadlineExceeded). Surfaced alongside
+  /// dropped_map_failures so corrupt messages are observable, not just
+  /// absorbed.
+  void RecordCorruptMessageDropped() EXCLUDES(mutex_);
+  int64_t corrupt_messages_dropped() const EXCLUDES(mutex_);
+
  private:
   std::string name_;
   SortKeyCache key_cache_;
   ThreadPool pool_;
+  ParallelDataSet::Options aggregation_;
   mutable Mutex mutex_;
   std::map<std::string, DataSetPtr> datasets_ GUARDED_BY(mutex_);
   int64_t restart_count_ GUARDED_BY(mutex_) = 0;
   int64_t dropped_map_failures_ GUARDED_BY(mutex_) = 0;
   std::string last_dropped_map_error_ GUARDED_BY(mutex_);
+  int64_t corrupt_messages_dropped_ GUARDED_BY(mutex_) = 0;
 };
 
 using WorkerPtr = std::shared_ptr<Worker>;

@@ -119,12 +119,22 @@ struct Merger {
       : sketch(std::move(sketch)),
         latest(num_children),
         progress(num_children, 0.0),
+        failed(num_children, false),
+        child_coverage(num_children, 1.0),
         weights(std::move(weights)),
         options(options),
         out(std::move(out)) {
     total_weight = 0;
     for (double w : this->weights) total_weight += w;
     if (total_weight <= 0) total_weight = 1;
+  }
+
+  /// Faults degraded mode may absorb: soft-state loss (heals via replay)
+  /// and transport/deadline misses (heal via retry). Anything else —
+  /// Cancelled, InvalidArgument, Internal — still fails the query strictly.
+  static bool Tolerable(const Status& s) {
+    return s.code() == StatusCode::kUnavailable ||
+           s.code() == StatusCode::kDeadlineExceeded;
   }
 
   AnySummary MergeAllLocked() REQUIRES(mutex) {
@@ -142,20 +152,35 @@ struct Merger {
     return p / total_weight;
   }
 
+  /// Weighted fraction of leaf partitions still contributing: a lost child
+  /// contributes zero, a live one forwards whatever coverage its own subtree
+  /// reported. Ratios of small integer weights stay exact in floating point
+  /// (e.g. 6/8), so tests can assert coverage with plain equality.
+  double CoverageLocked() const REQUIRES(mutex) {
+    double c = 0;
+    for (size_t i = 0; i < failed.size(); ++i) {
+      if (!failed[i]) c += child_coverage[i] * weights[i];
+    }
+    return c / total_weight;
+  }
+
   // Emissions happen under the merger lock: partial results must reach the
   // stream in monotone progress order, and OnNext itself is cheap (the
   // stream buffers or invokes the subscriber synchronously).
   void Update(int child, const PartialResult<AnySummary>& partial)
       EXCLUDES(mutex) {
     MutexLock lock(mutex);
+    if (failed[child]) return;  // a dead child's late partials are discarded
     latest[child] = partial.value;
     progress[child] = partial.progress;
+    child_coverage[child] = partial.coverage;
     if (options.progressive &&
         (!emitted_any ||
          since_emit.ElapsedMillis() >= options.aggregation_window_ms)) {
       PartialResult<AnySummary> emit;
       emit.progress = ProgressLocked();
       emit.value = MergeAllLocked();
+      emit.coverage = CoverageLocked();
       emitted_any = true;
       since_emit.Restart();
       out->OnNext(std::move(emit));
@@ -164,23 +189,51 @@ struct Merger {
 
   void Complete(int child, const Status& status) EXCLUDES(mutex) {
     MutexLock lock(mutex);
-    (void)child;
     ++completed;
-    if (!status.ok() && first_error.ok()) first_error = status;
-    if (completed != static_cast<int>(latest.size())) return;
-    if (first_error.ok()) {
-      PartialResult<AnySummary> final_emit;
-      final_emit.progress = 1.0;
-      final_emit.value = MergeAllLocked();
-      out->OnNext(std::move(final_emit));
+    if (!status.ok()) {
+      if (options.tolerate_child_failures && Tolerable(status)) {
+        // Degraded mode: the child is lost, not the query. Exclude whatever
+        // it already contributed — a partial summary from a dead machine
+        // must not be mistaken for its full partition.
+        failed[child] = true;
+        latest[child] = AnySummary{};
+        progress[child] = 1.0;  // "done": nothing further will arrive
+        if (first_tolerated_error.ok()) first_tolerated_error = status;
+      } else if (first_error.ok()) {
+        first_error = status;
+      }
     }
-    out->OnComplete(first_error);
+    if (completed != static_cast<int>(latest.size())) return;
+    if (!first_error.ok()) {
+      out->OnComplete(first_error);
+      return;
+    }
+    const double coverage = CoverageLocked();
+    if (coverage <= 0) {
+      // Nothing survived; a degraded result over zero partitions is not a
+      // result. Surface the first fault so the caller can heal or give up.
+      out->OnComplete(first_tolerated_error.ok()
+                          ? Status::Unavailable("no partition survived")
+                          : first_tolerated_error);
+      return;
+    }
+    PartialResult<AnySummary> final_emit;
+    final_emit.progress = 1.0;
+    final_emit.value = MergeAllLocked();
+    final_emit.coverage = coverage;
+    out->OnNext(std::move(final_emit));
+    out->OnComplete(Status::OK());
   }
 
   AnySketch sketch;
   Mutex mutex;
   std::vector<AnySummary> latest GUARDED_BY(mutex);
   std::vector<double> progress GUARDED_BY(mutex);
+  // Degraded-mode bookkeeping: which children were declared lost, and the
+  // coverage each live child's subtree last reported.
+  std::vector<bool> failed GUARDED_BY(mutex);
+  std::vector<double> child_coverage GUARDED_BY(mutex);
+  Status first_tolerated_error GUARDED_BY(mutex);
   const std::vector<double> weights;
   double total_weight;
   const ParallelDataSet::Options options;

@@ -42,6 +42,23 @@ struct SketchOptions {
   /// (cluster::RemoteDataSet injects the receiving worker's cache). May be
   /// empty; order-based sketches then rebuild keys per scan.
   std::function<SortKeyCache*()> key_cache;
+  /// Deadline/retry policy applied at machine-boundary edges of the
+  /// execution tree (cluster::RemoteDataSet; in-process nodes ignore it).
+  /// Plain data here so core stays cluster-agnostic. Retrying is safe
+  /// because sketches are pure functions of (data, seed): re-running one is
+  /// idempotent, and merging a duplicate summary is harmless.
+  struct RpcPolicy {
+    /// Per-attempt deadline: a leaf that produced no final summary within
+    /// this window completes kDeadlineExceeded. 0 disables deadlines.
+    double deadline_ms = 0.0;
+    /// Retries per RPC after the first attempt (kDeadlineExceeded only).
+    int max_retries = 0;
+    /// Capped exponential backoff between attempts: attempt n sleeps
+    /// min(cap, base * 2^(n-1)), scaled by deterministic seeded jitter.
+    double backoff_base_ms = 1.0;
+    double backoff_cap_ms = 50.0;
+  };
+  RpcPolicy rpc;
 };
 
 /// A distributed dataset: the Partitioned Data Set abstraction from Sketch
@@ -197,6 +214,14 @@ class ParallelDataSet final : public IDataSet {
     /// Emit a partial result after every child completion when true; the
     /// window still rate-limits. False emits only the final result.
     bool progressive = true;
+    /// Degraded-mode aggregation (§5.7: "the root returns the results
+    /// obtained from the remaining machines"): when true, a child completing
+    /// with a tolerable fault (Unavailable, DeadlineExceeded) is marked lost
+    /// instead of failing the whole query — its summaries are excluded, the
+    /// merge completes over the survivors, and the emitted coverage drops
+    /// accordingly. Any other error, and every error when false, still fails
+    /// the aggregation strictly.
+    bool tolerate_child_failures = false;
   };
 
   ParallelDataSet(std::string id, std::vector<DataSetPtr> children,

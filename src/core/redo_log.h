@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -34,6 +35,18 @@ class RedoLog {
  public:
   using Replayer = std::function<Status()>;
 
+  /// Replay observability, read atomically under the lock (like the caches'
+  /// Snapshot): how often lazy healing ran, how much it re-executed, and how
+  /// often a replay itself failed mid-heal (e.g. a worker that died again
+  /// while being rebuilt — the root counts that against its retry budget and
+  /// loops instead of giving up).
+  struct Stats {
+    int64_t entries = 0;
+    int64_t replays_started = 0;
+    int64_t replays_failed = 0;
+    int64_t entries_replayed = 0;
+  };
+
   /// Appends an entry; returns its index.
   int64_t Append(std::string kind, std::string description, uint64_t seed,
                  Replayer replayer = nullptr) EXCLUDES(mutex_) {
@@ -54,6 +67,7 @@ class RedoLog {
     std::vector<Replayer> to_run;
     {
       MutexLock lock(mutex_);
+      ++replays_started_;
       for (int64_t i = first; i <= last &&
                               i < static_cast<int64_t>(replayers_.size());
            ++i) {
@@ -61,10 +75,24 @@ class RedoLog {
         if (replayers_[i]) to_run.push_back(replayers_[i]);
       }
     }
+    // Closures run unlocked: replayers re-enter the root, which appends to
+    // this same log. Tallies are folded back in under the lock at the end.
+    int64_t executed = 0;
+    Status failure = Status::OK();
     for (auto& r : to_run) {
-      HV_RETURN_IF_ERROR(r());
+      Status s = r();
+      if (!s.ok()) {
+        failure = std::move(s);
+        break;
+      }
+      ++executed;
     }
-    return Status::OK();
+    {
+      MutexLock lock(mutex_);
+      entries_replayed_ += executed;
+      if (!failure.ok()) ++replays_failed_;
+    }
+    return failure;
   }
 
   Status ReplayAll() { return Replay(0, Size() - 1); }
@@ -83,10 +111,20 @@ class RedoLog {
   /// the persisted form.
   std::string ToText() const EXCLUDES(mutex_);
 
+  /// All replay counters plus the entry count, read atomically.
+  Stats Snapshot() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return Stats{static_cast<int64_t>(entries_.size()), replays_started_,
+                 replays_failed_, entries_replayed_};
+  }
+
  private:
   mutable Mutex mutex_;
   std::vector<RedoLogEntry> entries_ GUARDED_BY(mutex_);
   std::vector<Replayer> replayers_ GUARDED_BY(mutex_);
+  int64_t replays_started_ GUARDED_BY(mutex_) = 0;
+  int64_t replays_failed_ GUARDED_BY(mutex_) = 0;
+  int64_t entries_replayed_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hillview

@@ -2,6 +2,7 @@
 #define HILLVIEW_REACTIVE_OBSERVABLE_H_
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -35,10 +36,19 @@ using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
 /// A partial result flowing up the execution tree: a summary over the
 /// fraction `progress` of leaves completed so far. The stream of partial
 /// results is monotone in `progress` and converges to the final summary.
+///
+/// `coverage` is the fault-tolerance dual of progress (§5.7's "results
+/// obtained from the remaining machines"): the weighted fraction of leaf
+/// partitions that are (still) contributing to this summary. It stays 1.0 on
+/// the healthy path; an aggregation node running in degraded mode lowers it
+/// when a child is lost for good, and the final value then reports exactly
+/// which share of the data the summary covers. Unlike progress it is not
+/// monotone — it only ever drops when a child is declared dead.
 template <typename T>
 struct PartialResult {
   double progress = 0.0;  // in [0, 1]; 1.0 accompanies the final value
   T value{};
+  double coverage = 1.0;  // partitions merged / total partitions
 };
 
 /// Single-producer push stream with buffering: events pushed before a
@@ -107,6 +117,35 @@ class Stream {
   std::optional<T> BlockingLast() EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
     while (!done_) cv_.Wait(mutex_);
+    return last_;
+  }
+
+  /// Deadline-aware variant: waits at most `timeout_ms` for completion. On
+  /// timeout sets *timed_out and returns whatever was last seen — the stream
+  /// itself is left incomplete (the producer may still be running); callers
+  /// that give up on it simply drop their reference and late events go to the
+  /// buffer of a stream nobody reads. This is the root's backstop against an
+  /// RPC that never completes at all (a truly hung worker), distinct from the
+  /// per-RPC deadline the remote edge enforces on late responses.
+  std::optional<T> BlockingLastFor(double timeout_ms, bool* timed_out)
+      EXCLUDES(mutex_) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms));
+    MutexLock lock(mutex_);
+    while (!done_) {
+      const double remaining_ms =
+          std::chrono::duration<double, std::milli>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining_ms <= 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        return last_;
+      }
+      cv_.WaitFor(mutex_, remaining_ms);
+    }
+    if (timed_out != nullptr) *timed_out = false;
     return last_;
   }
 

@@ -18,6 +18,8 @@ enum class StatusCode {
   kCancelled,
   kFailedPrecondition,
   kUnavailable,   // soft state evicted / worker dead; caller should replay
+  kDeadlineExceeded,  // RPC produced no (complete) response in time; the
+                      // operation is idempotent, so the caller may retry
   kInternal,
 };
 
@@ -54,6 +56,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

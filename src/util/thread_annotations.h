@@ -1,6 +1,7 @@
 #ifndef HILLVIEW_UTIL_THREAD_ANNOTATIONS_H_
 #define HILLVIEW_UTIL_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -124,6 +125,19 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// Timed variant: parks for at most `timeout_ms`. Returns false on timeout,
+  /// true when notified (possibly spuriously — callers re-check their
+  /// predicate in the surrounding while-loop either way). Same lock contract
+  /// as Wait.
+  bool WaitFor(Mutex& mu, double timeout_ms) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    auto outcome =
+        cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                               timeout_ms > 0 ? timeout_ms : 0));
+    lock.release();  // ownership stays with the caller's scope
+    return outcome == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -105,6 +105,13 @@ class ThreadPool {
         if (!PopTask(&task)) return;
       }
       task();
+      // Destroy the closure BEFORE reporting idle: task closures own shared
+      // state (streams, merge trees, worker references), and a Wait()er must
+      // be able to assume all of it is released — not merely finished — or a
+      // closure holding the last reference to an object gets destroyed on
+      // this pool thread after Wait() returned, racing teardown (worst case:
+      // destroying this pool's own Worker here, a self-join).
+      task = nullptr;
       {
         MutexLock lock(mutex_);
         --active_;

@@ -163,6 +163,60 @@ TEST(Cluster, DroppedMapFailureIsRecordedOnWorkerAndHeals) {
   EXPECT_EQ(count.value().rows, static_cast<int64_t>(values.size()));
 }
 
+// Satellite of the fault-injection PR: a repeated-crash ladder. A *different*
+// worker is restarted between every retry attempt of one query, so each
+// attempt fails on freshly lost soft state and each heal has to replay the
+// redo log again. The query must still converge, with full coverage and a
+// final summary byte-identical to the fault-free run — the §5.8 determinism
+// contract under serial crashes, not just a single one.
+TEST(Cluster, RepeatedCrashLadderHealsByteIdentical) {
+  auto values = UniformDoubles(12000, 0, 100, 94);
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, 6)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  RootSession::Options options;
+  options.max_replay_retries = 8;  // the ladder burns five heals
+  auto tc = TestCluster::Create(partitions, /*workers=*/3, /*threads=*/2,
+                                options);
+  ASSERT_NE(tc, nullptr);
+
+  auto sketch = std::make_shared<StreamingHistogramSketch>(
+      "x", Buckets(NumericBuckets(0, 100, 24)));
+  auto bytes_of = [&](const HistogramResult& r) {
+    return AnySketch::Wrap<HistogramResult>(sketch).Serialize(
+        AnySummary::Wrap<HistogramResult>(r));
+  };
+  auto reference = tc->root->RunSketch<HistogramResult>("data", sketch);
+  ASSERT_TRUE(reference.ok());
+
+  // The hook fires after each heal, just before the next attempt: restarting
+  // there re-damages the freshly replayed state, so the next attempt fails
+  // again on a different machine. Four rungs, rotating across all workers.
+  int restarts = 0;
+  tc->root->set_retry_hook([&](int /*attempt*/, const Status&) {
+    if (restarts < 4) {
+      tc->root->RestartWorker((restarts + 1) % 3);
+      ++restarts;
+    }
+  });
+  tc->root->RestartWorker(0);  // the initial crash that starts the ladder
+
+  RootSession::QueryStats stats;
+  auto healed = tc->root->RunSketch<HistogramResult>(
+      "data", sketch, /*seed=*/0, /*cacheable=*/false, &stats);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(restarts, 4);
+  EXPECT_EQ(stats.replay_heals, 5);  // one per rung plus the final heal
+  EXPECT_EQ(stats.transport_retries, 0);
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(stats.coverage, 1.0);
+  EXPECT_EQ(bytes_of(healed.value()), bytes_of(reference.value()));
+  // Rotating crashes never produced the consecutive-failure run a breaker
+  // trip requires: every worker healed before failing again.
+  EXPECT_EQ(tc->root->health().Snapshot().trips, 0);
+}
+
 TEST(Cluster, FindTextParallelDictionaryAgreesWithInline) {
   // Each partition's dictionary exceeds the parallel-matching threshold
   // (4096 distinct strings), so on the cluster path MatchDictionary chunks

@@ -58,6 +58,10 @@ inline std::vector<std::vector<double>> SplitValues(
 
 /// An in-process cluster for tests: `workers` workers × `threads` threads,
 /// with the dataset "data" pre-loaded from the given partition tables.
+/// `root_options` tunes the session's fault policy (deadlines, retry
+/// budgets, breaker); `worker_aggregation` configures each worker's internal
+/// fan-out (chaos tests set progressive=false for deterministic per-channel
+/// message counts).
 struct TestCluster {
   std::vector<cluster::WorkerPtr> workers;
   cluster::SimulatedNetwork network;
@@ -65,14 +69,18 @@ struct TestCluster {
 
   static std::unique_ptr<TestCluster> Create(
       const std::vector<TablePtr>& partitions, int num_workers = 2,
-      int threads_per_worker = 2) {
+      int threads_per_worker = 2,
+      cluster::RootSession::Options root_options = {},
+      ParallelDataSet::Options worker_aggregation = {}) {
     auto tc = std::make_unique<TestCluster>();
     for (int w = 0; w < num_workers; ++w) {
       tc->workers.push_back(std::make_shared<cluster::Worker>(
-          "worker" + std::to_string(w), threads_per_worker));
+          "worker" + std::to_string(w), threads_per_worker,
+          worker_aggregation));
     }
     tc->root = std::make_unique<cluster::RootSession>(tc->workers,
-                                                      &tc->network);
+                                                      &tc->network,
+                                                      root_options);
     std::vector<LocalDataSet::Loader> loaders;
     for (const auto& table : partitions) {
       loaders.push_back([table]() -> Result<TablePtr> { return table; });
