@@ -206,7 +206,9 @@ void Run() {
         std::make_shared<cluster::Worker>("w" + std::to_string(w), 2));
   }
   cluster::SimulatedNetwork network;
-  cluster::RootSession root(workers, &network);
+  cluster::Cluster deployment(workers, &network);
+  auto session = deployment.OpenSession();
+  cluster::RootSession& root = *session;
   std::vector<LocalDataSet::Loader> loaders;
   for (const auto& path : paths) {
     loaders.push_back([path]() -> Result<TablePtr> {

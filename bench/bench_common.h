@@ -27,7 +27,9 @@ inline double BenchScale() {
 struct BenchCluster {
   std::vector<cluster::WorkerPtr> workers;
   cluster::SimulatedNetwork network;
-  std::unique_ptr<cluster::RootSession> root;
+  // Sessions must die before the Cluster (its dtor drains worker pools).
+  std::unique_ptr<cluster::Cluster> deployment;
+  std::shared_ptr<cluster::RootSession> root;
   std::unique_ptr<Spreadsheet> sheet;
 
   static std::unique_ptr<BenchCluster> Create(
@@ -40,8 +42,9 @@ struct BenchCluster {
       bc->workers.push_back(std::make_shared<cluster::Worker>(
           "worker" + std::to_string(w), threads_per_worker));
     }
-    bc->root =
-        std::make_unique<cluster::RootSession>(bc->workers, &bc->network);
+    bc->deployment =
+        std::make_unique<cluster::Cluster>(bc->workers, &bc->network);
+    bc->root = bc->deployment->OpenSession();
     auto loaders =
         workload::FlightsLoaders(rows, rows_per_partition, /*seed=*/17);
     if (!bc->root->LoadDataSet("flights", loaders).ok()) return nullptr;

@@ -55,7 +55,9 @@ uint32_t TotalRows() {
 struct Deployment {
   std::vector<cluster::WorkerPtr> workers;
   SimulatedNetwork network;
-  std::unique_ptr<RootSession> root;
+  // Sessions must die before the Cluster (its dtor drains worker pools).
+  std::unique_ptr<cluster::Cluster> deployment;
+  std::shared_ptr<RootSession> root;
 
   static std::unique_ptr<Deployment> Create() {
     RootSession::Options options;
@@ -72,7 +74,9 @@ struct Deployment {
       d->workers.push_back(std::make_shared<Worker>(
           "worker" + std::to_string(w), 2, worker_aggregation));
     }
-    d->root = std::make_unique<RootSession>(d->workers, &d->network, options);
+    d->deployment = std::make_unique<cluster::Cluster>(d->workers,
+                                                       &d->network, options);
+    d->root = d->deployment->OpenSession();
 
     const uint32_t rows = TotalRows();
     std::vector<LocalDataSet::Loader> loaders;

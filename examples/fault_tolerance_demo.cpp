@@ -19,7 +19,9 @@ int main() {
         std::make_shared<cluster::Worker>("w" + std::to_string(w), 2));
   }
   cluster::SimulatedNetwork network;
-  cluster::RootSession root(workers, &network);
+  cluster::Cluster deployment(workers, &network);
+  auto session = deployment.OpenSession();
+  cluster::RootSession& root = *session;
   if (!root.LoadDataSet("flights",
                         workload::FlightsLoaders(120000, 20000, 3))
            .ok()) {

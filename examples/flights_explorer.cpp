@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
         std::make_shared<cluster::Worker>("w" + std::to_string(w), 2));
   }
   cluster::SimulatedNetwork network;
-  cluster::RootSession root(workers, &network);
+  cluster::Cluster deployment(workers, &network);
+  auto session = deployment.OpenSession();
+  cluster::RootSession& root = *session;
   std::vector<LocalDataSet::Loader> loaders;
   if (argc > 3) {
     std::printf("spilling partitions to %s and serving them via mmap...\n",

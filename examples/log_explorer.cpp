@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
         std::make_shared<cluster::Worker>("w" + std::to_string(w), 2));
   }
   cluster::SimulatedNetwork network;
-  cluster::RootSession root(workers, &network);
+  cluster::Cluster deployment(workers, &network);
+  auto session = deployment.OpenSession();
+  cluster::RootSession& root = *session;
   workload::LogsOptions log_options;
   if (!root.LoadDataSet("logs",
                         workload::LogsLoaders(rows, 50000, 7, log_options))

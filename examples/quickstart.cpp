@@ -42,11 +42,14 @@ int main(int argc, char** argv) {
   std::string path = argc > 1 ? argv[1] : WriteDemoCsv();
   std::printf("loading %s ...\n", path.c_str());
 
-  // 1. A deployment: one worker with two threads, plus the root session that
-  //    owns the redo log, the computation cache and the network accounting.
+  // 1. A deployment: one worker with two threads behind a shared Cluster
+  //    (workers, health, cache, scheduler), and one tenant session that owns
+  //    the redo log and render generations.
   auto worker = std::make_shared<cluster::Worker>("worker0", 2);
   cluster::SimulatedNetwork network;
-  cluster::RootSession root({worker}, &network);
+  cluster::Cluster deployment({worker}, &network);
+  auto session = deployment.OpenSession();
+  cluster::RootSession& root = *session;
 
   // 2. Register the CSV as a (re-loadable) dataset. The loader runs lazily;
   //    if the worker ever drops its state, the file is simply re-read.

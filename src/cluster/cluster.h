@@ -1,0 +1,113 @@
+#ifndef HILLVIEW_CLUSTER_CLUSTER_H_
+#define HILLVIEW_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/scheduler.h"
+#include "cluster/worker.h"
+#include "cluster/worker_health.h"
+#include "core/computation_cache.h"
+#include "core/dataset.h"
+
+namespace hillview {
+namespace cluster {
+
+class RootSession;
+
+/// The shared serving substrate of the multi-tenant root (Fig 1's web
+/// server, split from the per-user state): one Cluster owns the workers, the
+/// simulated interconnect, the per-worker health tracker, the root-resident
+/// shared ComputationCache, and the fair query scheduler. Tenants attach via
+/// OpenSession(), which hands out thin per-session handles (RootSession)
+/// carrying only what is genuinely per-user: a redo log of that user's
+/// exploration, render generations, and a session id for per-tenant byte
+/// accounting.
+///
+/// What is shared and why:
+///  - **Workers + network + health**: physical resources; the paper's
+///    economic claim (§7) is precisely that many users multiplex them.
+///  - **ComputationCache**: keyed by (dataset id, sketch name, seed), so two
+///    sessions rendering the same view are served one computation —
+///    single-flighted, and never populated with degraded (coverage < 1)
+///    results (see ComputationCache::GetOrBeginCompute).
+///  - **QueryScheduler**: deficit-round-robin fairness and admission control
+///    across the sessions' queries.
+///
+/// Sessions share the worker-side dataset namespace: LoadDataSet under the
+/// same id from two sessions registers the same (deterministic) loaders, and
+/// cross-session cache keys only collide — by design — when dataset id,
+/// sketch and seed all match.
+///
+/// Lifetime: the Cluster must outlive every RootSession it opened and every
+/// query they run. Its destructor quiesces the deployment by draining all
+/// worker pools, so in-flight RPC machinery (retry drivers, health reports)
+/// from abandoned attempts cannot outlive the members it touches.
+class Cluster {
+ public:
+  struct Options {
+    ParallelDataSet::Options aggregation;
+    /// Attempts after an Unavailable failure (each preceded by a full
+    /// redo-log replay).
+    int max_replay_retries = 2;
+    /// Query-level retries after a kDeadlineExceeded failure (on top of the
+    /// per-RPC retries the remote edge already performed).
+    int max_transport_retries = 3;
+    /// Per-RPC deadline/retry policy handed to every machine-boundary edge.
+    SketchOptions::RpcPolicy rpc{/*deadline_ms=*/0.0, /*max_retries=*/2,
+                                 /*backoff_base_ms=*/1.0,
+                                 /*backoff_cap_ms=*/50.0};
+    /// Once every healing budget is exhausted (or a breaker is open), run
+    /// one final pass that tolerates lost workers and returns a
+    /// coverage-marked partial result instead of an error (§5.7). False
+    /// restores strict all-or-nothing semantics.
+    bool allow_degraded = true;
+    /// Circuit-breaker tuning for the per-worker health tracker.
+    WorkerHealth::Options health;
+    /// Fair-scheduling and admission-control tuning.
+    QueryScheduler::Options scheduler;
+  };
+
+  Cluster(std::vector<WorkerPtr> workers, SimulatedNetwork* network)
+      : Cluster(std::move(workers), network, Options{}) {}
+  Cluster(std::vector<WorkerPtr> workers, SimulatedNetwork* network,
+          Options options);
+
+  /// Quiesces the deployment: drains every worker pool so no straggler task
+  /// can dangle — and so the last reference to a Worker is never dropped on
+  /// that worker's own pool thread (a self-join in its destructor).
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Opens a new tenant session with a fresh session id. Sessions are cheap:
+  /// a redo log, render generations, and forwarding pointers.
+  std::shared_ptr<RootSession> OpenSession();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const std::vector<WorkerPtr>& workers() const { return workers_; }
+  SimulatedNetwork* network() { return network_; }
+  WorkerHealth& health() { return health_; }
+  ComputationCache& shared_cache() { return shared_cache_; }
+  QueryScheduler& scheduler() { return scheduler_; }
+  const Options& options() const { return options_; }
+  /// Sessions opened so far (session ids are 0..n-1).
+  int sessions_opened() const { return next_session_id_.load(); }
+
+ private:
+  std::vector<WorkerPtr> workers_;
+  SimulatedNetwork* network_;
+  Options options_;
+  WorkerHealth health_;
+  ComputationCache shared_cache_;
+  QueryScheduler scheduler_;
+  std::atomic<int> next_session_id_{0};
+};
+
+}  // namespace cluster
+}  // namespace hillview
+
+#endif  // HILLVIEW_CLUSTER_CLUSTER_H_

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -24,12 +25,24 @@ namespace cluster {
 ///
 /// Thread-safe: counters are relaxed atomics (independent monotone tallies);
 /// the delay model is guarded by a mutex so set_model() can retune a live
-/// deployment without racing in-flight Delay() reads.
+/// deployment without racing in-flight Delay() reads; the per-session
+/// traffic map has its own mutex (sends from different sessions contend only
+/// on a map update, never on the delay sleep).
 class SimulatedNetwork {
  public:
   struct Model {
     double latency_ms = 0.0;            // per message
     double bandwidth_bytes_per_sec = 0; // 0 = infinite
+  };
+
+  /// Per-session traffic tally: what one tenant's queries moved over the
+  /// interconnect. The max/min ratio of `bytes_up` across sessions running
+  /// identical workloads is the scheduler's bandwidth-fairness measure.
+  struct SessionTraffic {
+    uint64_t bytes_up = 0;
+    uint64_t bytes_down = 0;
+    uint64_t messages_up = 0;
+    uint64_t messages_down = 0;
   };
 
   SimulatedNetwork() = default;
@@ -61,10 +74,17 @@ class SimulatedNetwork {
   /// for it. Byte/message counters tally on send — before faults — because
   /// the sender paid the bandwidth regardless of what happens in transit
   /// (duplicates are charged once: the copy is a delivery-side event).
-  FaultVerdict SendDown(uint64_t bytes, int worker = -1)
-      EXCLUDES(model_mutex_) {
+  /// `session` >= 0 additionally charges that tenant's traffic tally.
+  FaultVerdict SendDown(uint64_t bytes, int worker = -1, int session = -1)
+      EXCLUDES(model_mutex_, traffic_mutex_) {
     messages_down_.fetch_add(1, std::memory_order_relaxed);
     bytes_down_.fetch_add(bytes, std::memory_order_relaxed);
+    if (session >= 0) {
+      MutexLock lock(traffic_mutex_);
+      SessionTraffic& t = session_traffic_[session];
+      ++t.messages_down;
+      t.bytes_down += bytes;
+    }
     const FaultVerdict verdict = JudgeSend(worker, Direction::kDown);
     Delay(bytes, verdict.extra_latency_ms);
     return verdict;
@@ -72,10 +92,16 @@ class SimulatedNetwork {
 
   /// Records a (partial) summary flowing worker -> root; same contract as
   /// SendDown.
-  FaultVerdict SendUp(uint64_t bytes, int worker = -1)
-      EXCLUDES(model_mutex_) {
+  FaultVerdict SendUp(uint64_t bytes, int worker = -1, int session = -1)
+      EXCLUDES(model_mutex_, traffic_mutex_) {
     messages_up_.fetch_add(1, std::memory_order_relaxed);
     bytes_up_.fetch_add(bytes, std::memory_order_relaxed);
+    if (session >= 0) {
+      MutexLock lock(traffic_mutex_);
+      SessionTraffic& t = session_traffic_[session];
+      ++t.messages_up;
+      t.bytes_up += bytes;
+    }
     const FaultVerdict verdict = JudgeSend(worker, Direction::kUp);
     Delay(bytes, verdict.extra_latency_ms);
     return verdict;
@@ -86,11 +112,28 @@ class SimulatedNetwork {
   uint64_t messages_up() const { return messages_up_.load(); }
   uint64_t messages_down() const { return messages_down_.load(); }
 
-  void Reset() {
+  /// One session's traffic tally (zeros for a session never seen), read
+  /// atomically under the traffic lock.
+  SessionTraffic SessionSnapshot(int session) const EXCLUDES(traffic_mutex_) {
+    MutexLock lock(traffic_mutex_);
+    auto it = session_traffic_.find(session);
+    return it == session_traffic_.end() ? SessionTraffic{} : it->second;
+  }
+
+  /// Every tagged session's tally, for fairness sweeps across tenants.
+  std::map<int, SessionTraffic> AllSessionTraffic() const
+      EXCLUDES(traffic_mutex_) {
+    MutexLock lock(traffic_mutex_);
+    return session_traffic_;
+  }
+
+  void Reset() EXCLUDES(traffic_mutex_) {
     bytes_up_ = 0;
     bytes_down_ = 0;
     messages_up_ = 0;
     messages_down_ = 0;
+    MutexLock lock(traffic_mutex_);
+    session_traffic_.clear();
   }
 
  private:
@@ -126,6 +169,8 @@ class SimulatedNetwork {
   mutable Mutex model_mutex_;
   Model model_ GUARDED_BY(model_mutex_);
   FaultInjectorPtr injector_ GUARDED_BY(model_mutex_);
+  mutable Mutex traffic_mutex_;
+  std::map<int, SessionTraffic> session_traffic_ GUARDED_BY(traffic_mutex_);
   std::atomic<uint64_t> bytes_up_{0};
   std::atomic<uint64_t> bytes_down_{0};
   std::atomic<uint64_t> messages_up_{0};

@@ -89,8 +89,9 @@ class RpcDriver : public std::enable_shared_from_this<RpcDriver> {
 
  private:
   void RunAttempt(int epoch) EXCLUDES(mutex_) {
-    const FaultVerdict down = network_->SendDown(
-        kRequestOverheadBytes + sketch_.name().size(), worker_index_);
+    const FaultVerdict down =
+        network_->SendDown(kRequestOverheadBytes + sketch_.name().size(),
+                           worker_index_, options_.session_id);
     if (down.action == FaultAction::kDrop ||
         down.action == FaultAction::kCorrupt) {
       // The request never arrives intact: the worker stays silent and the
@@ -145,7 +146,8 @@ class RpcDriver : public std::enable_shared_from_this<RpcDriver> {
     std::vector<uint8_t> bytes = sketch_.Serialize(p.value);
     const uint64_t checksum = HashBytes(bytes.data(), bytes.size());
     const FaultVerdict up =
-        network_->SendUp(bytes.size() + kFrameOverheadBytes, worker_index_);
+        network_->SendUp(bytes.size() + kFrameOverheadBytes, worker_index_,
+                         options_.session_id);
     if (up.action == FaultAction::kDrop) {
       // The summary vanishes; the attempt's silence becomes a deadline miss
       // when the worker stream completes without a final summary delivered.
@@ -246,6 +248,12 @@ class RpcDriver : public std::enable_shared_from_this<RpcDriver> {
         // Only unresponsiveness feeds the breaker: a deadline means the
         // worker never answered despite the per-RPC retry budget.
         health_->RecordFailure(worker_index_);
+      } else if (status.code() == StatusCode::kCancelled) {
+        // A superseded render says nothing about the worker either way:
+        // recording success would let a flood of cancelled scrolls hold a
+        // genuinely dead worker's breaker closed, and recording failure
+        // would poison health with client-side churn. Cancellation is
+        // health-neutral.
       } else {
         // Any response — including Unavailable (soft state lost after a
         // crash, healable by replay) or an application error — proves the
@@ -280,6 +288,12 @@ class RpcDriver : public std::enable_shared_from_this<RpcDriver> {
 StreamPtr<PartialResult<AnySummary>> RemoteDataSet::RunSketch(
     const AnySketch& sketch, const SketchOptions& options) {
   auto out = std::make_shared<Stream<PartialResult<AnySummary>>>();
+  if (options.cancellation != nullptr && options.cancellation->IsCancelled()) {
+    // Already superseded: don't spend network bytes or a breaker probe on a
+    // render nobody will look at.
+    out->OnComplete(Status::Cancelled("cancelled before dispatch"));
+    return out;
+  }
   if (health_ != nullptr && worker_index_ >= 0 &&
       !health_->AllowRequest(worker_index_)) {
     // Circuit open: fast-fail without burning the deadline+retry budget on a

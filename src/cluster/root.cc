@@ -1,6 +1,7 @@
 #include "cluster/root.h"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 
 #include "util/random.h"
@@ -12,7 +13,7 @@ namespace {
 
 /// Retriable at the query level: soft-state loss (heals via replay) and
 /// transport/deadline faults (heal via re-running the pure sketch). Anything
-/// else is a real error and fails the query immediately.
+/// else — including Cancelled — is final and fails the query immediately.
 bool Retriable(const Status& s) {
   return s.code() == StatusCode::kUnavailable ||
          s.code() == StatusCode::kDeadlineExceeded;
@@ -31,41 +32,48 @@ double QueryBackoffMs(const SketchOptions::RpcPolicy& rpc, uint64_t seed,
   return ms * (0.5 + 0.5 * rng.NextDouble());
 }
 
+/// Settles a single-flight cache flight on every exit path. The owner
+/// publishes a value only for full-coverage successes; everything else
+/// (degraded, cancelled, shed, failed) releases the flight empty so a
+/// waiting session recomputes instead of adopting a partial result.
+class FlightGuard {
+ public:
+  FlightGuard(ComputationCache* cache, std::string key, bool active)
+      : cache_(cache), key_(std::move(key)), active_(active) {}
+  ~FlightGuard() {
+    if (active_) cache_->FinishCompute(key_, std::move(value_));
+  }
+  void Publish(AnySummary value) { value_ = std::move(value); }
+
+  FlightGuard(const FlightGuard&) = delete;
+  FlightGuard& operator=(const FlightGuard&) = delete;
+
+ private:
+  ComputationCache* cache_;
+  std::string key_;
+  bool active_;
+  std::optional<AnySummary> value_;
+};
+
 }  // namespace
-
-RootSession::RootSession(std::vector<WorkerPtr> workers,
-                         SimulatedNetwork* network, Options options)
-    : workers_(std::move(workers)),
-      network_(network),
-      options_(options),
-      health_(static_cast<int>(workers_.size()), options.health) {}
-
-RootSession::~RootSession() {
-  // Abandoned attempts (deadline misses, degraded completions) leave worker
-  // pool tasks running after their query returned; those tasks reach back
-  // into this session (health reports) and the network. Drain every pool
-  // before any member dies so stragglers cannot dangle — and so the last
-  // reference to a Worker is never dropped on that worker's own pool thread
-  // (a self-join in its destructor).
-  for (auto& worker : workers_) worker->pool()->Wait();
-}
 
 Status RootSession::LoadDataSet(
     const std::string& dataset_id,
     std::vector<LocalDataSet::Loader> partition_loaders) {
   auto do_register = [this, dataset_id, partition_loaders]() -> Status {
+    const std::vector<WorkerPtr>& ws = cluster_->workers();
     // Round-robin partition assignment: the paper allows arbitrary
     // horizontal partitioning (§2), so placement needs no keying.
     std::vector<std::vector<std::shared_ptr<LocalDataSet>>> per_worker(
-        workers_.size());
+        ws.size());
     for (size_t p = 0; p < partition_loaders.size(); ++p) {
-      size_t w = p % workers_.size();
+      size_t w = p % ws.size();
       per_worker[w].push_back(LocalDataSet::FromLoader(
           dataset_id + "[" + std::to_string(p) + "]", partition_loaders[p]));
     }
-    for (size_t w = 0; w < workers_.size(); ++w) {
+    for (size_t w = 0; w < ws.size(); ++w) {
       HV_RETURN_IF_ERROR(
-          workers_[w]->RegisterBase(dataset_id, std::move(per_worker[w])));
+          ws[w]->RegisterBase(dataset_id, std::move(per_worker[w])));
     }
     return Status::OK();
   };
@@ -83,7 +91,7 @@ Result<std::string> RootSession::MapDataSet(const std::string& parent_id,
                                             const std::string& op_name) {
   std::string new_id = parent_id + "/" + op_name;
   auto do_map = [this, parent_id, new_id, map, op_name]() -> Status {
-    for (auto& worker : workers_) {
+    for (const auto& worker : cluster_->workers()) {
       HV_RETURN_IF_ERROR(worker->ApplyMap(parent_id, new_id, map, op_name));
     }
     return Status::OK();
@@ -94,22 +102,25 @@ Result<std::string> RootSession::MapDataSet(const std::string& parent_id,
 }
 
 DataSetPtr RootSession::GetRootDataSet(const std::string& dataset_id) {
-  return BuildRootDataSet(dataset_id,
-                          options_.aggregation.tolerate_child_failures);
+  return BuildRootDataSet(
+      dataset_id, cluster_->options().aggregation.tolerate_child_failures);
 }
 
 DataSetPtr RootSession::BuildRootDataSet(const std::string& dataset_id,
                                          bool tolerant) {
+  const std::vector<WorkerPtr>& workers = cluster_->workers();
   std::vector<DataSetPtr> children;
-  children.reserve(workers_.size());
-  for (size_t w = 0; w < workers_.size(); ++w) {
+  children.reserve(workers.size());
+  for (size_t w = 0; w < workers.size(); ++w) {
     // Every machine-boundary edge knows its worker index (the fault-injection
     // channel id) and reports RPC outcomes to the shared health tracker, so
-    // the breaker learns from all traffic regardless of degraded mode.
+    // the breaker learns from all sessions' traffic regardless of degraded
+    // mode.
     children.push_back(std::make_shared<RemoteDataSet>(
-        workers_[w], dataset_id, network_, static_cast<int>(w), &health_));
+        workers[w], dataset_id, cluster_->network(), static_cast<int>(w),
+        &cluster_->health()));
   }
-  ParallelDataSet::Options aggregation = options_.aggregation;
+  ParallelDataSet::Options aggregation = cluster_->options().aggregation;
   aggregation.tolerate_child_failures =
       aggregation.tolerate_child_failures || tolerant;
   // The root aggregation node; children recurse into the workers' own
@@ -118,23 +129,98 @@ DataSetPtr RootSession::BuildRootDataSet(const std::string& dataset_id,
       "root/" + dataset_id, std::move(children), nullptr, aggregation);
 }
 
+CancellationTokenPtr RootSession::BeginRender(const std::string& view_id) {
+  MutexLock lock(render_mutex_);
+  RenderState& render = renders_[view_id];
+  // Supersede the previous generation: its in-flight query (if any) observes
+  // the flip at its next poll point and settles Status::Cancelled.
+  if (render.token != nullptr) render.token->Cancel();
+  ++render.generation;
+  render.token = std::make_shared<CancellationToken>();
+  return render.token;
+}
+
+int RootSession::render_generation(const std::string& view_id) const {
+  MutexLock lock(render_mutex_);
+  auto it = renders_.find(view_id);
+  return it == renders_.end() ? 0 : it->second.generation;
+}
+
 Result<AnySummary> RootSession::RunErased(const std::string& dataset_id,
                                           const AnySketch& sketch,
                                           uint64_t seed, bool cacheable,
+                                          CancellationTokenPtr token,
                                           QueryStats* stats) {
   QueryStats local_stats;
   QueryStats& q = stats != nullptr ? *stats : local_stats;
   q = QueryStats{};
-  std::string cache_key = ComputationCache::Key(dataset_id, sketch.name(), seed);
+  ComputationCache& cache = cluster_->shared_cache();
+  const std::string cache_key =
+      ComputationCache::Key(dataset_id, sketch.name(), seed);
+
+  bool flight_owner = false;
   if (cacheable) {
-    if (auto hit = cache_.Get(cache_key)) {
-      // The cache only ever holds full-coverage results (degraded summaries
-      // are never stored), so a hit is always complete.
+    if (token != nullptr && token->IsCancelled()) {
+      return Status::Cancelled("render superseded before start");
+    }
+    // Single-flight across sessions: a hit (cached, or adopted from another
+    // session's concurrent identical query) returns without computing; a
+    // miss elects this query the flight owner. The cache only ever holds
+    // full-coverage results, so a hit is always complete.
+    bool coalesced = false;
+    auto hit = cache.GetOrBeginCompute(cache_key, &flight_owner, &coalesced);
+    if (hit.has_value()) {
       q.from_cache = true;
+      q.coalesced = coalesced;
       return *hit;
     }
   }
+  FlightGuard flight(&cache, cache_key, flight_owner);
+
   redo_log_.Append("sketch", dataset_id + "#" + sketch.name(), seed);
+
+  // The attempt loop runs inside a scheduler grant: admission control may
+  // shed it (Unavailable) or the render may be superseded while queued
+  // (Cancelled) — in both cases the query never executes.
+  const SimulatedNetwork::SessionTraffic before =
+      cluster_->network()->SessionSnapshot(session_id_);
+  Result<AnySummary> outcome = Status::Internal("query did not run");
+  bool ran = false;
+  Status scheduled = cluster_->scheduler().Execute(
+      session_id_, token,
+      [&]() -> Status {
+        outcome = RunAttempts(dataset_id, sketch, seed, token, &q);
+        return outcome.status();
+      },
+      &ran);
+  if (!ran) return scheduled;
+
+  // Charge the root-received bytes this query moved to the session's DRR
+  // account (approximate when one session overlaps its own queries — the
+  // fairness target is the per-session trend, not exact attribution).
+  const SimulatedNetwork::SessionTraffic after =
+      cluster_->network()->SessionSnapshot(session_id_);
+  cluster_->scheduler().ChargeCost(
+      session_id_, static_cast<int64_t>(after.bytes_up - before.bytes_up));
+
+  if (outcome.ok() && !q.degraded && flight_owner) {
+    // Publish to the shared cache and to any waiting session. Degraded
+    // results are NEVER published: after the cluster heals, the same query
+    // must recompute at full coverage, not serve the partial view forever —
+    // and another session must never adopt this tenant's partial result.
+    flight.Publish(outcome.value());
+  }
+  return outcome;
+}
+
+Result<AnySummary> RootSession::RunAttempts(const std::string& dataset_id,
+                                            const AnySketch& sketch,
+                                            uint64_t seed,
+                                            const CancellationTokenPtr& token,
+                                            QueryStats* stats) {
+  QueryStats& q = *stats;
+  const Cluster::Options& opts = cluster_->options();
+  WorkerHealth& health = cluster_->health();
 
   Status last_error = Status::OK();
   int replay_attempts = 0;
@@ -143,34 +229,54 @@ Result<AnySummary> RootSession::RunErased(const std::string& dataset_id,
   // Total attempts: the first run, every healing retry, plus the one final
   // degraded pass.
   const int max_attempts =
-      1 + options_.max_replay_retries + options_.max_transport_retries + 1;
+      1 + opts.max_replay_retries + opts.max_transport_retries + 1;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (token != nullptr && token->IsCancelled()) {
+      q.replay_heals = replay_attempts;
+      q.transport_retries = transport_retries;
+      return Status::Cancelled("render superseded");
+    }
     // Degrade as soon as a breaker is open: the breaker's verdict is the
     // signal that retrying into that worker is pointless, so the merge
     // should complete over the survivors (§5.7). The final degraded pass
     // also tolerates losses regardless of breaker state.
     const bool tolerant =
-        degraded_pass || (options_.allow_degraded && health_.AnyOpen());
+        degraded_pass || (opts.allow_degraded && health.AnyOpen());
     DataSetPtr root = BuildRootDataSet(dataset_id, tolerant);
     SketchOptions options;
     options.seed = seed;
-    options.rpc = options_.rpc;
+    options.rpc = opts.rpc;
+    options.cancellation = token;
+    options.session_id = session_id_;
     auto stream = root->RunSketch(sketch, options);
 
     std::optional<PartialResult<AnySummary>> last;
     bool backstop_fired = false;
-    if (options_.rpc.deadline_ms > 0) {
+    bool cancelled_wait = false;
+    if (opts.rpc.deadline_ms > 0 || token != nullptr) {
       // Backstop against a truly hung worker whose stream never completes
       // at all — distinct from (and far above) the per-RPC deadline, which
-      // handles merely late or lost responses.
+      // handles merely late or lost responses. 0 = no backstop (then the
+      // wait is purely cancellation-aware).
       const double backstop_ms =
-          (options_.rpc.deadline_ms * (options_.rpc.max_retries + 1) +
-           options_.rpc.backoff_cap_ms * options_.rpc.max_retries) *
-              10.0 +
-          1000.0;
-      last = stream->BlockingLastFor(backstop_ms, &backstop_fired);
+          opts.rpc.deadline_ms > 0
+              ? (opts.rpc.deadline_ms * (opts.rpc.max_retries + 1) +
+                 opts.rpc.backoff_cap_ms * opts.rpc.max_retries) *
+                        10.0 +
+                    1000.0
+              : 0.0;
+      last = stream->BlockingLastFor(backstop_ms, &backstop_fired, token,
+                                     &cancelled_wait);
     } else {
       last = stream->BlockingLast();
+    }
+    if (cancelled_wait) {
+      // Superseded mid-flight: abandon the stream (stragglers complete into
+      // a stream nobody reads) and settle immediately — the whole point of
+      // generation-tagged cancellation is not waiting out slow renders.
+      q.replay_heals = replay_attempts;
+      q.transport_retries = transport_retries;
+      return Status::Cancelled("render superseded");
     }
     Status status = backstop_fired
                         ? Status::DeadlineExceeded(
@@ -185,17 +291,13 @@ Result<AnySummary> RootSession::RunErased(const std::string& dataset_id,
       q.degraded = last->coverage < 1.0;
       q.replay_heals = replay_attempts;
       q.transport_retries = transport_retries;
-      // Degraded results are never cached: after the cluster heals, the
-      // same query must recompute at full coverage, not serve the partial
-      // view forever.
-      if (cacheable && !q.degraded) cache_.Put(cache_key, last->value);
       return last->value;
     }
     last_error = status;
     if (!Retriable(status)) break;
 
     if (status.code() == StatusCode::kUnavailable &&
-        replay_attempts < options_.max_replay_retries) {
+        replay_attempts < opts.max_replay_retries) {
       // Lazy replay (§5.7): re-execute the logged operations to rebuild the
       // missing soft state, then retry the query.
       ++replay_attempts;
@@ -216,12 +318,11 @@ Result<AnySummary> RootSession::RunErased(const std::string& dataset_id,
       continue;
     }
     if (status.code() == StatusCode::kDeadlineExceeded &&
-        transport_retries < options_.max_transport_retries) {
+        transport_retries < opts.max_transport_retries) {
       // Transport-level failure: the sketch is pure and seeded, so simply
       // re-running it is safe. Back off (capped, seeded jitter) first.
       ++transport_retries;
-      const double backoff =
-          QueryBackoffMs(options_.rpc, seed, transport_retries);
+      const double backoff = QueryBackoffMs(opts.rpc, seed, transport_retries);
       if (backoff > 0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff));
@@ -229,7 +330,7 @@ Result<AnySummary> RootSession::RunErased(const std::string& dataset_id,
       if (retry_hook_) retry_hook_(attempt, status);
       continue;
     }
-    if (!degraded_pass && options_.allow_degraded) {
+    if (!degraded_pass && opts.allow_degraded) {
       // Every healing budget is spent. Last resort: accept losing the dead
       // workers and complete over the survivors, marking the coverage.
       degraded_pass = true;

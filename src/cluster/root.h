@@ -1,82 +1,73 @@
 #ifndef HILLVIEW_CLUSTER_ROOT_H_
 #define HILLVIEW_CLUSTER_ROOT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include <functional>
-
-#include "cluster/network.h"
+#include "cluster/cluster.h"
 #include "cluster/remote_dataset.h"
-#include "cluster/worker.h"
-#include "cluster/worker_health.h"
-#include "core/computation_cache.h"
-#include "core/dataset.h"
 #include "core/redo_log.h"
 
 namespace hillview {
 namespace cluster {
 
-/// The root node (web-server side of Fig 1): tracks workers, builds
-/// execution trees over remote datasets, owns the redo log and the
-/// computation cache, and heals soft-state loss by lazy replay (§5.7–5.8).
+/// One tenant's handle on a shared Cluster (obtained via
+/// Cluster::OpenSession): the per-user slice of the root node. The session
+/// owns only genuinely per-user state — its redo log (the record of ITS
+/// exploration, replayed to heal soft-state loss, §5.7–5.8), its render
+/// generations, and its session id (threaded through SketchOptions into the
+/// SimulatedNetwork for per-tenant byte accounting). Workers, the health
+/// tracker, the shared ComputationCache and the fair scheduler live on the
+/// Cluster and are shared by all sessions.
 ///
-/// Fault handling is layered by failure class (the ISSUE's three-tier
-/// contract): soft-state loss (kUnavailable) heals by redo-log replay;
-/// transport faults (kDeadlineExceeded, after the remote edge's own per-RPC
-/// retries) get bounded query-level retries with capped, seeded backoff; a
-/// worker that keeps failing trips its circuit breaker, after which queries
-/// degrade gracefully — the merge completes over the survivors and the
-/// result carries a coverage fraction instead of an error. Degraded results
-/// are never stored in the computation cache.
+/// Fault handling is layered by failure class (the three-tier contract):
+/// soft-state loss (kUnavailable) heals by redo-log replay; transport faults
+/// (kDeadlineExceeded, after the remote edge's own per-RPC retries) get
+/// bounded query-level retries with capped, seeded backoff; a worker that
+/// keeps failing trips its circuit breaker, after which queries degrade
+/// gracefully — the merge completes over the survivors and the result
+/// carries a coverage fraction instead of an error. Degraded results are
+/// never stored in the shared cache (and never served to another session).
+///
+/// Queries additionally pass through the cluster's QueryScheduler: admission
+/// control may shed them with Unavailable before they run, and deficit-
+/// round-robin fair scheduling orders them against other sessions' queries.
+///
+/// Cancellation contract: BeginRender(view) starts a new render generation
+/// for a view and supersedes the previous one — the old generation's token
+/// flips, its queries settle Status::Cancelled (checked at morsel
+/// boundaries, at partial-result emission in the merger, and while queued in
+/// the scheduler), and cancelled queries never poison the shared cache or
+/// the health stats.
+///
+/// The Cluster must outlive the session and every query it runs.
 class RootSession {
  public:
-  struct Options {
-    ParallelDataSet::Options aggregation;
-    /// Attempts after an Unavailable failure (each preceded by a full
-    /// redo-log replay).
-    int max_replay_retries = 2;
-    /// Query-level retries after a kDeadlineExceeded failure (on top of the
-    /// per-RPC retries the remote edge already performed).
-    int max_transport_retries = 3;
-    /// Per-RPC deadline/retry policy handed to every machine-boundary edge.
-    SketchOptions::RpcPolicy rpc{/*deadline_ms=*/0.0, /*max_retries=*/2,
-                                 /*backoff_base_ms=*/1.0,
-                                 /*backoff_cap_ms=*/50.0};
-    /// Once every healing budget is exhausted (or a breaker is open), run
-    /// one final pass that tolerates lost workers and returns a
-    /// coverage-marked partial result instead of an error (§5.7). False
-    /// restores strict all-or-nothing semantics.
-    bool allow_degraded = true;
-    /// Circuit-breaker tuning for the per-worker health tracker.
-    WorkerHealth::Options health;
-  };
+  /// Deployment-wide tuning now lives on the Cluster; the alias keeps the
+  /// pre-split spelling (`RootSession::Options`) working at call sites.
+  using Options = Cluster::Options;
 
-  /// Per-query fault-handling observability, filled in by RunSketch /
-  /// RunErased when the caller passes a stats out-param.
+  /// Per-query fault-handling + serving observability, filled in by
+  /// RunSketch / RunErased when the caller passes a stats out-param.
   struct QueryStats {
     double coverage = 1.0;     // partitions merged / total partitions
     int replay_heals = 0;      // redo-log replays this query triggered
     int transport_retries = 0; // query-level deadline retries
     bool degraded = false;     // coverage < 1.0
-    bool from_cache = false;   // served from the computation cache
+    bool from_cache = false;   // served from the shared computation cache
+    bool coalesced = false;    // adopted another caller's in-flight result
   };
-
-  RootSession(std::vector<WorkerPtr> workers, SimulatedNetwork* network)
-      : RootSession(std::move(workers), network, Options{}) {}
-  RootSession(std::vector<WorkerPtr> workers, SimulatedNetwork* network,
-              Options options);
-
-  /// Quiesces the deployment: drains every worker pool so no in-flight RPC
-  /// machinery (retry drivers, health reports) can outlive the session's
-  /// members. Abandoned degraded/timed-out attempts make such stragglers
-  /// normal, not exceptional.
-  ~RootSession();
 
   /// Registers a base dataset: `partition_loaders[i]` produces micropartition
   /// i, assigned to worker i % num_workers. Logged: replay re-registers the
   /// same loaders ("the recursion ends when data is read from disk").
+  /// Dataset ids are cluster-global: sessions loading the same id share the
+  /// worker-side data and the shared cache's keyspace (by design — that is
+  /// what makes cross-session cache hits possible).
   Status LoadDataSet(const std::string& dataset_id,
                      std::vector<LocalDataSet::Loader> partition_loaders);
 
@@ -90,22 +81,29 @@ class RootSession {
   /// RemoteDataSet per worker.
   DataSetPtr GetRootDataSet(const std::string& dataset_id);
 
-  /// Runs a sketch to completion with computation-cache lookup (when
-  /// `cacheable`), Unavailable-healing replay, deadline retries and — as a
-  /// last resort — coverage-marked degradation. The seed is logged. `stats`
-  /// (optional) receives what the fault machinery did for this query.
+  /// Runs a sketch to completion through the fair scheduler, with
+  /// shared-cache lookup (when `cacheable`; identical concurrent queries are
+  /// single-flighted across sessions), Unavailable-healing replay, deadline
+  /// retries and — as a last resort — coverage-marked degradation. The seed
+  /// is logged. `stats` (optional) receives what the fault machinery did.
+  /// `token` (optional, typically from BeginRender) cancels the query when
+  /// its render is superseded; it then returns Status::Cancelled.
   template <typename R>
   Result<R> RunSketch(const std::string& dataset_id, SketchPtr<R> sketch,
                       uint64_t seed = 0, bool cacheable = false,
-                      QueryStats* stats = nullptr) {
+                      QueryStats* stats = nullptr,
+                      CancellationTokenPtr token = {}) {
     AnySketch erased = AnySketch::Wrap<R>(std::move(sketch));
     HV_ASSIGN_OR_RETURN(AnySummary summary,
-                        RunErased(dataset_id, erased, seed, cacheable, stats));
+                        RunErased(dataset_id, erased, seed, cacheable,
+                                  std::move(token), stats));
     return summary.As<R>();
   }
 
   /// Streaming variant (no replay healing — callers wanting progressive
-  /// updates resubscribe on failure).
+  /// updates resubscribe on failure). Streams bypass the scheduler's
+  /// admission/fairness queue: they are the interactive progressive path,
+  /// and their cost lands on the per-session byte counters regardless.
   template <typename R>
   StreamPtr<PartialResult<R>> RunSketchStream(const std::string& dataset_id,
                                               SketchPtr<R> sketch,
@@ -115,12 +113,26 @@ class RootSession {
     SketchOptions options;
     options.seed = seed;
     options.cancellation = std::move(token);
+    options.session_id = session_id_;
     redo_log_.Append("sketch", dataset_id + "#" + sketch->name(), seed);
     return RunTypedSketch<R>(*root, std::move(sketch), options);
   }
 
+  /// Starts a new render generation for `view_id` and returns its
+  /// cancellation token. The previous generation's token (if any) is
+  /// cancelled: a scroll that arrives before the last render finished
+  /// supersedes it, and the superseded query settles Status::Cancelled. Pass
+  /// the token to RunSketch / RunSketchStream.
+  CancellationTokenPtr BeginRender(const std::string& view_id)
+      EXCLUDES(render_mutex_);
+
+  /// The current render generation of a view (0 before the first
+  /// BeginRender); observability for tests.
+  int render_generation(const std::string& view_id) const
+      EXCLUDES(render_mutex_);
+
   /// Simulates a crash of worker `index` (drops all its soft state).
-  void RestartWorker(int index) { workers_[index]->Restart(); }
+  void RestartWorker(int index) { cluster_->workers()[index]->Restart(); }
 
   /// Hook fired just before each query retry (after the heal/backoff step),
   /// with the 0-based attempt number that failed and its status. Tests use
@@ -129,29 +141,51 @@ class RootSession {
     retry_hook_ = std::move(hook);
   }
 
-  int num_workers() const { return static_cast<int>(workers_.size()); }
-  const std::vector<WorkerPtr>& workers() const { return workers_; }
+  int session_id() const { return session_id_; }
+  Cluster* cluster() { return cluster_; }
+  int num_workers() const { return cluster_->num_workers(); }
+  const std::vector<WorkerPtr>& workers() const { return cluster_->workers(); }
   RedoLog& redo_log() { return redo_log_; }
-  ComputationCache& cache() { return cache_; }
-  SimulatedNetwork* network() { return network_; }
-  WorkerHealth& health() { return health_; }
+  /// The CLUSTER's shared cache (kept under the pre-split name so existing
+  /// call sites read naturally).
+  ComputationCache& cache() { return cluster_->shared_cache(); }
+  SimulatedNetwork* network() { return cluster_->network(); }
+  WorkerHealth& health() { return cluster_->health(); }
 
  private:
+  friend class Cluster;  // sole issuer of sessions (OpenSession)
+
+  RootSession(Cluster* cluster, int session_id)
+      : cluster_(cluster), session_id_(session_id) {}
+
   Result<AnySummary> RunErased(const std::string& dataset_id,
                                const AnySketch& sketch, uint64_t seed,
-                               bool cacheable, QueryStats* stats = nullptr);
+                               bool cacheable, CancellationTokenPtr token,
+                               QueryStats* stats = nullptr);
+
+  /// The healing attempt loop (replay / backoff-retry / degraded pass), run
+  /// inside a scheduler grant.
+  Result<AnySummary> RunAttempts(const std::string& dataset_id,
+                                 const AnySketch& sketch, uint64_t seed,
+                                 const CancellationTokenPtr& token,
+                                 QueryStats* q);
 
   /// Execution tree with explicit degraded-mode choice; the public
   /// GetRootDataSet builds the strict (configured) variant.
   DataSetPtr BuildRootDataSet(const std::string& dataset_id, bool tolerant);
 
-  std::vector<WorkerPtr> workers_;
-  SimulatedNetwork* network_;
-  Options options_;
+  struct RenderState {
+    int generation = 0;
+    CancellationTokenPtr token;
+  };
+
+  Cluster* const cluster_;
+  const int session_id_;
   RedoLog redo_log_;
-  ComputationCache cache_;
-  WorkerHealth health_;
   std::function<void(int, const Status&)> retry_hook_;
+  mutable Mutex render_mutex_;
+  std::unordered_map<std::string, RenderState> renders_
+      GUARDED_BY(render_mutex_);
 };
 
 }  // namespace cluster

@@ -51,6 +51,12 @@ class Worker {
   /// EvictCaches() both drop it.
   SortKeyCache* key_cache() { return &key_cache_; }
 
+  /// Blocks until every queued/running pool task has finished: quiesces the
+  /// worker. Cluster teardown calls this for the whole deployment so
+  /// straggler tasks from abandoned attempts (deadline misses, superseded
+  /// renders, degraded completions) cannot outlive what they touch.
+  void Drain() { pool_.Wait(); }
+
   /// Registers the worker's share of a base (repository-backed) dataset.
   /// Partitions are micropartitions (§5.3); each becomes a leaf on this
   /// worker's pool. Re-registering after a restart recreates the entry; the

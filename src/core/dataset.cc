@@ -68,7 +68,15 @@ StreamPtr<PartialResult<AnySummary>> LocalDataSet::RunSketch(
   AnySummary summary =
       sketch.Summarize(*table.value(), options.seed,
                        SketchContext{/*aux_pool=*/options.aux_pool,
-                                     /*key_cache=*/options.key_cache});
+                                     /*key_cache=*/options.key_cache,
+                                     /*cancellation=*/options.cancellation});
+  if (options.cancellation != nullptr && options.cancellation->IsCancelled()) {
+    // The render was superseded mid-scan: the morsel fan-out may have
+    // abandoned ranges, so the summary can be incomplete and must not be
+    // emitted where a merger would take it for the partition's total.
+    stream->OnComplete(Status::Cancelled("cancelled during summarize"));
+    return stream;
+  }
   stream->OnNext(PartialResult<AnySummary>{1.0, std::move(summary)});
   stream->OnComplete(Status::OK());
   return stream;
@@ -114,7 +122,7 @@ namespace {
 /// progress per child, merged and emitted under the aggregation window.
 struct Merger {
   Merger(AnySketch sketch, int num_children, std::vector<double> weights,
-         ParallelDataSet::Options options,
+         ParallelDataSet::Options options, CancellationTokenPtr cancel,
          StreamPtr<PartialResult<AnySummary>> out)
       : sketch(std::move(sketch)),
         latest(num_children),
@@ -123,6 +131,7 @@ struct Merger {
         child_coverage(num_children, 1.0),
         weights(std::move(weights)),
         options(options),
+        cancel(std::move(cancel)),
         out(std::move(out)) {
     total_weight = 0;
     for (double w : this->weights) total_weight += w;
@@ -170,6 +179,14 @@ struct Merger {
   void Update(int child, const PartialResult<AnySummary>& partial)
       EXCLUDES(mutex) {
     MutexLock lock(mutex);
+    if (cancel != nullptr && cancel->IsCancelled()) {
+      // Partial-result emission is a cancellation point: a superseded render
+      // settles Cancelled on the spot instead of streaming stale partials
+      // while its remaining children finish. Late child events after this
+      // are dropped by the completed stream.
+      out->OnComplete(Status::Cancelled("render superseded"));
+      return;
+    }
     if (failed[child]) return;  // a dead child's late partials are discarded
     latest[child] = partial.value;
     progress[child] = partial.progress;
@@ -189,6 +206,12 @@ struct Merger {
 
   void Complete(int child, const Status& status) EXCLUDES(mutex) {
     MutexLock lock(mutex);
+    if (cancel != nullptr && cancel->IsCancelled()) {
+      // Settle immediately; per-child bookkeeping still runs below so the
+      // merger's counters stay consistent for any straggling children (their
+      // emissions are no-ops on the completed stream).
+      out->OnComplete(Status::Cancelled("render superseded"));
+    }
     ++completed;
     if (!status.ok()) {
       if (options.tolerate_child_failures && Tolerable(status)) {
@@ -237,6 +260,7 @@ struct Merger {
   const std::vector<double> weights;
   double total_weight;
   const ParallelDataSet::Options options;
+  const CancellationTokenPtr cancel;  // immutable after construction
   const StreamPtr<PartialResult<AnySummary>> out;
   Stopwatch since_emit GUARDED_BY(mutex);
   bool emitted_any GUARDED_BY(mutex) = false;
@@ -259,8 +283,9 @@ StreamPtr<PartialResult<AnySummary>> ParallelDataSet::RunSketch(
   for (const auto& child : children_) {
     weights.push_back(std::max(1, child->NumPartitions()));
   }
-  auto merger = std::make_shared<Merger>(sketch, children_.size(),
-                                         std::move(weights), options_, stream);
+  auto merger =
+      std::make_shared<Merger>(sketch, children_.size(), std::move(weights),
+                               options_, options.cancellation, stream);
 
   for (size_t i = 0; i < children_.size(); ++i) {
     SketchOptions child_options = options;
@@ -287,7 +312,17 @@ StreamPtr<PartialResult<AnySummary>> ParallelDataSet::RunSketch(
             AnySummary summary = sketch.Summarize(
                 *table.value(), child_options.seed,
                 SketchContext{/*aux_pool=*/child_options.aux_pool,
-                              /*key_cache=*/child_options.key_cache});
+                              /*key_cache=*/child_options.key_cache,
+                              /*cancellation=*/child_options.cancellation});
+            if (child_options.cancellation != nullptr &&
+                child_options.cancellation->IsCancelled()) {
+              // Superseded mid-scan: the morsel fan-out may have skipped
+              // ranges, so the summary is untrustworthy — complete Cancelled
+              // instead of merging it.
+              merger->Complete(child_index,
+                               Status::Cancelled("cancelled during summarize"));
+              return;
+            }
             merger->Update(child_index,
                            PartialResult<AnySummary>{1.0, std::move(summary)});
             merger->Complete(child_index, Status::OK());

@@ -30,8 +30,16 @@ struct SketchOptions {
   /// Root seed; each partition gets MixSeed(seed, partition position). The
   /// seed is recorded in the redo log so replays are deterministic (§5.8).
   uint64_t seed = 0;
-  /// Cooperative cancellation (§5.3). May be null.
+  /// Cooperative cancellation (§5.3). May be null. Checked when a queued
+  /// leaf task is dequeued, at every morsel boundary inside a summarize
+  /// (sketch/morsel.h), and before each partial-result emission in the
+  /// ParallelDataSet merger; a flipped token settles the stream with
+  /// Status::Cancelled and no further summaries are emitted.
   CancellationTokenPtr cancellation;
+  /// Owning session, threaded down to the simulated network so per-session
+  /// byte counters make bandwidth fairness observable across tenants
+  /// (cluster::RootSession fills it in; -1 = untagged single-session use).
+  int session_id = -1;
   /// Worker-local auxiliary pool provider forwarded to sketches via
   /// SketchContext (cluster::RemoteDataSet injects the receiving worker's
   /// provider). A provider rather than a pointer, so the pool is created

@@ -1,7 +1,7 @@
 #ifndef HILLVIEW_REACTIVE_OBSERVABLE_H_
 #define HILLVIEW_REACTIVE_OBSERVABLE_H_
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <functional>
@@ -10,28 +10,11 @@
 #include <utility>
 #include <vector>
 
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace hillview {
-
-/// Cooperative cancellation token shared between a client and an execution
-/// tree. The original system uses RxJava unsubscription (§6); here a token is
-/// polled by leaf nodes between micropartitions — matching the paper's
-/// semantics that already-started micropartition work is not interrupted
-/// (§5.3: "We currently do not stop ongoing computations on a micropartition").
-class CancellationToken {
- public:
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
-  bool IsCancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<bool> cancelled_{false};
-};
-
-using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
 
 /// A partial result flowing up the execution tree: a summary over the
 /// fraction `progress` of leaves completed so far. The stream of partial
@@ -127,25 +110,52 @@ class Stream {
   /// buffer of a stream nobody reads. This is the root's backstop against an
   /// RPC that never completes at all (a truly hung worker), distinct from the
   /// per-RPC deadline the remote edge enforces on late responses.
-  std::optional<T> BlockingLastFor(double timeout_ms, bool* timed_out)
+  ///
+  /// Also cancellation-aware: with a non-null `cancel` token the wait polls it
+  /// and returns as soon as it flips, setting *cancelled — a superseded render
+  /// settles immediately instead of waiting out the backstop timeout. The poll
+  /// is bounded (kCancelPollMs) because nobody notifies this stream's condvar
+  /// when the token flips: cancellation can originate in a different session.
+  /// `timeout_ms <= 0` means no deadline (wait for completion or cancellation
+  /// only); *timed_out is then never set.
+  std::optional<T> BlockingLastFor(double timeout_ms, bool* timed_out,
+                                   const CancellationTokenPtr& cancel = nullptr,
+                                   bool* cancelled = nullptr)
       EXCLUDES(mutex_) {
+    constexpr double kCancelPollMs = 2.0;
+    const bool has_deadline = timeout_ms > 0;
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double, std::milli>(timeout_ms));
+            std::chrono::duration<double, std::milli>(
+                has_deadline ? timeout_ms : 0.0));
     MutexLock lock(mutex_);
+    if (timed_out != nullptr) *timed_out = false;
+    if (cancelled != nullptr) *cancelled = false;
     while (!done_) {
-      const double remaining_ms =
-          std::chrono::duration<double, std::milli>(
-              deadline - std::chrono::steady_clock::now())
-              .count();
-      if (remaining_ms <= 0) {
-        if (timed_out != nullptr) *timed_out = true;
+      if (cancel != nullptr && cancel->IsCancelled()) {
+        if (cancelled != nullptr) *cancelled = true;
         return last_;
       }
-      cv_.WaitFor(mutex_, remaining_ms);
+      double wait_ms = kCancelPollMs;
+      if (has_deadline) {
+        const double remaining_ms =
+            std::chrono::duration<double, std::milli>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (remaining_ms <= 0) {
+          if (timed_out != nullptr) *timed_out = true;
+          return last_;
+        }
+        wait_ms = cancel != nullptr ? std::min(remaining_ms, kCancelPollMs)
+                                    : remaining_ms;
+      } else if (cancel == nullptr) {
+        // No deadline and no token: plain completion wait.
+        cv_.Wait(mutex_);
+        continue;
+      }
+      cv_.WaitFor(mutex_, wait_ms);
     }
-    if (timed_out != nullptr) *timed_out = false;
     return last_;
   }
 

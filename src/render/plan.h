@@ -16,6 +16,20 @@ namespace hillview {
 /// Range/BottomK sketches ("data-wide parameters"); these functions turn
 /// those results plus the display geometry into phase-2 vizketch parameters.
 
+/// A rendering-ready summary together with how much of the data produced it.
+/// `coverage` is the minimum partition coverage across every query the view
+/// ran (both preparation sketches and the vizketch): 1.0 means the full
+/// deployment answered; less means some workers were down and the merge
+/// completed degraded over the survivors (§5.7). The UI renders `partial`
+/// views with a staleness indicator instead of silently presenting a partial
+/// result as truth.
+template <typename R>
+struct Rendered {
+  R value{};
+  double coverage = 1.0;
+  bool partial = false;  // coverage < 1.0
+};
+
 /// Numeric buckets covering a column's observed range. Degenerate ranges
 /// (all values equal) widen by one unit so a single bucket still renders.
 inline NumericBuckets PlanNumericBuckets(const RangeResult& range,

@@ -30,6 +30,10 @@ uint32_t MorselMinRows() {
   return std::max(RoundUp64(rows), 64u);
 }
 
+bool MorselCancelled(const SketchContext& context) {
+  return context.cancellation != nullptr && context.cancellation->IsCancelled();
+}
+
 std::vector<std::pair<uint32_t, uint32_t>> PlanMorselRanges(
     uint32_t universe_size, uint32_t morsel_rows) {
   morsel_rows = std::max(RoundUp64(morsel_rows), 64u);

@@ -53,6 +53,12 @@ std::vector<std::pair<uint32_t, uint32_t>> PlanMorselRanges(
 MembershipPtr SliceMembership(const IMembershipSet& base, uint32_t begin,
                               uint32_t end);
 
+/// True when the context carries a flipped cancellation token: the render
+/// this scan serves has been superseded. The single polling predicate for
+/// every morsel boundary, so "checked at morsel boundaries" means exactly
+/// one thing tree-wide.
+bool MorselCancelled(const SketchContext& context);
+
 /// Summarizes `table` for `sketch`, fanning across morsels when the sketch
 /// declares exact morsel merging, the context provides an auxiliary pool,
 /// and the table is big enough to pay for the fan-out; otherwise falls back
@@ -74,12 +80,20 @@ R SummarizeWithMorsels(const Sketch<R>& sketch, const Table& table,
 
   // Morsels run with the aux pool stripped from their context: the fan-out
   // already owns the pool's parallelism, and a nested fan-out would only
-  // re-split the same rows. The key cache stays available.
+  // re-split the same rows. The key cache stays available, and so is the
+  // cancellation token — each morsel is a poll point.
   SketchContext inner;
   inner.key_cache = context.key_cache;
+  inner.cancellation = context.cancellation;
 
   std::vector<R> parts(ranges.size());
   ParallelApply(pool, static_cast<int>(ranges.size()), [&](int i) {
+    // Cancellation is checked at the morsel boundary: a morsel already
+    // running finishes (§5.3's "do not stop ongoing computations"), but no
+    // further morsel starts once the render is superseded. Skipped slots
+    // stay zero summaries, so the fold below produces an INCOMPLETE result —
+    // the leaf that polled the token discards it instead of emitting.
+    if (MorselCancelled(inner)) return;
     TablePtr morsel = table.WithMembership(
         SliceMembership(members, ranges[i].first, ranges[i].second));
     parts[i] = sketch.Summarize(*morsel, seed, inner);

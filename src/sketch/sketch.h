@@ -6,6 +6,7 @@
 #include <string>
 
 #include "storage/table.h"
+#include "util/cancellation.h"
 
 namespace hillview {
 
@@ -23,9 +24,17 @@ class SortKeyCache;
 /// actually asks for it. Either may be empty (single-threaded callers:
 /// tests, benches, standalone examples); sketches then work inline /
 /// rebuild keys per scan.
+///
+/// `cancellation` carries the render's cancellation token down to the morsel
+/// fan-out (sketch/morsel.h): a superseded render stops scheduling new
+/// morsels at the next boundary. A summarize that observed the token flipped
+/// may return an INCOMPLETE summary — the engine layer that noticed the
+/// cancellation discards it (the leaf completes Cancelled instead of
+/// emitting). May be null.
 struct SketchContext {
   std::function<ThreadPool*()> aux_pool;
   std::function<SortKeyCache*()> key_cache;
+  CancellationTokenPtr cancellation;
 };
 
 /// A mergeable summarization method (§4.1): `Summarize` maps a dataset

@@ -25,24 +25,21 @@ uint64_t Spreadsheet::NextSeed() {
 }
 
 Result<RangeResult> Spreadsheet::ColumnRange(const std::string& column) {
-  return session_->RunSketch<RangeResult>(
-      dataset_id_, std::make_shared<RangeSketch>(column), /*seed=*/0,
-      /*cacheable=*/true);
+  return Run<RangeResult>(std::make_shared<RangeSketch>(column), /*seed=*/0,
+                          /*cacheable=*/true);
 }
 
 Result<int64_t> Spreadsheet::RowCount() {
   HV_ASSIGN_OR_RETURN(
       CountResult count,
-      session_->RunSketch<CountResult>(dataset_id_,
-                                       std::make_shared<CountSketch>(),
-                                       /*seed=*/0, /*cacheable=*/true));
+      Run<CountResult>(std::make_shared<CountSketch>(), /*seed=*/0,
+                       /*cacheable=*/true));
   return count.rows;
 }
 
 Result<BottomKResult> Spreadsheet::DistinctStrings(const std::string& column) {
-  return session_->RunSketch<BottomKResult>(
-      dataset_id_, std::make_shared<BottomKStringsSketch>(column),
-      /*seed=*/0, /*cacheable=*/true);
+  return Run<BottomKResult>(std::make_shared<BottomKStringsSketch>(column),
+                            /*seed=*/0, /*cacheable=*/true);
 }
 
 Result<Buckets> Spreadsheet::PlanBucketsFor(const std::string& column,
@@ -61,19 +58,30 @@ Result<HistogramResult> Spreadsheet::Histogram(const std::string& column,
   int bucket_count = HistogramBucketCount(screen_);
   HV_ASSIGN_OR_RETURN(Buckets buckets, PlanBucketsFor(column, bucket_count));
   if (exact) {
-    return session_->RunSketch<HistogramResult>(
-        dataset_id_,
+    return Run<HistogramResult>(
         std::make_shared<StreamingHistogramSketch>(column, std::move(buckets)),
         /*seed=*/0, /*cacheable=*/true);
   }
   double rate = SampleRateForSize(
       HistogramSampleSize(screen_.height, buckets.count()),
       static_cast<uint64_t>(range.TotalRows()));
-  return session_->RunSketch<HistogramResult>(
-      dataset_id_,
+  return Run<HistogramResult>(
       std::make_shared<SampledHistogramSketch>(column, std::move(buckets),
                                                rate),
       NextSeed());
+}
+
+Result<Rendered<HistogramResult>> Spreadsheet::HistogramView(
+    const std::string& column, bool exact) {
+  // Reset the fold so the reported coverage spans exactly this action's
+  // queries (range + bucket preparation + the vizketch).
+  (void)TakeViewCoverage();
+  HV_ASSIGN_OR_RETURN(HistogramResult histogram, Histogram(column, exact));
+  Rendered<HistogramResult> view;
+  view.value = std::move(histogram);
+  view.coverage = TakeViewCoverage();
+  view.partial = view.coverage < 1.0;
+  return view;
 }
 
 Result<HistogramResult> Spreadsheet::Cdf(const std::string& column,
@@ -82,16 +90,14 @@ Result<HistogramResult> Spreadsheet::Cdf(const std::string& column,
   HV_ASSIGN_OR_RETURN(Buckets buckets,
                       PlanBucketsFor(column, std::max(1, screen_.width)));
   if (exact) {
-    return session_->RunSketch<HistogramResult>(
-        dataset_id_,
+    return Run<HistogramResult>(
         std::make_shared<StreamingHistogramSketch>(column, std::move(buckets)),
         /*seed=*/0, /*cacheable=*/true);
   }
   double rate =
       SampleRateForSize(CdfSampleSize(screen_.height),
                         static_cast<uint64_t>(range.TotalRows()));
-  return session_->RunSketch<HistogramResult>(
-      dataset_id_,
+  return Run<HistogramResult>(
       std::make_shared<SampledHistogramSketch>(column, std::move(buckets),
                                                rate),
       NextSeed());
@@ -118,8 +124,7 @@ Result<Histogram2DResult> Spreadsheet::StackedHistogram(
         StackedHistogramSampleSize(screen_.height, x_buckets.count()),
         static_cast<uint64_t>(x_range.TotalRows()));
   }
-  return session_->RunSketch<Histogram2DResult>(
-      dataset_id_,
+  return Run<Histogram2DResult>(
       std::make_shared<Histogram2DSketch>(x_column, std::move(x_buckets),
                                           y_column, std::move(y_buckets),
                                           rate),
@@ -136,8 +141,7 @@ Result<Histogram2DResult> Spreadsheet::HeatMap(const std::string& x_column,
                       PlanBucketsFor(x_column, plan.x_bins));
   HV_ASSIGN_OR_RETURN(Buckets y_buckets,
                       PlanBucketsFor(y_column, plan.y_bins));
-  return session_->RunSketch<Histogram2DResult>(
-      dataset_id_,
+  return Run<Histogram2DResult>(
       std::make_shared<Histogram2DSketch>(x_column, std::move(x_buckets),
                                           y_column, std::move(y_buckets),
                                           plan.sample_rate),
@@ -156,8 +160,7 @@ Result<TrellisResult> Spreadsheet::TrellisHeatMaps(
                       PlanBucketsFor(x_column, HeatMapBucketsX(sub_screen)));
   HV_ASSIGN_OR_RETURN(Buckets y_buckets,
                       PlanBucketsFor(y_column, HeatMapBucketsY(sub_screen)));
-  return session_->RunSketch<TrellisResult>(
-      dataset_id_,
+  return Run<TrellisResult>(
       std::make_shared<TrellisSketch>(w_column, std::move(w_buckets),
                                       x_column, std::move(x_buckets),
                                       y_column, std::move(y_buckets)),
@@ -167,8 +170,7 @@ Result<TrellisResult> Spreadsheet::TrellisHeatMaps(
 Result<NextItemsResult> Spreadsheet::TableView(
     const RecordOrder& order, std::vector<std::string> display_columns,
     std::optional<std::vector<Value>> start_key, int k) {
-  return session_->RunSketch<NextItemsResult>(
-      dataset_id_,
+  return Run<NextItemsResult>(
       std::make_shared<NextItemsSketch>(order, std::move(display_columns),
                                         std::move(start_key), k),
       /*seed=*/0);
@@ -189,8 +191,7 @@ Result<NextItemsResult> Spreadsheet::ScrollTo(
   double rate = SampleRateForSize(sample_size, static_cast<uint64_t>(rows));
   HV_ASSIGN_OR_RETURN(
       QuantileResult quantile,
-      session_->RunSketch<QuantileResult>(
-          dataset_id_,
+      Run<QuantileResult>(
           std::make_shared<QuantileSketch>(
               order, rate, static_cast<int>(2 * sample_size)),
           NextSeed()));
@@ -207,8 +208,7 @@ Result<FindResult> Spreadsheet::FindText(
   // An invalid user-supplied regex is a request error, not a scan error:
   // reject it here instead of letting every partition match nothing.
   HV_RETURN_IF_ERROR(StringMatcher::Validate(filter));
-  return session_->RunSketch<FindResult>(
-      dataset_id_,
+  return Run<FindResult>(
       std::make_shared<FindTextSketch>(order, std::move(search_columns),
                                        filter, std::move(start_key)),
       /*seed=*/0);
@@ -222,16 +222,14 @@ Result<std::vector<HeavyHittersResult::Item>> Spreadsheet::HeavyHitters(
                                     static_cast<uint64_t>(rows));
     HV_ASSIGN_OR_RETURN(
         HeavyHittersResult result,
-        session_->RunSketch<HeavyHittersResult>(
-            dataset_id_,
+        Run<HeavyHittersResult>(
             std::make_shared<SampledHeavyHittersSketch>(column, k, rate),
             NextSeed()));
     // Theorem 4: select items above 3n/(4K) of the sampled rows.
     return result.Select(3.0 / (4.0 * k));
   }
   HV_ASSIGN_OR_RETURN(HeavyHittersResult result,
-                      session_->RunSketch<HeavyHittersResult>(
-                          dataset_id_,
+                      Run<HeavyHittersResult>(
                           std::make_shared<MisraGriesSketch>(column, k),
                           /*seed=*/0, /*cacheable=*/true));
   // Misra-Gries counts are undercounts by at most N/K; accept anything
@@ -242,9 +240,8 @@ Result<std::vector<HeavyHittersResult::Item>> Spreadsheet::HeavyHitters(
 Result<double> Spreadsheet::DistinctCount(const std::string& column) {
   HV_ASSIGN_OR_RETURN(
       HllResult hll,
-      session_->RunSketch<HllResult>(
-          dataset_id_, std::make_shared<HyperLogLogSketch>(column),
-          /*seed=*/0, /*cacheable=*/true));
+      Run<HllResult>(std::make_shared<HyperLogLogSketch>(column),
+                     /*seed=*/0, /*cacheable=*/true));
   return hll.Estimate();
 }
 
@@ -255,8 +252,7 @@ Result<CorrelationResult> Spreadsheet::Correlation(
     HV_ASSIGN_OR_RETURN(int64_t rows, RowCount());
     rate = SampleRateForSize(1 << 17, static_cast<uint64_t>(rows));
   }
-  return session_->RunSketch<CorrelationResult>(
-      dataset_id_,
+  return Run<CorrelationResult>(
       std::make_shared<CorrelationSketch>(std::move(columns), rate),
       sampled ? NextSeed() : 0, /*cacheable=*/!sampled);
 }
@@ -371,9 +367,8 @@ Result<Spreadsheet> Spreadsheet::WithColumn(
 
 Result<SaveResult> Spreadsheet::SaveAs(const std::string& directory,
                                        const std::string& prefix) {
-  return session_->RunSketch<SaveResult>(
-      dataset_id_, std::make_shared<SaveAsSketch>(directory, prefix),
-      NextSeed());
+  return Run<SaveResult>(std::make_shared<SaveAsSketch>(directory, prefix),
+                         NextSeed());
 }
 
 Result<StreamPtr<PartialResult<HistogramResult>>> Spreadsheet::HistogramStream(

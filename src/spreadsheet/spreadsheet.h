@@ -64,6 +64,14 @@ class Spreadsheet {
   Result<HistogramResult> Histogram(const std::string& column,
                                     bool exact = false);
 
+  /// Histogram with serving metadata: the result plus the coverage the view
+  /// actually achieved, folded over BOTH phases (range/bucket preparation
+  /// and the vizketch). On a healthy cluster coverage is 1.0; with workers
+  /// down and degraded mode on, the chart still renders but is marked
+  /// `partial` so the UI can flag it.
+  Result<Rendered<HistogramResult>> HistogramView(const std::string& column,
+                                                  bool exact = false);
+
   /// CDF (one bucket per horizontal pixel; numeric or string column).
   Result<HistogramResult> Cdf(const std::string& column, bool exact = false);
 
@@ -152,6 +160,28 @@ class Spreadsheet {
   Result<StreamPtr<PartialResult<HistogramResult>>> HistogramStream(
       const std::string& column, CancellationTokenPtr token = {});
 
+  // -- Serving observability. --------------------------------------------
+
+  /// Stats of the most recent query this spreadsheet ran (coverage, cache
+  /// hit, heals). Like NextSeed(), per-view state: a Spreadsheet is one
+  /// user's view object and is not meant to be shared across threads.
+  const cluster::RootSession::QueryStats& last_query_stats() const {
+    return last_stats_;
+  }
+
+  /// Minimum coverage over every query since the last TakeViewCoverage():
+  /// the honest coverage of a multi-query view (e.g. a two-phase chart whose
+  /// preparation ran healthy but whose vizketch ran degraded).
+  double view_coverage() const { return view_coverage_; }
+
+  /// Returns view_coverage() and resets the fold to 1.0 — called at the
+  /// start of a user action so the fold spans exactly that action's queries.
+  double TakeViewCoverage() {
+    double coverage = view_coverage_;
+    view_coverage_ = 1.0;
+    return coverage;
+  }
+
  private:
   /// Bucket geometry for a column: numeric from range, string from the
   /// distinct sample (both cached preparation results).
@@ -161,10 +191,25 @@ class Spreadsheet {
   /// operations differ but replays (same log) agree.
   uint64_t NextSeed();
 
+  /// All spreadsheet queries funnel through here so every result's coverage
+  /// lands in last_stats_ and folds into view_coverage_.
+  template <typename R>
+  Result<R> Run(SketchPtr<R> sketch, uint64_t seed = 0,
+                bool cacheable = false) {
+    Result<R> result = session_->RunSketch<R>(dataset_id_, std::move(sketch),
+                                              seed, cacheable, &last_stats_);
+    if (result.ok()) {
+      view_coverage_ = std::min(view_coverage_, last_stats_.coverage);
+    }
+    return result;
+  }
+
   cluster::RootSession* session_;
   std::string dataset_id_;
   ScreenResolution screen_;
   uint64_t seed_counter_ = 0;
+  cluster::RootSession::QueryStats last_stats_;
+  double view_coverage_ = 1.0;
 };
 
 }  // namespace hillview

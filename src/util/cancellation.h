@@ -1,0 +1,33 @@
+#ifndef HILLVIEW_UTIL_CANCELLATION_H_
+#define HILLVIEW_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace hillview {
+
+/// Cooperative cancellation token shared between a client and an execution
+/// tree. The original system uses RxJava unsubscription (§6); here a token is
+/// polled by leaf nodes between micropartitions — matching the paper's
+/// semantics that already-started micropartition work is not interrupted
+/// (§5.3: "We currently do not stop ongoing computations on a micropartition").
+///
+/// Lives in util (not reactive) because polling sites span every layer: the
+/// morsel fan-out in sketch/, the merger in core/, the stream waits in
+/// reactive/, and the session scheduler in cluster/ all check the same token.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
+
+}  // namespace hillview
+
+#endif  // HILLVIEW_UTIL_CANCELLATION_H_

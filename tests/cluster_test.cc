@@ -430,7 +430,9 @@ TEST(Cluster, ProgressiveStreamDeliversPartials) {
     workers.push_back(std::make_shared<Worker>("w" + std::to_string(w), 1));
   }
   SimulatedNetwork network;
-  RootSession root(workers, &network, options);
+  cluster::Cluster deployment(workers, &network, options);
+  auto root_session = deployment.OpenSession();
+  RootSession& root = *root_session;
   std::vector<LocalDataSet::Loader> loaders;
   for (const auto& t : partitions) {
     loaders.push_back([t]() -> Result<TablePtr> { return t; });

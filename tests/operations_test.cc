@@ -25,7 +25,9 @@ class OperationsTest : public ::testing::Test {
           "w" + std::to_string(w), 2));
     }
     network_ = new cluster::SimulatedNetwork();
-    session_ = new cluster::RootSession(*workers_, network_);
+    cluster_ = new cluster::Cluster(*workers_, network_);
+    session_holder_ = cluster_->OpenSession();
+    session_ = session_holder_.get();
     ASSERT_TRUE(session_
                     ->LoadDataSet("flights",
                                   workload::FlightsLoaders(40000, 10000, 99))
@@ -41,7 +43,9 @@ class OperationsTest : public ::testing::Test {
 
   static void TearDownTestSuite() {
     delete sheet_;
-    delete session_;
+    session_ = nullptr;
+    session_holder_.reset();
+    delete cluster_;  // drains worker pools before the network/workers die
     delete network_;
     delete workers_;
     delete engine_;
@@ -49,6 +53,8 @@ class OperationsTest : public ::testing::Test {
 
   static std::vector<cluster::WorkerPtr>* workers_;
   static cluster::SimulatedNetwork* network_;
+  static cluster::Cluster* cluster_;
+  static std::shared_ptr<cluster::RootSession> session_holder_;
   static cluster::RootSession* session_;
   static Spreadsheet* sheet_;
   static baseline::RowEngine* engine_;
@@ -56,6 +62,8 @@ class OperationsTest : public ::testing::Test {
 
 std::vector<cluster::WorkerPtr>* OperationsTest::workers_ = nullptr;
 cluster::SimulatedNetwork* OperationsTest::network_ = nullptr;
+cluster::Cluster* OperationsTest::cluster_ = nullptr;
+std::shared_ptr<cluster::RootSession> OperationsTest::session_holder_;
 cluster::RootSession* OperationsTest::session_ = nullptr;
 Spreadsheet* OperationsTest::sheet_ = nullptr;
 baseline::RowEngine* OperationsTest::engine_ = nullptr;

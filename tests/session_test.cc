@@ -1,0 +1,464 @@
+// Multi-tenant serving suite: N RootSessions sharing one Cluster — the
+// shared-cache single-flight protocol, generation-tagged render
+// cancellation, admission control, DRR fairness accounting, and the
+// degraded-result cache guard, all raced across real threads. Labeled both
+// `tier1` (the regression gate) and `concurrency` (the TSan lane): sessions
+// racing on the shared cache and scheduler are exactly the interleavings
+// TSan should watch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/fault_injection.h"
+#include "cluster/root.h"
+#include "cluster/scheduler.h"
+#include "cluster/worker_health.h"
+#include "reactive/observable.h"
+#include "sketch/histogram.h"
+#include "test_util.h"
+#include "util/stopwatch.h"
+
+namespace hillview {
+namespace {
+
+using cluster::Cluster;
+using cluster::Direction;
+using cluster::FaultInjector;
+using cluster::FaultPlan;
+using cluster::QueryScheduler;
+using cluster::RootSession;
+using cluster::ScriptedFault;
+using cluster::SimulatedNetwork;
+using cluster::Worker;
+using cluster::WorkerHealth;
+using testing::MakeDoubleTable;
+using testing::SplitValues;
+using testing::UniformDoubles;
+
+constexpr int kWorkers = 2;
+constexpr int kPartitions = 4;
+
+/// A shared deployment plus `num_sessions` tenant handles. The dataset is
+/// loaded once (dataset ids are cluster-global); every session queries it.
+struct MultiTenant {
+  std::vector<cluster::WorkerPtr> workers;
+  SimulatedNetwork network;
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::shared_ptr<RootSession>> sessions;
+
+  static std::unique_ptr<MultiTenant> Create(
+      const std::vector<TablePtr>& partitions, int num_sessions,
+      RootSession::Options options = {},
+      SimulatedNetwork::Model net_model = {}) {
+    auto mt = std::make_unique<MultiTenant>();
+    mt->network.set_model(net_model);
+    ParallelDataSet::Options worker_aggregation;
+    worker_aggregation.progressive = false;  // deterministic message counts
+    for (int w = 0; w < kWorkers; ++w) {
+      mt->workers.push_back(std::make_shared<Worker>(
+          "worker" + std::to_string(w), 2, worker_aggregation));
+    }
+    mt->cluster =
+        std::make_unique<Cluster>(mt->workers, &mt->network, options);
+    for (int s = 0; s < num_sessions; ++s) {
+      mt->sessions.push_back(mt->cluster->OpenSession());
+    }
+    std::vector<LocalDataSet::Loader> loaders;
+    for (const auto& table : partitions) {
+      loaders.push_back([table]() -> Result<TablePtr> { return table; });
+    }
+    if (!mt->sessions[0]->LoadDataSet("data", loaders).ok()) return nullptr;
+    return mt;
+  }
+};
+
+/// Chaos-style options: deadlines on (muted workers settle as
+/// kDeadlineExceeded through the simulation, not the wall clock), zero
+/// backoff, non-progressive root aggregation.
+RootSession::Options FaultOptions() {
+  RootSession::Options options;
+  options.aggregation.aggregation_window_ms = 0;
+  options.rpc.deadline_ms = 5000;
+  options.rpc.max_retries = 4;
+  options.rpc.backoff_base_ms = 0.0;
+  options.rpc.backoff_cap_ms = 0.0;
+  return options;
+}
+
+std::vector<TablePtr> Partitions(std::vector<double>* all_values) {
+  auto values = UniformDoubles(8000, 0, 100, 777);
+  if (all_values != nullptr) *all_values = values;
+  std::vector<TablePtr> partitions;
+  for (const auto& chunk : SplitValues(values, kPartitions)) {
+    partitions.push_back(MakeDoubleTable("x", chunk));
+  }
+  return partitions;
+}
+
+SketchPtr<HistogramResult> TestSketch() {
+  return std::make_shared<StreamingHistogramSketch>(
+      "x", Buckets(NumericBuckets(0, 100, 16)));
+}
+
+std::vector<uint8_t> SummaryBytes(const HistogramResult& r) {
+  return AnySketch::Wrap<HistogramResult>(TestSketch())
+      .Serialize(AnySummary::Wrap<HistogramResult>(r));
+}
+
+TEST(Session, ClusterHandsOutDistinctSessionIds) {
+  auto mt = MultiTenant::Create(Partitions(nullptr), /*num_sessions=*/3);
+  ASSERT_NE(mt, nullptr);
+  EXPECT_EQ(mt->sessions[0]->session_id(), 0);
+  EXPECT_EQ(mt->sessions[1]->session_id(), 1);
+  EXPECT_EQ(mt->sessions[2]->session_id(), 2);
+  EXPECT_EQ(mt->cluster->sessions_opened(), 3);
+  // All sessions share the cluster substrate.
+  EXPECT_EQ(&mt->sessions[0]->cache(), &mt->sessions[1]->cache());
+  EXPECT_EQ(&mt->sessions[0]->health(), &mt->sessions[2]->health());
+}
+
+// N sessions race the SAME cacheable query: single-flight must elect exactly
+// one owner (one miss, one computation); everyone else adopts its result —
+// as a coalesced in-flight hit or a plain cache hit, depending on arrival
+// time — and every session sees byte-identical output.
+TEST(Session, IdenticalQueriesAreSingleFlightedAcrossSessions) {
+  constexpr int kSessions = 4;
+  std::vector<double> all_values;
+  SimulatedNetwork::Model model;
+  model.latency_ms = 2.0;  // widen the in-flight window so waiters coalesce
+  auto mt = MultiTenant::Create(Partitions(&all_values), kSessions, {},
+                                model);
+  ASSERT_NE(mt, nullptr);
+
+  std::vector<Result<HistogramResult>> results(
+      kSessions, Result<HistogramResult>(Status::OK()));
+  std::vector<RootSession::QueryStats> stats(kSessions);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s]() {
+      results[s] = mt->sessions[s]->RunSketch<HistogramResult>(
+          "data", TestSketch(), /*seed=*/0, /*cacheable=*/true, &stats[s]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  HistogramResult reference = TestSketch()->Summarize(
+      *MakeDoubleTable("x", all_values), 0);
+  int served_without_computing = 0;
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_TRUE(results[s].ok()) << results[s].status().ToString();
+    EXPECT_EQ(SummaryBytes(results[s].value()), SummaryBytes(reference));
+    if (stats[s].from_cache) ++served_without_computing;
+  }
+  // Exactly one session computed; the other three were served shared state.
+  EXPECT_EQ(served_without_computing, kSessions - 1);
+  auto cache = mt->cluster->shared_cache().Snapshot();
+  EXPECT_EQ(cache.misses, 1);
+  EXPECT_EQ(cache.hits + cache.coalesced_hits, kSessions - 1);
+  EXPECT_EQ(cache.entries, 1u);
+}
+
+// Sessions issuing DISTINCT queries concurrently never cross results: each
+// gets its own answer, and the shared cache holds one entry per key.
+TEST(Session, DistinctQueriesAcrossSessionsStayIsolated) {
+  constexpr int kSessions = 3;
+  std::vector<double> all_values;
+  auto mt = MultiTenant::Create(Partitions(&all_values), kSessions);
+  ASSERT_NE(mt, nullptr);
+
+  auto sketch_for = [](int s) {
+    return std::make_shared<StreamingHistogramSketch>(
+        "x", Buckets(NumericBuckets(0, 100, 8 + 4 * s)));
+  };
+  std::vector<Result<HistogramResult>> results(
+      kSessions, Result<HistogramResult>(Status::OK()));
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s]() {
+      results[s] = mt->sessions[s]->RunSketch<HistogramResult>(
+          "data", sketch_for(s), /*seed=*/0, /*cacheable=*/true);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  TablePtr whole = MakeDoubleTable("x", all_values);
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_TRUE(results[s].ok()) << results[s].status().ToString();
+    HistogramResult reference = sketch_for(s)->Summarize(*whole, 0);
+    ASSERT_EQ(results[s].value().counts.size(), reference.counts.size());
+    EXPECT_EQ(results[s].value().counts, reference.counts);
+  }
+  EXPECT_EQ(mt->cluster->shared_cache().Snapshot().entries,
+            static_cast<size_t>(kSessions));
+}
+
+// The render-cancellation contract end to end: a scroll that supersedes an
+// in-flight render settles that render Status::Cancelled quickly, without
+// poisoning the shared cache or the health stats; the winning generation
+// then computes a result byte-identical to a solo run (and, because the
+// cancelled owner released its single-flight empty, the winner re-elects
+// and publishes normally).
+TEST(Session, SupersededRenderIsCancelledWithoutPoisoningSharedState) {
+  std::vector<double> all_values;
+  SimulatedNetwork::Model model;
+  model.latency_ms = 20.0;  // per message: the render is in flight for ~80ms
+  auto mt = MultiTenant::Create(Partitions(&all_values), /*num_sessions=*/1,
+                                {}, model);
+  ASSERT_NE(mt, nullptr);
+  RootSession& session = *mt->sessions[0];
+
+  CancellationTokenPtr gen1 = session.BeginRender("histogram-view");
+  EXPECT_EQ(session.render_generation("histogram-view"), 1);
+
+  Result<HistogramResult> loser = Status::OK();
+  RootSession::QueryStats loser_stats;
+  std::thread render([&]() {
+    loser = session.RunSketch<HistogramResult>(
+        "data", TestSketch(), /*seed=*/0, /*cacheable=*/true, &loser_stats,
+        gen1);
+  });
+  // Let the render get in flight, then scroll: the new generation supersedes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Stopwatch settle;
+  CancellationTokenPtr gen2 = session.BeginRender("histogram-view");
+  render.join();
+  EXPECT_EQ(session.render_generation("histogram-view"), 2);
+  EXPECT_TRUE(gen1->IsCancelled());
+  EXPECT_FALSE(gen2->IsCancelled());
+
+  ASSERT_FALSE(loser.ok());
+  EXPECT_EQ(loser.status().code(), StatusCode::kCancelled);
+  // Settling must not wait out the slow render's full network schedule.
+  EXPECT_LT(settle.ElapsedMillis(), 5000.0);
+  // A cancelled query poisons nothing: no cached partial, no health marks.
+  EXPECT_EQ(mt->cluster->shared_cache().Snapshot().entries, 0u);
+  auto health = mt->cluster->health().Snapshot();
+  EXPECT_EQ(health.failures, 0);
+  EXPECT_EQ(health.trips, 0);
+
+  // The winning generation computes the full result and may publish it.
+  RootSession::QueryStats winner_stats;
+  auto winner = session.RunSketch<HistogramResult>(
+      "data", TestSketch(), /*seed=*/0, /*cacheable=*/true, &winner_stats,
+      gen2);
+  ASSERT_TRUE(winner.ok()) << winner.status().ToString();
+  EXPECT_FALSE(winner_stats.from_cache);  // the loser cached nothing
+  HistogramResult reference = TestSketch()->Summarize(
+      *MakeDoubleTable("x", all_values), 0);
+  EXPECT_EQ(SummaryBytes(winner.value()), SummaryBytes(reference));
+  EXPECT_EQ(mt->cluster->shared_cache().Snapshot().entries, 1u);
+}
+
+// A token that is already cancelled short-circuits before any work — on both
+// the cacheable path (checked before the single-flight) and the uncached
+// path (checked at scheduler admission).
+TEST(Session, AlreadyCancelledTokenShortCircuits) {
+  auto mt = MultiTenant::Create(Partitions(nullptr), /*num_sessions=*/1);
+  ASSERT_NE(mt, nullptr);
+  RootSession& session = *mt->sessions[0];
+  CancellationTokenPtr stale = session.BeginRender("view");
+  (void)session.BeginRender("view");  // supersede immediately
+
+  auto cached = session.RunSketch<HistogramResult>(
+      "data", TestSketch(), /*seed=*/0, /*cacheable=*/true, nullptr, stale);
+  ASSERT_FALSE(cached.ok());
+  EXPECT_EQ(cached.status().code(), StatusCode::kCancelled);
+
+  auto uncached = session.RunSketch<HistogramResult>(
+      "data", TestSketch(), /*seed=*/0, /*cacheable=*/false, nullptr, stale);
+  ASSERT_FALSE(uncached.ok());
+  EXPECT_EQ(uncached.status().code(), StatusCode::kCancelled);
+  // Neither run touched the workers or the cache.
+  EXPECT_EQ(mt->cluster->shared_cache().Snapshot().entries, 0u);
+  EXPECT_GE(mt->cluster->scheduler().Snapshot().cancelled_in_queue, 1);
+}
+
+// Admission control at the scheduler, deterministically gated: a session
+// over its in-flight budget is shed, and once the dispatch pool is
+// saturated with a full queue, other sessions are shed too — both with
+// Unavailable, both WITHOUT running the query.
+TEST(Session, AdmissionControlShedsWhenSaturated) {
+  QueryScheduler::Options options;
+  options.dispatch_concurrency = 1;
+  options.max_in_flight_per_session = 1;
+  options.max_queued_total = 0;
+  QueryScheduler scheduler(options, /*health=*/nullptr);
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::thread occupant([&]() {
+    Status s = scheduler.Execute(/*session_id=*/0, nullptr, [&]() {
+      started.store(true);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok());
+  });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Same session again: over its in-flight budget.
+  bool ran = true;
+  Status own_budget = scheduler.Execute(
+      0, nullptr, []() { return Status::OK(); }, &ran);
+  EXPECT_EQ(own_budget.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(ran);
+
+  // Another session: the pool is saturated and the queue is full.
+  ran = true;
+  Status queue_full = scheduler.Execute(
+      1, nullptr, []() { return Status::OK(); }, &ran);
+  EXPECT_EQ(queue_full.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(ran);
+
+  release.store(true);
+  occupant.join();
+  auto stats = scheduler.Snapshot();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.shed_session_budget, 1);
+  EXPECT_EQ(stats.shed_queue_full, 1);
+  EXPECT_EQ(stats.max_running, 1);
+}
+
+// When every worker breaker is open the cluster cannot answer at all:
+// queueing would only turn overload into latency, so arrivals shed.
+TEST(Session, AdmissionControlShedsWhenEveryBreakerIsOpen) {
+  WorkerHealth::Options health_options;
+  health_options.failure_threshold = 1;
+  WorkerHealth health(/*num_workers=*/2, health_options);
+  health.RecordFailure(0);
+  health.RecordFailure(1);
+  ASSERT_EQ(health.num_open(), 2);
+
+  QueryScheduler scheduler({}, &health);
+  bool ran = true;
+  Status s = scheduler.Execute(
+      0, nullptr, []() { return Status::OK(); }, &ran);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(scheduler.Snapshot().shed_unhealthy, 1);
+}
+
+// DRR cost accounting: a session starts at one quantum, converges toward
+// what its queries actually move (EWMA), and is clamped so one outlier can
+// neither zero out nor blow up its estimate.
+TEST(Session, SchedulerCostEstimateConvergesAndClamps) {
+  QueryScheduler::Options options;
+  options.quantum_bytes = 1000;
+  QueryScheduler scheduler(options, nullptr);
+  // Sessions materialize on first Execute.
+  (void)scheduler.Execute(7, nullptr, []() { return Status::OK(); });
+  EXPECT_EQ(scheduler.CostEstimate(7), 1000);
+
+  for (int i = 0; i < 64; ++i) scheduler.ChargeCost(7, 1 << 30);
+  EXPECT_EQ(scheduler.CostEstimate(7), 64 * 1000);  // clamped at 64 quanta
+
+  for (int i = 0; i < 256; ++i) scheduler.ChargeCost(7, 0);
+  EXPECT_GE(scheduler.CostEstimate(7), 1);  // floored, never free
+  EXPECT_LE(scheduler.CostEstimate(7), 4);
+}
+
+// The per-session network tally: two tenants running the same workload move
+// the same bytes (the scheduler's bandwidth-fairness measure reads exactly
+// this), and the tally is attributed per session id.
+TEST(Session, PerSessionTrafficIsAttributedAndFair) {
+  auto mt = MultiTenant::Create(Partitions(nullptr), /*num_sessions=*/2);
+  ASSERT_NE(mt, nullptr);
+  for (int s = 0; s < 2; ++s) {
+    auto result = mt->sessions[s]->RunSketch<HistogramResult>(
+        "data", TestSketch(), /*seed=*/0, /*cacheable=*/false);
+    ASSERT_TRUE(result.ok());
+  }
+  auto traffic = mt->network.AllSessionTraffic();
+  ASSERT_EQ(traffic.size(), 2u);
+  auto a = mt->network.SessionSnapshot(0);
+  auto b = mt->network.SessionSnapshot(1);
+  EXPECT_GT(a.bytes_up, 0u);
+  EXPECT_GT(a.bytes_down, 0u);
+  // Identical workloads, non-progressive aggregation: byte-for-byte fair.
+  EXPECT_EQ(a.bytes_up, b.bytes_up);
+  EXPECT_EQ(a.messages_up, b.messages_up);
+}
+
+// The shared-health contract under faults: session A burns the retry budget
+// against a muted worker and trips its breaker; session B then sees the SAME
+// breaker verdict — it degrades immediately (no retry burn of its own) with
+// identical coverage. And the degraded-result guard holds across tenants:
+// A's partial result is never served to B from the shared cache.
+TEST(Session, BreakerVerdictAndDegradedGuardAreSharedAcrossSessions) {
+  std::vector<double> all_values;
+  auto mt = MultiTenant::Create(Partitions(&all_values), /*num_sessions=*/2,
+                                FaultOptions());
+  ASSERT_NE(mt, nullptr);
+  constexpr int kDead = 1;
+  FaultPlan plan;
+  plan.schedule.push_back(ScriptedFault::Mute(kDead, Direction::kUp, 0,
+                                              ScriptedFault::kForever));
+  mt->network.InstallFaultInjector(std::make_shared<FaultInjector>(plan));
+
+  RootSession::QueryStats a_stats;
+  auto a = mt->sessions[0]->RunSketch<HistogramResult>(
+      "data", TestSketch(), /*seed=*/0, /*cacheable=*/true, &a_stats);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(a_stats.degraded);
+  EXPECT_EQ(a_stats.coverage, 0.5);  // worker 1 held partitions 1 and 3
+  EXPECT_GE(mt->cluster->health().Snapshot().trips, 1);
+
+  // Session B: the shared breaker is already open, so B degrades on its
+  // FIRST attempt — no transport retries — and is NOT served A's partial
+  // result from the shared cache.
+  RootSession::QueryStats b_stats;
+  auto b = mt->sessions[1]->RunSketch<HistogramResult>(
+      "data", TestSketch(), /*seed=*/0, /*cacheable=*/true, &b_stats);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(b_stats.degraded);
+  EXPECT_FALSE(b_stats.from_cache);
+  EXPECT_EQ(b_stats.coverage, a_stats.coverage);
+  EXPECT_EQ(b_stats.transport_retries, 0);
+  EXPECT_EQ(mt->cluster->shared_cache().Snapshot().entries, 0u);
+  EXPECT_EQ(SummaryBytes(a.value()), SummaryBytes(b.value()));
+}
+
+// BlockingLastFor with a cancellation token settles promptly when the token
+// flips mid-wait — the reactive-layer primitive under every render
+// cancellation — and immediately when the token was already flipped.
+TEST(Session, BlockingLastForSettlesOnCancellation) {
+  Stream<int> stream;
+  stream.OnNext(7);
+  auto token = std::make_shared<CancellationToken>();
+  std::thread canceller([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token->Cancel();
+  });
+  bool timed_out = false;
+  bool cancelled = false;
+  Stopwatch watch;
+  auto last = stream.BlockingLastFor(/*timeout_ms=*/60000.0, &timed_out,
+                                     token, &cancelled);
+  canceller.join();
+  EXPECT_LT(watch.ElapsedMillis(), 30000.0);  // nowhere near the timeout
+  EXPECT_TRUE(cancelled);
+  EXPECT_FALSE(timed_out);
+  ASSERT_TRUE(last.has_value());  // the last partial is still handed back
+  EXPECT_EQ(*last, 7);
+
+  // Already-cancelled: returns without waiting at all.
+  bool cancelled2 = false;
+  auto again = stream.BlockingLastFor(/*timeout_ms=*/60000.0, &timed_out,
+                                      token, &cancelled2);
+  EXPECT_TRUE(cancelled2);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, 7);
+}
+
+}  // namespace
+}  // namespace hillview

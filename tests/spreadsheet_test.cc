@@ -22,7 +22,9 @@ class SpreadsheetTest : public ::testing::Test {
           "w" + std::to_string(w), 2));
     }
     network_ = new cluster::SimulatedNetwork();
-    session_ = new cluster::RootSession(*workers_, network_);
+    cluster_ = new cluster::Cluster(*workers_, network_);
+    session_holder_ = cluster_->OpenSession();
+    session_ = session_holder_.get();
     auto loaders = FlightsLoaders(80000, 10000, /*seed=*/2024);
     ASSERT_TRUE(session_->LoadDataSet("flights", loaders).ok());
     sheet_ = new Spreadsheet(session_, "flights", {400, 200});
@@ -30,7 +32,9 @@ class SpreadsheetTest : public ::testing::Test {
 
   static void TearDownTestSuite() {
     delete sheet_;
-    delete session_;
+    session_ = nullptr;
+    session_holder_.reset();
+    delete cluster_;  // drains worker pools before the network/workers die
     delete network_;
     delete workers_;
     sheet_ = nullptr;
@@ -38,12 +42,16 @@ class SpreadsheetTest : public ::testing::Test {
 
   static std::vector<cluster::WorkerPtr>* workers_;
   static cluster::SimulatedNetwork* network_;
+  static cluster::Cluster* cluster_;
+  static std::shared_ptr<cluster::RootSession> session_holder_;
   static cluster::RootSession* session_;
   static Spreadsheet* sheet_;
 };
 
 std::vector<cluster::WorkerPtr>* SpreadsheetTest::workers_ = nullptr;
 cluster::SimulatedNetwork* SpreadsheetTest::network_ = nullptr;
+cluster::Cluster* SpreadsheetTest::cluster_ = nullptr;
+std::shared_ptr<cluster::RootSession> SpreadsheetTest::session_holder_;
 cluster::RootSession* SpreadsheetTest::session_ = nullptr;
 Spreadsheet* SpreadsheetTest::sheet_ = nullptr;
 
@@ -298,6 +306,29 @@ TEST_F(SpreadsheetTest, ProgressiveHistogramStream) {
   ASSERT_TRUE(last.has_value());
   EXPECT_EQ(last->progress, 1.0);
   EXPECT_GT(last->value.TotalCount(), 0);
+}
+
+TEST_F(SpreadsheetTest, HistogramViewReportsFullCoverageWhenHealthy) {
+  auto view = sheet_->HistogramView("Distance");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_GT(view.value().value.TotalCount(), 0);
+  // Healthy cluster: every partition answered, the view is not partial.
+  EXPECT_EQ(view.value().coverage, 1.0);
+  EXPECT_FALSE(view.value().partial);
+  // The per-query stats surface through the facade too.
+  EXPECT_EQ(sheet_->last_query_stats().coverage, 1.0);
+  EXPECT_FALSE(sheet_->last_query_stats().degraded);
+  // TakeViewCoverage resets the fold.
+  EXPECT_EQ(sheet_->TakeViewCoverage(), 1.0);
+}
+
+TEST_F(SpreadsheetTest, LastQueryStatsSeesSharedCacheHit) {
+  // ColumnRange is deterministic and cacheable; the first call above (or
+  // here) populates the shared cache, the second is served from it.
+  ASSERT_TRUE(sheet_->ColumnRange("DepDelay").ok());
+  ASSERT_TRUE(sheet_->ColumnRange("DepDelay").ok());
+  EXPECT_TRUE(sheet_->last_query_stats().from_cache);
+  EXPECT_EQ(sheet_->last_query_stats().coverage, 1.0);
 }
 
 TEST_F(SpreadsheetTest, SurvivesWorkerRestart) {

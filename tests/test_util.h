@@ -65,7 +65,10 @@ inline std::vector<std::vector<double>> SplitValues(
 struct TestCluster {
   std::vector<cluster::WorkerPtr> workers;
   cluster::SimulatedNetwork network;
-  std::unique_ptr<cluster::RootSession> root;
+  // Declaration order matters: sessions (and their queries) must die before
+  // the Cluster, whose destructor drains the worker pools.
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::shared_ptr<cluster::RootSession> root;
 
   static std::unique_ptr<TestCluster> Create(
       const std::vector<TablePtr>& partitions, int num_workers = 2,
@@ -78,9 +81,9 @@ struct TestCluster {
           "worker" + std::to_string(w), threads_per_worker,
           worker_aggregation));
     }
-    tc->root = std::make_unique<cluster::RootSession>(tc->workers,
-                                                      &tc->network,
-                                                      root_options);
+    tc->cluster = std::make_unique<cluster::Cluster>(
+        tc->workers, &tc->network, root_options);
+    tc->root = tc->cluster->OpenSession();
     std::vector<LocalDataSet::Loader> loaders;
     for (const auto& table : partitions) {
       loaders.push_back([table]() -> Result<TablePtr> { return table; });
